@@ -1,0 +1,43 @@
+// Shared helpers for the table-reproduction benchmark harness.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace pcf::bench {
+
+/// Environment-tunable workload scale so CI runs stay short:
+/// PCF_BENCH_SCALE=1 (default) reproduces the table shapes quickly;
+/// larger values run closer to publication sizes.
+inline long env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atol(v) : fallback;
+}
+
+/// Time `fn` by repeating it until ~min_seconds has elapsed; returns
+/// seconds per call.
+template <class F>
+double time_call(F&& fn, double min_seconds = 0.05, int min_reps = 3) {
+  // Warm up.
+  fn();
+  int reps = min_reps;
+  for (;;) {
+    wall_timer t;
+    for (int i = 0; i < reps; ++i) fn();
+    const double s = t.seconds();
+    if (s >= min_seconds || reps > (1 << 22)) return s / reps;
+    reps *= 4;
+  }
+}
+
+inline void print_header(const char* table, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", table, description);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace pcf::bench

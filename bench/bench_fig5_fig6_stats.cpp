@@ -1,0 +1,76 @@
+// Paper Figures 5 and 6: mean velocity profile and Reynolds-stress
+// profiles of the turbulent channel.
+//
+// Runs a short Re_tau = 180 DNS (the paper's Re_tau = 5200 lineage at
+// laptop scale — see DESIGN.md for the substitution) and prints the
+// series behind both figures: U+(y+) on a semi-log ladder, plus the
+// variances and the turbulent shear stress. The default step count gives
+// a *developing* flow in seconds; set PCF_BENCH_STEPS (and a finer grid
+// via the channel_dns example) for converged statistics.
+#include <cmath>
+#include <mutex>
+
+#include "bench_common.hpp"
+#include "core/simulation.hpp"
+
+int main() {
+  pcf::bench::print_header(
+      "Figures 5 & 6", "mean velocity and Reynolds stress profiles");
+
+  pcf::core::channel_config cfg;
+  cfg.nx = static_cast<std::size_t>(pcf::bench::env_long("PCF_BENCH_NX", 24));
+  cfg.nz = static_cast<std::size_t>(pcf::bench::env_long("PCF_BENCH_NZ", 24));
+  cfg.ny = static_cast<int>(pcf::bench::env_long("PCF_BENCH_NY", 33));
+  cfg.re_tau = 180.0;
+  cfg.dt = 2e-4;
+  const long steps = pcf::bench::env_long("PCF_BENCH_STEPS", 400);
+  const long warmup = steps / 2;
+
+  std::mutex m;
+  pcf::vmpi::run_world(1, [&](pcf::vmpi::communicator& world) {
+    pcf::core::channel_dns dns(cfg, world);
+    dns.initialize(0.15);
+    for (long s = 0; s < steps; ++s) {
+      dns.step();
+      if (s >= warmup && s % 5 == 0) dns.accumulate_stats();
+    }
+    auto p = dns.stats();
+    std::lock_guard<std::mutex> lk(m);
+
+    std::printf("grid %zu x %d x %zu, %ld steps (t+ = %.1f), %ld samples\n\n",
+                cfg.nx, cfg.ny, cfg.nz, steps,
+                dns.time() * cfg.re_tau, p.samples);
+
+    std::printf("Figure 5 series — mean velocity U+(y+), lower half "
+                "channel (log law U+ = ln(y+)/0.41 + 5.2 for reference):\n");
+    pcf::text_table f5({"y+", "U+", "log-law"});
+    for (std::size_t i = 0; i < p.y.size() / 2; ++i) {
+      const double yp = (1.0 + p.y[i]) * cfg.re_tau;
+      if (yp <= 0.0) continue;
+      const double ll = yp > 5.0 ? std::log(yp) / 0.41 + 5.2 : yp;
+      f5.add_row({pcf::text_table::fmt(yp, 2), pcf::text_table::fmt(p.u[i], 3),
+                  pcf::text_table::fmt(ll, 3)});
+    }
+    std::fputs(f5.str().c_str(), stdout);
+
+    std::printf("\nFigure 6 series — velocity variances and turbulent "
+                "shear stress:\n");
+    pcf::text_table f6({"y+", "<uu>", "<vv>", "<ww>", "-<uv>"});
+    for (std::size_t i = 0; i < p.y.size() / 2; ++i) {
+      const double yp = (1.0 + p.y[i]) * cfg.re_tau;
+      f6.add_row({pcf::text_table::fmt(yp, 2),
+                  pcf::text_table::fmt(p.uu[i], 4),
+                  pcf::text_table::fmt(p.vv[i], 4),
+                  pcf::text_table::fmt(p.ww[i], 4),
+                  pcf::text_table::fmt(-p.uv[i], 4)});
+    }
+    std::fputs(f6.str().c_str(), stdout);
+
+    std::printf("\nshape checks: U+ rises through the viscous sublayer and "
+                "bends toward the log region;\n<uu> peaks nearer the wall "
+                "than <vv>/<ww>; all stresses vanish at the wall.\n"
+                "(Short default run — statistics are developing, not "
+                "converged; see EXPERIMENTS.md.)\n");
+  });
+  return 0;
+}

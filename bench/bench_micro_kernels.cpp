@@ -1,0 +1,126 @@
+// Google-benchmark microbenchmarks of the library's hot kernels: 1-D FFTs,
+// banded factor/solve, B-spline evaluation, the on-node reorder, and the
+// virtual-MPI alltoall. These are the building blocks whose costs the
+// netsim models aggregate.
+#include <benchmark/benchmark.h>
+
+#include <complex>
+#include <vector>
+
+#include "banded/compact.hpp"
+#include "banded/gb.hpp"
+#include "bspline/bspline.hpp"
+#include "fft/fft.hpp"
+#include "util/rng.hpp"
+
+using cplx = std::complex<double>;
+
+namespace {
+
+void BM_FFT_C2C(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  pcf::fft::c2c_plan plan(n, pcf::fft::direction::forward);
+  std::vector<cplx> in(n, cplx{1.0, -0.5}), out(n);
+  for (auto _ : state) {
+    plan.execute(in.data(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) *
+                          static_cast<long>(n));
+}
+BENCHMARK(BM_FFT_C2C)->Arg(256)->Arg(1024)->Arg(1536)->Arg(4096);
+
+void BM_FFT_R2C(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  pcf::fft::r2c_plan plan(n);
+  std::vector<double> in(n, 0.7);
+  std::vector<cplx> out(n / 2 + 1);
+  for (auto _ : state) {
+    plan.execute(in.data(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_FFT_R2C)->Arg(1024)->Arg(1536);
+
+void BM_CompactFactorSolve(benchmark::State& state) {
+  const int n = 1024, h = static_cast<int>(state.range(0));
+  pcf::banded::compact_banded proto(n, h);
+  pcf::rng r(3);
+  for (int i = 0; i < n; ++i) {
+    const int s = proto.row_start(i);
+    double rowsum = 0;
+    for (int j = s; j <= s + 2 * h; ++j) {
+      if (j == i || j < 0 || j >= n) continue;
+      const double v = r.uniform(-1, 1);
+      proto.at(i, j) = v;
+      rowsum += std::abs(v);
+    }
+    proto.at(i, i) = rowsum + 1;
+  }
+  std::vector<cplx> rhs(n, cplx{0.5, -0.5});
+  for (auto _ : state) {
+    auto M = proto;
+    M.factorize();
+    auto b = rhs;
+    M.solve(b.data());
+    benchmark::DoNotOptimize(b.data());
+  }
+}
+BENCHMARK(BM_CompactFactorSolve)->Arg(1)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_GbFactorSolve(benchmark::State& state) {
+  const int n = 1024, h = static_cast<int>(state.range(0));
+  pcf::banded::gb_matrix<cplx> proto(n, 2 * h, 2 * h);
+  pcf::rng r(3);
+  for (int i = 0; i < n; ++i) {
+    double rowsum = 0;
+    for (int j = std::max(0, i - 2 * h); j <= std::min(n - 1, i + 2 * h);
+         ++j) {
+      if (j == i) continue;
+      const double v = r.uniform(-1, 1);
+      proto.at(i, j) = v;
+      rowsum += std::abs(v);
+    }
+    proto.at(i, i) = rowsum + 1;
+  }
+  std::vector<cplx> rhs(n, cplx{0.5, -0.5});
+  for (auto _ : state) {
+    auto M = proto;
+    M.factorize();
+    auto b = rhs;
+    M.solve(b.data());
+    benchmark::DoNotOptimize(b.data());
+  }
+}
+BENCHMARK(BM_GbFactorSolve)->Arg(1)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_BsplineEvalDerivs(benchmark::State& state) {
+  auto b = pcf::bspline::basis::channel(64, 2.0, 7);
+  double ders[3 * 8];
+  double x = -0.9;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(b.eval_derivs(x, 2, ders));
+    x += 1e-4;
+    if (x > 0.99) x = -0.99;
+  }
+}
+BENCHMARK(BM_BsplineEvalDerivs);
+
+void BM_Reorder(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<cplx> in(n * n * 4, cplx{1, 2}), out(in.size());
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        for (std::size_t k = 0; k < 4; ++k)
+          out[(j * 4 + k) * n + i] = in[(i * n + j) * 4 + k];
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<long>(state.iterations()) *
+                          static_cast<long>(in.size() * sizeof(cplx) * 2));
+}
+BENCHMARK(BM_Reorder)->Arg(64)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Shared printer for the timestep scaling benchmarks (paper Tables 9-11).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "netsim/predictor.hpp"
+#include "util/table.hpp"
+
+namespace pcf::bench {
+
+struct scaling_case {
+  std::string label;
+  netsim::machine mach;
+  std::size_t ny, nz;
+  std::vector<std::size_t> nx;   // one per core count (weak) or size 1
+  std::vector<long> cores;
+  int ranks_per_node = 0;  // 0 = MPI (rank per core), 1 = hybrid
+};
+
+/// Print one Table 9/10 block: per-section times with efficiencies
+/// relative to the smallest core count. For strong scaling, efficiency is
+/// time0 * cores0 / (time * cores); for weak scaling (work ~ nx ~ cores),
+/// it is time0 / time.
+inline std::vector<netsim::section_times> print_scaling_block(
+    const scaling_case& c, bool weak) {
+  netsim::predictor p(c.mach);
+  std::printf("\n%s:\n", c.label.c_str());
+  text_table t({"Cores", "Nx", "Transpose", "Eff", "FFT", "Eff",
+                "N-S advance", "Eff", "Total", "Eff"});
+  std::vector<netsim::section_times> out;
+  netsim::section_times base;
+  long base_cores = 0;
+  for (std::size_t i = 0; i < c.cores.size(); ++i) {
+    netsim::job_config j;
+    j.nx = c.nx.size() == 1 ? c.nx[0] : c.nx[i];
+    j.ny = c.ny;
+    j.nz = c.nz;
+    j.cores = c.cores[i];
+    j.ranks_per_node = c.ranks_per_node;
+    const auto s = p.timestep(j);
+    out.push_back(s);
+    if (i == 0) {
+      base = s;
+      base_cores = j.cores;
+    }
+    auto eff = [&](double t0, double t1) {
+      if (weak) return t0 / t1;
+      return t0 * static_cast<double>(base_cores) /
+             (t1 * static_cast<double>(j.cores));
+    };
+    t.add_row({std::to_string(j.cores), std::to_string(j.nx),
+               text_table::fmt(s.transpose(), 2),
+               text_table::fmt_pct(eff(base.transpose(), s.transpose())),
+               text_table::fmt(s.fft, 2),
+               text_table::fmt_pct(eff(base.fft, s.fft)),
+               text_table::fmt(s.advance, 2),
+               text_table::fmt_pct(eff(base.advance, s.advance)),
+               text_table::fmt(s.total(), 2),
+               text_table::fmt_pct(eff(base.total(), s.total()))});
+  }
+  std::fputs(t.str().c_str(), stdout);
+  return out;
+}
+
+}  // namespace pcf::bench

@@ -1,0 +1,108 @@
+// Paper Table 1: elapsed time for solving one bordered-banded linear
+// system (N = 1024) as a function of bandwidth, for
+//   - the reference complex banded solver (ZGBTRF/ZGBTRS equivalent) —
+//     the normalizer, as in the paper;
+//   - the reference real banded solver applied to the complex RHS as two
+//     real solves (the MKL^R / DGBTRF+DGBTRS approach);
+//   - the customized compact solver (real matrix, complex RHS directly).
+//
+// The reference solvers must store the bordered rows by widening the band
+// to kl = ku = 2h (Figure 3 center) and pay pivoting storage and zero-work;
+// the custom format (Figure 3 right) stores exactly 2h+1 entries per row.
+#include <complex>
+#include <vector>
+
+#include "banded/compact.hpp"
+#include "banded/gb.hpp"
+#include "bench_common.hpp"
+#include "util/rng.hpp"
+
+using pcf::banded::compact_banded;
+using pcf::banded::cplx;
+using pcf::banded::gb_matrix;
+
+namespace {
+
+/// Build the Figure-3 matrix pattern: band of half-width h plus dense
+/// corner rows, diagonally dominant.
+void fill(compact_banded& C, gb_matrix<double>& Gr, gb_matrix<cplx>& Gc,
+          std::uint64_t seed) {
+  pcf::rng r(seed);
+  const int n = C.n();
+  for (int i = 0; i < n; ++i) {
+    const int s = C.row_start(i);
+    double rowsum = 0.0;
+    for (int j = s; j <= s + 2 * C.half_bandwidth(); ++j) {
+      if (j < 0 || j >= n || j == i) continue;
+      const double v = r.uniform(-1, 1);
+      C.at(i, j) = v;
+      Gr.at(i, j) = v;
+      Gc.at(i, j) = v;
+      rowsum += std::abs(v);
+    }
+    C.at(i, i) = rowsum + 1.0;
+    Gr.at(i, i) = rowsum + 1.0;
+    Gc.at(i, i) = rowsum + 1.0;
+  }
+}
+
+}  // namespace
+
+int main() {
+  pcf::bench::print_header(
+      "Table 1", "elapsed time for solving a linear system (normalized by "
+                 "the reference complex banded solver)");
+  const int n = static_cast<int>(pcf::bench::env_long("PCF_BENCH_N", 1024));
+  pcf::text_table t({"Bandwidth", "Ref^R (2 real)", "Ref^C (complex)",
+                     "Custom", "Custom speedup", "Custom storage",
+                     "Ref storage"});
+
+  for (int h = 1; h <= 7; ++h) {
+    compact_banded C(n, h);
+    gb_matrix<double> Gr(n, 2 * h, 2 * h);
+    gb_matrix<cplx> Gc(n, 2 * h, 2 * h);
+    fill(C, Gr, Gc, 1000 + static_cast<std::uint64_t>(h));
+
+    pcf::rng r(7);
+    std::vector<cplx> rhs(static_cast<std::size_t>(n));
+    for (auto& v : rhs) v = cplx{r.uniform(-1, 1), r.uniform(-1, 1)};
+    std::vector<double> re(static_cast<std::size_t>(n)),
+        im(static_cast<std::size_t>(n));
+
+    // Each timed call includes factorization and solve, as in production
+    // where the operator changes with the wavenumber.
+    const double t_c = pcf::bench::time_call([&] {
+      auto M = Gc;
+      M.factorize();
+      auto b = rhs;
+      M.solve(b.data());
+    });
+    const double t_r = pcf::bench::time_call([&] {
+      auto M = Gr;
+      M.factorize();
+      for (int i = 0; i < n; ++i) {
+        re[static_cast<std::size_t>(i)] = rhs[static_cast<std::size_t>(i)].real();
+        im[static_cast<std::size_t>(i)] = rhs[static_cast<std::size_t>(i)].imag();
+      }
+      M.solve(re.data());
+      M.solve(im.data());
+    });
+    const double t_k = pcf::bench::time_call([&] {
+      auto M = C;
+      M.factorize();
+      auto b = rhs;
+      M.solve(b.data());
+    });
+
+    t.add_row({std::to_string(2 * h + 1), pcf::text_table::fmt(t_r / t_c, 3),
+               pcf::text_table::fmt(t_c / t_c, 3),
+               pcf::text_table::fmt(t_k / t_c, 3),
+               pcf::text_table::fmt(t_c / t_k, 2) + "x",
+               std::to_string(C.storage_bytes() / 1024) + " KiB",
+               std::to_string(Gc.storage_bytes() / 1024) + " KiB"});
+  }
+  std::fputs(t.str().c_str(), stdout);
+  std::printf("\npaper: custom ~4x faster than vendor banded solvers, "
+              "storage halved.\n");
+  return 0;
+}

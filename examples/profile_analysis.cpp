@@ -1,0 +1,77 @@
+// Post-processing of channel statistics: reads a profiles CSV written by
+// channel_dns / production_run and reports the log-law fit, the indicator
+// function, and the total-stress balance (the convergence certificate).
+//
+//   ./profile_analysis stats.csv [re_tau]
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/channel.hpp"
+#include "io/profiles.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s stats.csv [re_tau]\n", argv[0]);
+    return 2;
+  }
+  const std::string path = argv[1];
+  const double re_tau = argc > 2 ? std::atof(argv[2]) : 180.0;
+
+  const auto y = pcf::io::read_csv_column(path, 0);
+  const auto yplus = pcf::io::read_csv_column(path, 1);
+  const auto uplus = pcf::io::read_csv_column(path, 2);
+  const auto minus_uv = pcf::io::read_csv_column(path, 6);
+
+  // Lower half-channel only (y+ grows away from the lower wall).
+  std::vector<double> yh, yph, uph, uvh;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y[i] > 0.0) break;
+    yh.push_back(y[i]);
+    yph.push_back(yplus[i]);
+    uph.push_back(uplus[i]);
+    uvh.push_back(-minus_uv[i]);  // back to <uv>
+  }
+
+  std::printf("profile: %zu points, Re_tau = %.0f\n\n", yh.size(), re_tau);
+
+  // Log-law fit over the classical overlap band.
+  const double lo = 30.0, hi = std::max(60.0, 0.6 * re_tau);
+  try {
+    auto f = pcf::analysis::fit_loglaw(yph, uph, lo, hi);
+    std::printf("log-law fit over %g < y+ < %g (%zu points):\n", lo, hi,
+                f.points_used);
+    std::printf("  kappa = %.3f   (reference 0.38-0.41)\n", f.kappa);
+    std::printf("  B     = %.2f    (reference 5.0-5.3)\n", f.B);
+    std::printf("  r^2   = %.4f\n\n", f.r2);
+  } catch (const std::exception& e) {
+    std::printf("log-law fit unavailable: %s\n\n", e.what());
+  }
+
+  auto xi = pcf::analysis::indicator_function(yph, uph);
+  std::printf("indicator function Xi = y+ dU+/dy+ (flat = log layer):\n");
+  pcf::text_table ti({"y+", "Xi", "1/Xi"});
+  for (std::size_t i = 0; i < yph.size(); ++i) {
+    if (yph[i] < 10.0) continue;
+    ti.add_row({pcf::text_table::fmt(yph[i], 1),
+                pcf::text_table::fmt(xi[i], 2),
+                pcf::text_table::fmt(xi[i] != 0.0 ? 1.0 / xi[i] : 0.0, 3)});
+  }
+  std::fputs(ti.str().c_str(), stdout);
+
+  auto b = pcf::analysis::check_stress_balance(yh, uph, uvh, re_tau);
+  std::printf("\ntotal stress balance nu dU/dy - <uv> vs -y "
+              "(max residual %.4f):\n",
+              b.max_error);
+  pcf::text_table ts({"y", "viscous", "turbulent", "total", "expected"});
+  for (std::size_t i = 0; i < yh.size(); i += std::max<std::size_t>(1, yh.size() / 12)) {
+    ts.add_row({pcf::text_table::fmt(yh[i], 3),
+                pcf::text_table::fmt(b.viscous[i], 3),
+                pcf::text_table::fmt(b.turbulent[i], 3),
+                pcf::text_table::fmt(b.total[i], 3),
+                pcf::text_table::fmt(b.expected[i], 3)});
+  }
+  std::fputs(ts.str().c_str(), stdout);
+  std::printf("\nresidual < 0.05 indicates well-converged statistics.\n");
+  return 0;
+}

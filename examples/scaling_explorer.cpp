@@ -1,0 +1,70 @@
+// Interactive front end to the netsim machine models: predict the
+// per-section time of one RK3 DNS timestep for any grid / machine / core
+// count / launch mode, i.e. regenerate any row of the paper's Tables 9-11.
+//
+//   ./scaling_explorer [machine] [nx] [ny] [nz] [cores...]
+//     machine: mira | lonestar | stampede | bluewaters  (default mira)
+//   Environment: PCF_HYBRID=1 predicts the one-rank-per-node launch.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "netsim/predictor.hpp"
+#include "util/table.hpp"
+
+using namespace pcf::netsim;
+using pcf::text_table;
+
+int main(int argc, char** argv) {
+  machine m = machine::mira();
+  if (argc > 1) {
+    const std::string name = argv[1];
+    if (name == "lonestar") m = machine::lonestar();
+    else if (name == "stampede") m = machine::stampede();
+    else if (name == "bluewaters") m = machine::blue_waters();
+    else if (name != "mira") {
+      std::fprintf(stderr,
+                   "unknown machine '%s' (mira|lonestar|stampede|bluewaters)\n",
+                   name.c_str());
+      return 2;
+    }
+  }
+  job_config j;
+  j.nx = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 2048;
+  j.ny = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 512;
+  j.nz = argc > 4 ? std::strtoul(argv[4], nullptr, 10) : 2048;
+  const bool hybrid = std::getenv("PCF_HYBRID") != nullptr;
+  j.ranks_per_node = hybrid ? 1 : 0;
+
+  std::vector<long> cores;
+  for (int i = 5; i < argc; ++i) cores.push_back(std::atol(argv[i]));
+  if (cores.empty())
+    cores = {m.cores_per_node * 16L, m.cores_per_node * 64L,
+             m.cores_per_node * 256L, m.cores_per_node * 1024L};
+
+  predictor p(m);
+  std::printf("%s — %zu x %zu x %zu grid, %s launch\n", m.name.c_str(), j.nx,
+              j.ny, j.nz, hybrid ? "hybrid (1 rank/node)" : "MPI (rank/core)");
+  text_table t({"Cores", "Transpose", "FFT", "N-S advance", "Total",
+                "Efficiency"});
+  double base = 0.0;
+  long base_cores = 0;
+  for (long c : cores) {
+    j.cores = c;
+    const auto s = p.timestep(j);
+    if (base == 0.0) {
+      base = s.total();
+      base_cores = c;
+    }
+    const double eff =
+        (base * static_cast<double>(base_cores)) /
+        (s.total() * static_cast<double>(c));
+    t.add_row({std::to_string(c), text_table::fmt(s.transpose(), 2),
+               text_table::fmt(s.fft, 2), text_table::fmt(s.advance, 2),
+               text_table::fmt(s.total(), 2), text_table::fmt_pct(eff)});
+  }
+  std::fputs(t.str().c_str(), stdout);
+  return 0;
+}

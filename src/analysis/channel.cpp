@@ -1,0 +1,65 @@
+#include "analysis/channel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace pcf::analysis {
+
+loglaw_fit fit_loglaw(const std::vector<double>& yplus,
+                      const std::vector<double>& uplus, double lo,
+                      double hi) {
+  PCF_REQUIRE(yplus.size() == uplus.size(), "profile arrays must match");
+  PCF_REQUIRE(lo > 0.0 && hi > lo, "need a positive y+ band");
+  std::vector<double> lx, ly;
+  for (std::size_t i = 0; i < yplus.size(); ++i) {
+    if (yplus[i] >= lo && yplus[i] <= hi) {
+      lx.push_back(std::log(yplus[i]));
+      ly.push_back(uplus[i]);
+    }
+  }
+  PCF_REQUIRE(lx.size() >= 3, "too few points inside the fit band");
+  const auto f = fit_linear(lx, ly);
+  loglaw_fit out;
+  PCF_REQUIRE(f.slope > 0.0, "profile is not increasing in the band");
+  out.kappa = 1.0 / f.slope;
+  out.B = f.intercept;
+  out.r2 = f.r2;
+  out.points_used = lx.size();
+  return out;
+}
+
+std::vector<double> indicator_function(const std::vector<double>& yplus,
+                                       const std::vector<double>& uplus) {
+  auto d = derivative(yplus, uplus);
+  std::vector<double> xi(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) xi[i] = yplus[i] * d[i];
+  return xi;
+}
+
+stress_balance check_stress_balance(const std::vector<double>& y,
+                                    const std::vector<double>& u,
+                                    const std::vector<double>& uv,
+                                    double re_tau) {
+  PCF_REQUIRE(y.size() == u.size() && y.size() == uv.size(),
+              "profile arrays must match");
+  PCF_REQUIRE(re_tau > 0.0, "re_tau must be positive");
+  stress_balance b;
+  const auto dudy = derivative(y, u);
+  const std::size_t n = y.size();
+  b.viscous.resize(n);
+  b.turbulent.resize(n);
+  b.total.resize(n);
+  b.expected.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b.viscous[i] = dudy[i] / re_tau;
+    b.turbulent[i] = -uv[i];
+    b.total[i] = b.viscous[i] + b.turbulent[i];
+    b.expected[i] = -y[i];
+    b.max_error = std::max(b.max_error, std::abs(b.total[i] - b.expected[i]));
+  }
+  return b;
+}
+
+}  // namespace pcf::analysis

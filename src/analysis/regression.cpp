@@ -1,0 +1,63 @@
+#include "analysis/regression.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace pcf::analysis {
+
+linear_fit fit_linear(const std::vector<double>& x,
+                      const std::vector<double>& y) {
+  PCF_REQUIRE(x.size() == y.size(), "x and y must have equal length");
+  PCF_REQUIRE(x.size() >= 2, "need at least two points");
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  const double det = n * sxx - sx * sx;
+  PCF_REQUIRE(det > 0.0, "degenerate abscissae");
+  linear_fit f;
+  f.slope = (n * sxy - sx * sy) / det;
+  f.intercept = (sy - f.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double e = y[i] - (f.slope * x[i] + f.intercept);
+    ss_res += e * e;
+  }
+  f.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return f;
+}
+
+std::vector<double> derivative(const std::vector<double>& x,
+                               const std::vector<double>& y) {
+  PCF_REQUIRE(x.size() == y.size() && x.size() >= 3,
+              "need at least three points");
+  const std::size_t n = x.size();
+  std::vector<double> d(n);
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    // Three-point formula on a nonuniform grid.
+    const double h1 = x[i] - x[i - 1];
+    const double h2 = x[i + 1] - x[i];
+    d[i] = (y[i + 1] * h1 * h1 - y[i - 1] * h2 * h2 +
+            y[i] * (h2 * h2 - h1 * h1)) /
+           (h1 * h2 * (h1 + h2));
+  }
+  // Second-order one-sided (Lagrange) formulas at the ends.
+  auto one_sided = [&](std::size_t i0, std::size_t i1, std::size_t i2) {
+    const double x0 = x[i0], x1 = x[i1], x2 = x[i2];
+    return y[i0] * (2 * x0 - x1 - x2) / ((x0 - x1) * (x0 - x2)) +
+           y[i1] * (x0 - x2) / ((x1 - x0) * (x1 - x2)) +
+           y[i2] * (x0 - x1) / ((x2 - x0) * (x2 - x1));
+  };
+  d[0] = one_sided(0, 1, 2);
+  d[n - 1] = one_sided(n - 1, n - 2, n - 3);
+  return d;
+}
+
+}  // namespace pcf::analysis

@@ -1,0 +1,25 @@
+// Small statistics helpers for profile analysis.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pcf::analysis {
+
+struct linear_fit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  // coefficient of determination
+};
+
+/// Ordinary least squares y = slope * x + intercept. Needs >= 2 points
+/// with non-degenerate x.
+linear_fit fit_linear(const std::vector<double>& x,
+                      const std::vector<double>& y);
+
+/// Centered finite-difference derivative dy/dx on a nonuniform grid
+/// (second-order three-point formula; one-sided at the ends).
+std::vector<double> derivative(const std::vector<double>& x,
+                               const std::vector<double>& y);
+
+}  // namespace pcf::analysis

@@ -1,0 +1,101 @@
+#include "banded/gb.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/counters.hpp"
+
+namespace pcf::banded {
+
+namespace {
+inline double mag(double v) { return std::abs(v); }
+inline double mag(const cplx& v) {
+  // 1-norm magnitude, as LAPACK uses for complex pivoting.
+  return std::abs(v.real()) + std::abs(v.imag());
+}
+}  // namespace
+
+template <class T>
+void gb_matrix<T>::factorize() {
+  // Unblocked GBTRF with partial pivoting. The effective upper bandwidth
+  // grows to ku + kl because row interchanges drag subdiagonal rows up.
+  const int n = n_, kl = kl_, ku = ku_;
+  auto e = [&](int i, int j) -> T& { return entry(i, j); };
+  std::uint64_t flops = 0;
+
+  int ju = 0;  // rightmost column touched so far
+  for (int j = 0; j < n; ++j) {
+    const int km = std::min(kl, n - 1 - j);  // subdiagonals in column j
+    // Pivot search in column j, rows j..j+km.
+    int jp = j;
+    double best = mag(e(j, j));
+    for (int i = j + 1; i <= j + km; ++i) {
+      const double m = mag(e(i, j));
+      if (m > best) {
+        best = m;
+        jp = i;
+      }
+    }
+    ipiv_[static_cast<std::size_t>(j)] = jp;
+    if (best == 0.0)
+      throw numerical_error("gb_matrix::factorize: zero pivot column");
+
+    ju = std::max(ju, std::min(jp + ku, n - 1));
+    if (jp != j) {
+      for (int c = j; c <= ju; ++c) std::swap(e(j, c), e(jp, c));
+    }
+    if (km > 0) {
+      const T inv = T(1.0) / e(j, j);
+      for (int i = j + 1; i <= j + km; ++i) e(i, j) *= inv;
+      flops += static_cast<std::uint64_t>(km);
+      for (int c = j + 1; c <= ju; ++c) {
+        const T ujc = e(j, c);
+        if (ujc == T{}) continue;
+        for (int i = j + 1; i <= j + km; ++i) e(i, c) -= e(i, j) * ujc;
+        flops += 2u * static_cast<std::uint64_t>(km);
+      }
+    }
+  }
+  factorized_ = true;
+  const std::uint64_t f = flops * (std::is_same_v<T, cplx> ? 4 : 1);
+  counters::add_flops(f);
+  counters::add_read(f * 8);
+  counters::add_written(f * 4);
+}
+
+template <class T>
+template <class S>
+void gb_matrix<T>::solve(S* x) const {
+  PCF_REQUIRE(factorized_, "solve() requires factorize() first");
+  const int n = n_, kl = kl_, ku = ku_;
+  auto e = [&](int i, int j) -> const T& {
+    return const_cast<gb_matrix*>(this)->entry(i, j);
+  };
+  // Forward: apply P and L.
+  for (int j = 0; j < n - 1; ++j) {
+    const int p = ipiv_[static_cast<std::size_t>(j)];
+    if (p != j) std::swap(x[j], x[p]);
+    const int km = std::min(kl, n - 1 - j);
+    const S xj = x[j];
+    for (int i = j + 1; i <= j + km; ++i) x[i] -= e(i, j) * xj;
+  }
+  // Backward: solve U x = y with bandwidth ku + kl.
+  const int kv = ku + kl;
+  for (int j = n - 1; j >= 0; --j) {
+    x[j] /= e(j, j);
+    const S xj = x[j];
+    const int top = std::max(0, j - kv);
+    for (int i = top; i < j; ++i) x[i] -= e(i, j) * xj;
+  }
+  counters::add_flops(static_cast<std::uint64_t>(n) *
+                      static_cast<std::uint64_t>(kl + kv + 2) *
+                      (std::is_same_v<S, cplx> ? 2 : 1));
+}
+
+template class gb_matrix<double>;
+template class gb_matrix<cplx>;
+template void gb_matrix<double>::solve(double*) const;
+template void gb_matrix<double>::solve(cplx*) const;
+template void gb_matrix<cplx>::solve(cplx*) const;
+
+}  // namespace pcf::banded

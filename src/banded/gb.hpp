@@ -1,0 +1,94 @@
+// Reference general banded solver in LAPACK band storage with partial
+// pivoting — the reproduction's stand-in for Netlib DGBTRF/DGBTRS and
+// ZGBTRF/ZGBTRS (the baselines of the paper's Table 1).
+//
+// Storage follows LAPACK GB convention: a (2*kl + ku + 1) x n array where
+// in-band element (i, j) lives at ab[kl + ku + i - j][j]; the extra kl rows
+// hold fill-in produced by partial pivoting.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace pcf::banded {
+
+using cplx = std::complex<double>;
+
+/// General banded matrix with kl subdiagonals and ku superdiagonals.
+/// T is double or std::complex<double>.
+template <class T>
+class gb_matrix {
+ public:
+  gb_matrix(int n, int kl, int ku)
+      : n_(n), kl_(kl), ku_(ku), ldab_(2 * kl + ku + 1),
+        ab_(static_cast<std::size_t>(ldab_) * static_cast<std::size_t>(n),
+            T{}),
+        ipiv_(static_cast<std::size_t>(n)) {
+    PCF_REQUIRE(n >= 1, "matrix dimension must be positive");
+    PCF_REQUIRE(kl >= 0 && ku >= 0, "bandwidths must be nonnegative");
+  }
+
+  [[nodiscard]] int n() const { return n_; }
+  [[nodiscard]] int kl() const { return kl_; }
+  [[nodiscard]] int ku() const { return ku_; }
+
+  /// True if (i, j) lies inside the declared band.
+  [[nodiscard]] bool in_band(int i, int j) const {
+    return i >= 0 && i < n_ && j >= 0 && j < n_ && j - i <= ku_ &&
+           i - j <= kl_;
+  }
+
+  /// Access element (i, j); must be in band.
+  T& at(int i, int j) {
+    PCF_REQUIRE(in_band(i, j), "element outside declared band");
+    return entry(i, j);
+  }
+  const T& at(int i, int j) const {
+    PCF_REQUIRE(in_band(i, j), "element outside declared band");
+    return const_cast<gb_matrix*>(this)->entry(i, j);
+  }
+
+  /// Bytes of matrix storage (for the paper's memory-footprint comparison).
+  [[nodiscard]] std::size_t storage_bytes() const {
+    return ab_.size() * sizeof(T) + ipiv_.size() * sizeof(int);
+  }
+
+  /// LU factorization with partial pivoting (GBTRF). Throws
+  /// numerical_error if a pivot is exactly zero.
+  void factorize();
+
+  /// Solve A x = b in place for one RHS (GBTRS); requires factorize().
+  template <class S>
+  void solve(S* x) const;
+
+  /// Solve for nrhs right-hand sides, each contiguous with given stride.
+  template <class S>
+  void solve_many(S* x, int nrhs, std::size_t stride) const {
+    for (int r = 0; r < nrhs; ++r) solve(x + static_cast<std::size_t>(r) * stride);
+  }
+
+  [[nodiscard]] bool factorized() const { return factorized_; }
+
+ private:
+  T& entry(int i, int j) {
+    // LAPACK GB layout, row-major here: band row (kl + ku + i - j), col j.
+    return ab_[static_cast<std::size_t>(kl_ + ku_ + i - j) *
+                   static_cast<std::size_t>(n_) +
+               static_cast<std::size_t>(j)];
+  }
+
+  int n_, kl_, ku_, ldab_;
+  std::vector<T> ab_;
+  std::vector<int> ipiv_;
+  bool factorized_ = false;
+};
+
+extern template class gb_matrix<double>;
+extern template class gb_matrix<cplx>;
+extern template void gb_matrix<double>::solve(double*) const;
+extern template void gb_matrix<double>::solve(cplx*) const;
+extern template void gb_matrix<cplx>::solve(cplx*) const;
+
+}  // namespace pcf::banded

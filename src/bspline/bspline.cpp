@@ -1,0 +1,208 @@
+#include "bspline/bspline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pcf::bspline {
+
+namespace {
+constexpr int kMaxDegree = 15;
+}
+
+basis::basis(std::vector<double> breakpoints, int degree)
+    : p_(degree), breaks_(std::move(breakpoints)) {
+  PCF_REQUIRE(p_ >= 1 && p_ <= kMaxDegree, "degree out of supported range");
+  PCF_REQUIRE(breaks_.size() >= 2, "need at least two breakpoints");
+  for (std::size_t i = 1; i < breaks_.size(); ++i)
+    PCF_REQUIRE(breaks_[i] > breaks_[i - 1],
+                "breakpoints must be strictly increasing");
+
+  const int nspans = static_cast<int>(breaks_.size()) - 1;
+  n_ = nspans + p_;
+
+  // Clamped knot vector: endpoints repeated p+1 times.
+  knots_.reserve(static_cast<std::size_t>(n_ + p_ + 1));
+  for (int i = 0; i <= p_; ++i) knots_.push_back(breaks_.front());
+  for (int i = 1; i < nspans; ++i) knots_.push_back(breaks_[static_cast<std::size_t>(i)]);
+  for (int i = 0; i <= p_; ++i) knots_.push_back(breaks_.back());
+
+  greville_.resize(static_cast<std::size_t>(n_));
+  for (int i = 0; i < n_; ++i) {
+    double s = 0.0;
+    for (int j = 1; j <= p_; ++j) s += knots_[static_cast<std::size_t>(i + j)];
+    greville_[static_cast<std::size_t>(i)] = s / p_;
+  }
+  // Guard against roundoff pushing the end points outside the domain.
+  greville_.front() = breaks_.front();
+  greville_.back() = breaks_.back();
+}
+
+basis basis::uniform(double a, double b, int intervals, int degree) {
+  PCF_REQUIRE(intervals >= 1, "need at least one interval");
+  PCF_REQUIRE(b > a, "domain must be nonempty");
+  std::vector<double> br(static_cast<std::size_t>(intervals) + 1);
+  for (int i = 0; i <= intervals; ++i)
+    br[static_cast<std::size_t>(i)] =
+        a + (b - a) * static_cast<double>(i) / intervals;
+  return basis(std::move(br), degree);
+}
+
+basis basis::channel(int intervals, double stretch, int degree) {
+  PCF_REQUIRE(intervals >= 1, "need at least one interval");
+  PCF_REQUIRE(stretch > 0.0, "stretch must be positive");
+  std::vector<double> br(static_cast<std::size_t>(intervals) + 1);
+  const double t = std::tanh(stretch);
+  for (int i = 0; i <= intervals; ++i) {
+    const double eta = -1.0 + 2.0 * static_cast<double>(i) / intervals;
+    br[static_cast<std::size_t>(i)] = std::tanh(stretch * eta) / t;
+  }
+  br.front() = -1.0;
+  br.back() = 1.0;
+  return basis(std::move(br), degree);
+}
+
+int basis::find_span(double x) const {
+  PCF_REQUIRE(x >= domain_min() && x <= domain_max(), "x outside domain");
+  const int lo = p_, hi = n_;  // spans live in knots[p..n]
+  if (x >= knots_[static_cast<std::size_t>(hi)]) return hi - 1;
+  // Binary search for mu with knots[mu] <= x < knots[mu+1].
+  int a = lo, b = hi;
+  while (b - a > 1) {
+    const int mid = (a + b) / 2;
+    if (x < knots_[static_cast<std::size_t>(mid)])
+      b = mid;
+    else
+      a = mid;
+  }
+  return a;
+}
+
+int basis::eval(double x, double* N) const {
+  const int span = find_span(x);
+  const double* t = knots_.data();
+  double left[kMaxDegree + 1], right[kMaxDegree + 1];
+  N[0] = 1.0;
+  for (int j = 1; j <= p_; ++j) {
+    left[j] = x - t[span + 1 - j];
+    right[j] = t[span + j] - x;
+    double saved = 0.0;
+    for (int r = 0; r < j; ++r) {
+      const double tmp = N[r] / (right[r + 1] + left[j - r]);
+      N[r] = saved + right[r + 1] * tmp;
+      saved = left[j - r] * tmp;
+    }
+    N[j] = saved;
+  }
+  return span - p_;
+}
+
+int basis::eval_derivs(double x, int nder, double* ders) const {
+  PCF_REQUIRE(nder >= 0, "derivative order must be nonnegative");
+  const int span = find_span(x);
+  const int p = p_;
+  const double* t = knots_.data();
+  const int w = p + 1;
+
+  // ndu: basis functions (upper triangle) and knot differences (lower).
+  double ndu[(kMaxDegree + 1) * (kMaxDegree + 1)];
+  auto NDU = [&](int i, int j) -> double& { return ndu[i * w + j]; };
+  double left[kMaxDegree + 1], right[kMaxDegree + 1];
+
+  NDU(0, 0) = 1.0;
+  for (int j = 1; j <= p; ++j) {
+    left[j] = x - t[span + 1 - j];
+    right[j] = t[span + j] - x;
+    double saved = 0.0;
+    for (int r = 0; r < j; ++r) {
+      NDU(j, r) = right[r + 1] + left[j - r];
+      const double tmp = NDU(r, j - 1) / NDU(j, r);
+      NDU(r, j) = saved + right[r + 1] * tmp;
+      saved = left[j - r] * tmp;
+    }
+    NDU(j, j) = saved;
+  }
+  for (int j = 0; j <= p; ++j) ders[j] = NDU(j, p);
+  for (int d = 1; d <= nder; ++d)
+    for (int j = 0; j <= p; ++j) ders[d * w + j] = 0.0;
+
+  const int kmax = std::min(nder, p);
+  double awork[2][kMaxDegree + 1];
+  for (int r = 0; r <= p; ++r) {
+    int s1 = 0, s2 = 1;
+    awork[0][0] = 1.0;
+    for (int k = 1; k <= kmax; ++k) {
+      double d = 0.0;
+      const int rk = r - k, pk = p - k;
+      if (r >= k) {
+        awork[s2][0] = awork[s1][0] / NDU(pk + 1, rk);
+        d = awork[s2][0] * NDU(rk, pk);
+      }
+      const int j1 = (rk >= -1) ? 1 : -rk;
+      const int j2 = (r - 1 <= pk) ? k - 1 : p - r;
+      for (int j = j1; j <= j2; ++j) {
+        awork[s2][j] = (awork[s1][j] - awork[s1][j - 1]) / NDU(pk + 1, rk + j);
+        d += awork[s2][j] * NDU(rk + j, pk);
+      }
+      if (r <= pk) {
+        awork[s2][k] = -awork[s1][k - 1] / NDU(pk + 1, r);
+        d += awork[s2][k] * NDU(r, pk);
+      }
+      ders[k * w + r] = d;
+      std::swap(s1, s2);
+    }
+  }
+  // Multiply by p! / (p-k)!.
+  double fac = p;
+  for (int k = 1; k <= kmax; ++k) {
+    for (int j = 0; j <= p; ++j) ders[k * w + j] *= fac;
+    fac *= (p - k);
+  }
+  return span - p;
+}
+
+double basis::spline_value(const double* coef, double x) const {
+  double N[kMaxDegree + 1];
+  const int first = eval(x, N);
+  double acc = 0.0;
+  for (int c = 0; c <= p_; ++c) acc += N[c] * coef[first + c];
+  return acc;
+}
+
+double basis::spline_deriv(const double* coef, double x, int der) const {
+  if (der > p_) return 0.0;
+  std::vector<double> ders(static_cast<std::size_t>(der + 1) *
+                           static_cast<std::size_t>(p_ + 1));
+  const int first = eval_derivs(x, der, ders.data());
+  const double* row = ders.data() + static_cast<std::size_t>(der) * (p_ + 1);
+  double acc = 0.0;
+  for (int c = 0; c <= p_; ++c) acc += row[c] * coef[first + c];
+  return acc;
+}
+
+double basis::integrate(const double* coef) const {
+  double acc = 0.0;
+  for (int i = 0; i < n_; ++i)
+    acc += coef[i] * (knots_[static_cast<std::size_t>(i + p_ + 1)] -
+                      knots_[static_cast<std::size_t>(i)]);
+  return acc / (p_ + 1);
+}
+
+banded::compact_banded basis::collocation_matrix(int der) const {
+  PCF_REQUIRE(n_ >= 2 * p_ + 1,
+              "not enough basis functions for compact band assembly");
+  banded::compact_banded M(n_, p_);
+  std::vector<double> ders(static_cast<std::size_t>(der + 1) *
+                           static_cast<std::size_t>(p_ + 1));
+  for (int i = 0; i < n_; ++i) {
+    const int first = eval_derivs(greville_[static_cast<std::size_t>(i)], der,
+                                  ders.data());
+    const double* row = ders.data() + static_cast<std::size_t>(der) * (p_ + 1);
+    for (int c = 0; c <= p_; ++c) {
+      const double v = row[c];
+      if (v != 0.0) M.at(i, first + c) = v;
+    }
+  }
+  return M;
+}
+
+}  // namespace pcf::bspline

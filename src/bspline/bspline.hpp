@@ -1,0 +1,80 @@
+// B-spline basis on a clamped knot vector (DeBoor's recursion), Greville
+// collocation points, and banded collocation-operator assembly.
+//
+// The paper represents the wall-normal (y) direction with 7th-order
+// B-splines collocated at Greville abscissae; every wall-normal operator in
+// the DNS (interpolation, first/second derivative, Helmholtz) is a banded
+// matrix built from the values returned here.
+#pragma once
+
+#include <vector>
+
+#include "banded/compact.hpp"
+#include "util/check.hpp"
+
+namespace pcf::bspline {
+
+/// B-spline basis of given degree on a clamped knot vector.
+class basis {
+ public:
+  /// Breakpoints must be strictly increasing with at least 2 entries;
+  /// degree >= 1. The basis has (#breakpoints - 1) + degree functions.
+  basis(std::vector<double> breakpoints, int degree);
+
+  /// Uniform breakpoints on [a, b] with `intervals` knot spans.
+  static basis uniform(double a, double b, int intervals, int degree);
+
+  /// Hyperbolic-tangent-stretched breakpoints on [-1, 1] clustering toward
+  /// the walls (stretch > 0; larger = more clustering), as used for
+  /// channel-flow wall resolution. `intervals` knot spans.
+  static basis channel(int intervals, double stretch, int degree);
+
+  [[nodiscard]] int degree() const { return p_; }
+  /// Number of basis functions n.
+  [[nodiscard]] int size() const { return n_; }
+  [[nodiscard]] double domain_min() const { return breaks_.front(); }
+  [[nodiscard]] double domain_max() const { return breaks_.back(); }
+  [[nodiscard]] const std::vector<double>& breakpoints() const { return breaks_; }
+  [[nodiscard]] const std::vector<double>& knots() const { return knots_; }
+
+  /// Greville abscissae xi_i = (t_{i+1} + ... + t_{i+p}) / p, i = 0..n-1;
+  /// the collocation points. xi_0 = a and xi_{n-1} = b.
+  [[nodiscard]] const std::vector<double>& greville() const { return greville_; }
+
+  /// Index mu of the knot span containing x: knots[mu] <= x < knots[mu+1]
+  /// (right-closed at the domain end). x must be inside the domain.
+  [[nodiscard]] int find_span(double x) const;
+
+  /// Evaluate the p+1 basis functions that are nonzero at x into N[0..p];
+  /// returns the index of the first one (N[c] is basis function first+c).
+  int eval(double x, double* N) const;
+
+  /// Evaluate basis functions and derivatives up to order nder at x.
+  /// ders is (nder+1) x (p+1), row d = d-th derivative; returns the index
+  /// of the first nonzero basis function.
+  int eval_derivs(double x, int nder, double* ders) const;
+
+  /// Value of the spline with given coefficients (size n) at x.
+  [[nodiscard]] double spline_value(const double* coef, double x) const;
+
+  /// der-th derivative of the spline at x.
+  [[nodiscard]] double spline_deriv(const double* coef, double x, int der) const;
+
+  /// Integral of the spline over the whole domain:
+  /// sum_i c_i (t_{i+p+1} - t_i) / (p + 1).
+  [[nodiscard]] double integrate(const double* coef) const;
+
+  /// Banded collocation matrix of the der-th derivative operator evaluated
+  /// at the Greville points: M(i, j) = N_j^{(der)}(xi_i), in the compact
+  /// shifted-band format with half-bandwidth = degree.
+  [[nodiscard]] banded::compact_banded collocation_matrix(int der) const;
+
+ private:
+  int p_;                        // degree
+  int n_;                        // number of basis functions
+  std::vector<double> breaks_;   // strictly increasing breakpoints
+  std::vector<double> knots_;    // clamped knot vector, n + p + 1 entries
+  std::vector<double> greville_;
+};
+
+}  // namespace pcf::bspline

@@ -1,0 +1,78 @@
+#include "core/mode_solver.hpp"
+
+#include "util/check.hpp"
+
+namespace pcf::core {
+
+mode_solver::mode_solver(const wall_normal_operators& ops, double c,
+                         double k2)
+    : ops_(ops), k2_(k2), helm_(ops.helmholtz(c, k2)), pois_(ops.poisson(k2)) {
+  PCF_REQUIRE(k2 > 0.0, "mode_solver handles nonzero wavenumbers only");
+  const auto n = static_cast<std::size_t>(ops.n());
+  helm_.factorize();
+  pois_.factorize();
+
+  // Influence solutions: homogeneous Helmholtz solves with unit wall values
+  // of phi, then the corresponding v with homogeneous Dirichlet data.
+  phi1_.assign(n, 0.0);
+  phi2_.assign(n, 0.0);
+  phi1_.front() = 1.0;
+  phi2_.back() = 1.0;
+  helm_.solve(phi1_.data());
+  helm_.solve(phi2_.data());
+
+  v1_.resize(n);
+  v2_.resize(n);
+  ops_.to_points(phi1_.data(), v1_.data());
+  ops_.to_points(phi2_.data(), v2_.data());
+  v1_.front() = v1_.back() = 0.0;  // Dirichlet rows of the v system
+  v2_.front() = v2_.back() = 0.0;
+  pois_.solve(v1_.data());
+  pois_.solve(v2_.data());
+
+  // Influence matrix M[l][i] = v_i'(wall_l); invert once.
+  const double m00 = ops_.dspline_lower(v1_.data());
+  const double m01 = ops_.dspline_lower(v2_.data());
+  const double m10 = ops_.dspline_upper(v1_.data());
+  const double m11 = ops_.dspline_upper(v2_.data());
+  const double det = m00 * m11 - m01 * m10;
+  PCF_REQUIRE(det != 0.0, "singular influence matrix");
+  minv_[0][0] = m11 / det;
+  minv_[0][1] = -m01 / det;
+  minv_[1][0] = -m10 / det;
+  minv_[1][1] = m00 / det;
+}
+
+void mode_solver::solve_dirichlet(cplx* rhs) const {
+  const auto n = static_cast<std::size_t>(ops_.n());
+  rhs[0] = cplx{0.0, 0.0};
+  rhs[n - 1] = cplx{0.0, 0.0};
+  helm_.solve(rhs);
+}
+
+void mode_solver::solve_phi_v(cplx* rhs_phi, cplx* c_phi, cplx* c_v) const {
+  const auto n = static_cast<std::size_t>(ops_.n());
+  // Particular solution with phi(+-1) = 0.
+  rhs_phi[0] = cplx{0.0, 0.0};
+  rhs_phi[n - 1] = cplx{0.0, 0.0};
+  for (std::size_t i = 0; i < n; ++i) c_phi[i] = rhs_phi[i];
+  helm_.solve(c_phi);
+
+  // v particular: (A2 - k2 A0) c_v = phi(points), v(+-1) = 0.
+  ops_.to_points(c_phi, c_v);
+  c_v[0] = cplx{0.0, 0.0};
+  c_v[n - 1] = cplx{0.0, 0.0};
+  pois_.solve(c_v);
+
+  // Influence correction so that v'(+-1) = 0.
+  const cplx rl = -ops_.dspline_lower(c_v);
+  const cplx ru = -ops_.dspline_upper(c_v);
+  const cplx a1 = minv_[0][0] * rl + minv_[0][1] * ru;
+  const cplx a2 = minv_[1][0] * rl + minv_[1][1] * ru;
+  for (std::size_t i = 0; i < n; ++i) {
+    c_phi[i] += a1 * phi1_[i] + a2 * phi2_[i];
+    c_v[i] += a1 * v1_[i] + a2 * v2_[i];
+  }
+}
+
+}  // namespace pcf::core

@@ -1,0 +1,56 @@
+// Per-wavenumber implicit solves of the KMM formulation.
+//
+// Each RK substep, for each Fourier mode (kx, kz) != (0, 0), three banded
+// two-point boundary value problems are solved (paper Section 2.1):
+//
+//   [A0 - b nu dt (A2 - k2 A0)] c_omega = R_omega,   omega(+-1) = 0
+//   [A0 - b nu dt (A2 - k2 A0)] c_phi   = R_phi,     phi BCs via influence
+//   [A2 - k2 A0] c_v = phi(points),                  v(+-1) = 0
+//
+// The no-slip conditions v'(+-1) = 0 cannot be imposed on the second-order
+// phi system directly; the classical influence (Green's function) matrix
+// method is used: two homogeneous Helmholtz solutions with unit wall values
+// of phi are combined with the particular solution so that v' vanishes at
+// both walls.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "core/operators.hpp"
+
+namespace pcf::core {
+
+/// Solver for one wavenumber pair at one implicit coefficient. Assembles
+/// and factorizes on construction; solve() may then be applied to any
+/// number of right-hand sides (it is reused for omega and phi).
+class mode_solver {
+ public:
+  /// @param ops   shared wall-normal operators
+  /// @param c     implicit coefficient beta_i * nu * dt
+  /// @param k2    kx^2 + kz^2 (> 0)
+  mode_solver(const wall_normal_operators& ops, double c, double k2);
+
+  /// Solve the Helmholtz system with homogeneous Dirichlet data already
+  /// placed in rows 0 / n-1 of rhs (in place; rhs -> spline coefficients).
+  void solve_dirichlet(cplx* rhs) const;
+
+  /// Advance phi and recover v with the influence-matrix correction:
+  /// on input rhs_phi holds the interior right-hand side (rows 0 / n-1 are
+  /// overwritten); outputs are spline coefficient vectors c_phi, c_v
+  /// satisfying (A2 - k2 A0) c_v = phi, v(+-1) = v'(+-1) = 0.
+  void solve_phi_v(cplx* rhs_phi, cplx* c_phi, cplx* c_v) const;
+
+  [[nodiscard]] double k2() const { return k2_; }
+
+ private:
+  const wall_normal_operators& ops_;
+  double k2_;
+  banded::compact_banded helm_;  // factored Helmholtz operator
+  banded::compact_banded pois_;  // factored (A2 - k2 A0)
+  // Influence solutions and the 2x2 inverse influence matrix.
+  std::vector<double> phi1_, phi2_, v1_, v2_;
+  double minv_[2][2] = {{0, 0}, {0, 0}};
+};
+
+}  // namespace pcf::core

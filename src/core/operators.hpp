@@ -1,0 +1,86 @@
+// Wall-normal collocation operators shared by every Fourier mode.
+//
+// The y direction is represented with degree-7 B-splines collocated at
+// Greville points (paper Section 2.1). Every wall-normal operation in the
+// DNS is one of three banded matrices built here:
+//   A0 (interpolation: values at points from spline coefficients),
+//   A1 (first derivative), A2 (second derivative),
+// plus Helmholtz systems assembled from them per wavenumber.
+#pragma once
+
+#include <complex>
+#include <memory>
+
+#include "banded/compact.hpp"
+#include "bspline/bspline.hpp"
+
+namespace pcf::core {
+
+using cplx = std::complex<double>;
+
+class wall_normal_operators {
+ public:
+  /// ny = number of basis functions (collocation points); the spline space
+  /// has ny - degree knot intervals, stretched toward the walls.
+  wall_normal_operators(int ny, int degree, double stretch);
+
+  [[nodiscard]] const bspline::basis& b() const { return basis_; }
+  [[nodiscard]] int n() const { return basis_.size(); }
+  [[nodiscard]] int degree() const { return basis_.degree(); }
+  [[nodiscard]] const std::vector<double>& points() const {
+    return basis_.greville();
+  }
+
+  [[nodiscard]] const banded::compact_banded& A0() const { return a0_; }
+  [[nodiscard]] const banded::compact_banded& A1() const { return a1_; }
+  [[nodiscard]] const banded::compact_banded& A2() const { return a2_; }
+
+  /// Interpolation: overwrite point values with spline coefficients
+  /// (solves A0 c = f). Complex or real lines.
+  template <class S>
+  void to_coefficients(S* line) const {
+    a0_lu_.solve(line);
+  }
+
+  /// values[i] = spline(points[i]) from coefficients (A0 apply).
+  template <class S>
+  void to_points(const S* coef, S* values) const {
+    a0_.apply(coef, values);
+  }
+
+  /// First/second derivative values at the collocation points.
+  template <class S>
+  void deriv1_points(const S* coef, S* values) const {
+    a1_.apply(coef, values);
+  }
+  template <class S>
+  void deriv2_points(const S* coef, S* values) const {
+    a2_.apply(coef, values);
+  }
+
+  /// Derivative of the spline at the walls (for the influence matrix).
+  [[nodiscard]] double dspline_lower(const double* coef) const;
+  [[nodiscard]] double dspline_upper(const double* coef) const;
+  [[nodiscard]] cplx dspline_lower(const cplx* coef) const;
+  [[nodiscard]] cplx dspline_upper(const cplx* coef) const;
+
+  /// Assemble M = A0 - c (A2 - k2 A0) over the interior rows, with
+  /// identity boundary rows (Dirichlet at the clamped ends). This is the
+  /// operator of paper equation (3) with c = beta_i nu dt.
+  [[nodiscard]] banded::compact_banded helmholtz(double c, double k2) const;
+
+  /// Assemble M = A2 - k2 A0 with identity boundary rows — the operator of
+  /// paper equation (4) used to recover v from phi.
+  [[nodiscard]] banded::compact_banded poisson(double k2) const;
+
+  /// y = [A0 + c (A2 - k2 A0)] x — the explicit side of the IMEX substep.
+  void apply_rhs_operator(double c, double k2, const cplx* x, cplx* y) const;
+
+ private:
+  bspline::basis basis_;
+  banded::compact_banded a0_, a1_, a2_;
+  banded::compact_banded a0_lu_;  // factored copy of A0
+  std::vector<double> dw_lo_, dw_hi_;  // wall-derivative weight rows
+};
+
+}  // namespace pcf::core

@@ -1,0 +1,83 @@
+#include "core/runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace pcf::core {
+
+double flow_through_time(channel_dns& dns) {
+  const double ub = dns.bulk_velocity();
+  PCF_REQUIRE(ub > 0.0, "flow-through time needs positive bulk velocity");
+  return dns.config().lx / ub;
+}
+
+run_report run_campaign(channel_dns& dns, vmpi::communicator& world,
+                        const run_plan& plan,
+                        const std::function<void(const diag_sample&)>& on_diag) {
+  PCF_REQUIRE(plan.flow_throughs > 0.0, "plan must run forward in time");
+  PCF_REQUIRE(plan.warmup_fraction >= 0.0 && plan.warmup_fraction <= 1.0,
+              "warmup fraction must be in [0, 1]");
+  run_report rep;
+  const double t_ft = flow_through_time(dns);
+  const double t_end = dns.time() + plan.flow_throughs * t_ft;
+  const double t_stats = dns.time() +
+                         plan.warmup_fraction * plan.flow_throughs * t_ft;
+  wall_timer clock;
+
+  while (dns.time() < t_end) {
+    if (plan.max_seconds > 0.0 && clock.seconds() >= plan.max_seconds) {
+      rep.hit_time_budget = true;
+      break;
+    }
+    dns.step();
+    ++rep.steps_run;
+
+    if (dns.time() >= t_stats && plan.stats_every > 0 &&
+        dns.step_count() % plan.stats_every == 0) {
+      dns.accumulate_stats();
+    }
+    if (plan.diag_every > 0 && dns.step_count() % plan.diag_every == 0) {
+      diag_sample d;
+      d.step = dns.step_count();
+      d.time = dns.time();
+      d.bulk_velocity = dns.bulk_velocity();
+      d.kinetic_energy = dns.kinetic_energy();
+      d.wall_shear = dns.wall_shear_stress();
+      d.cfl = dns.cfl();
+      rep.series.push_back(d);
+      if (on_diag) on_diag(d);
+      if (plan.stop_on_nonfinite && !std::isfinite(d.kinetic_energy)) {
+        rep.went_nonfinite = true;
+        break;
+      }
+    }
+    if (plan.checkpoint_every > 0 &&
+        dns.step_count() % plan.checkpoint_every == 0) {
+      PCF_REQUIRE(!plan.checkpoint_path.empty(),
+                  "checkpoint cadence set without a path");
+      dns.save_checkpoint(plan.checkpoint_path + "." +
+                          std::to_string(world.rank()));
+      ++rep.checkpoints_written;
+    }
+  }
+  rep.profiles = dns.stats();
+  return rep;
+}
+
+void write_series_csv(const std::string& path,
+                      const std::vector<diag_sample>& series) {
+  std::ofstream os(path);
+  PCF_REQUIRE(os.good(), "cannot open series output file");
+  os << "step,time,bulk_velocity,kinetic_energy,wall_shear,cfl\n";
+  os.precision(12);
+  for (const auto& d : series)
+    os << d.step << ',' << d.time << ',' << d.bulk_velocity << ','
+       << d.kinetic_energy << ',' << d.wall_shear << ',' << d.cfl << '\n';
+  PCF_REQUIRE(os.good(), "series write failed");
+}
+
+}  // namespace pcf::core

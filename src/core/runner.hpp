@@ -1,0 +1,62 @@
+// Production-run orchestration (paper Section 6).
+//
+// The paper's science campaign runs ~13 flow-throughs (~650,000 steps) in
+// checkpointed segments, discarding the transient before accumulating
+// statistics. This runner packages that workflow: it advances the DNS in
+// segments, samples statistics on a cadence after a warmup time, writes
+// periodic checkpoints, records a time series of the global diagnostics,
+// and can stop on a wall-clock budget.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/simulation.hpp"
+
+namespace pcf::core {
+
+struct run_plan {
+  double flow_throughs = 1.0;    // run length in bulk flow-through times
+  double warmup_fraction = 0.5;  // fraction of the run before statistics
+  long stats_every = 10;         // steps between statistics samples
+  long diag_every = 50;          // steps between diagnostics records
+  long checkpoint_every = 0;     // steps between checkpoints (0 = none)
+  std::string checkpoint_path;   // prefix; ".<rank>" is appended
+  double max_seconds = 0.0;      // wall-clock budget (0 = unlimited)
+  bool stop_on_nonfinite = true;  // halt if the energy goes non-finite
+};
+
+/// One row of the diagnostics time series.
+struct diag_sample {
+  long step = 0;
+  double time = 0.0;
+  double bulk_velocity = 0.0;
+  double kinetic_energy = 0.0;
+  double wall_shear = 0.0;
+  double cfl = 0.0;
+};
+
+struct run_report {
+  long steps_run = 0;
+  bool hit_time_budget = false;
+  bool went_nonfinite = false;  // simulation blew up and was halted
+  long checkpoints_written = 0;
+  std::vector<diag_sample> series;
+  profile_data profiles;   // accumulated statistics (may be empty)
+};
+
+/// Estimate the flow-through time Lx / U_bulk from the current state.
+double flow_through_time(channel_dns& dns);
+
+/// Execute the plan. `on_diag` (optional) is called with each diagnostics
+/// sample as it is recorded (for logging). Collective.
+run_report run_campaign(channel_dns& dns, vmpi::communicator& world,
+                        const run_plan& plan,
+                        const std::function<void(const diag_sample&)>& on_diag = {});
+
+/// Write the diagnostics series as CSV.
+void write_series_csv(const std::string& path,
+                      const std::vector<diag_sample>& series);
+
+}  // namespace pcf::core

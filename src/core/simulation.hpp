@@ -1,0 +1,183 @@
+// Turbulent channel flow DNS (paper Sections 2 and 6).
+//
+// Incompressible Navier-Stokes in the Kim-Moin-Moser wall-normal
+// velocity/vorticity formulation: Fourier-Galerkin in x and z, B-spline
+// collocation in y, low-storage RK3 IMEX time advance (Spalart-Moser-Rogers
+// 1991), 3/2-rule dealiased pseudo-spectral nonlinear terms, and the
+// customized pencil transpose/FFT kernel for the spectral <-> physical
+// moves.
+//
+// Nondimensionalization: channel half-width delta = 1, friction velocity
+// u_tau = 1. The flow is driven by a constant mean pressure gradient
+// dP/dx = -1, so nu = 1 / Re_tau and the statistically steady state has
+// wall shear stress 1 by construction.
+#pragma once
+
+#include <complex>
+#include <functional>
+#include <memory>
+
+#include "core/operators.hpp"
+#include "core/statistics.hpp"
+#include "pencil/pencil.hpp"
+#include "vmpi/vmpi.hpp"
+
+namespace pcf::core {
+
+struct channel_config {
+  // Resolution: nx/nz Fourier modes (nx % 4 == 0, nz % 2 == 0), ny B-spline
+  // basis functions of the given degree.
+  std::size_t nx = 32;
+  std::size_t nz = 32;
+  int ny = 33;
+  int degree = 7;
+  double stretch = 2.0;  // tanh clustering of wall-normal breakpoints
+
+  // Domain (channel half-width = 1). Defaults are the classical
+  // Re_tau = 180 box of Kim-Moin-Moser / Moser-Kim-Mansour.
+  double lx = 4.0 * 3.14159265358979323846;
+  double lz = 4.0 * 3.14159265358979323846 / 3.0;
+
+  double re_tau = 180.0;  // nu = 1 / re_tau
+  double dt = 2e-4;       // fixed time step (friction units)
+  double forcing = 1.0;   // mean pressure gradient -dP/dx (1 = friction units)
+
+  // Process grid and on-node threading.
+  int pa = 1;
+  int pb = 1;
+  int fft_threads = 1;
+  int reorder_threads = 1;
+  int advance_threads = 1;
+
+  // Cache the factored Helmholtz/Poisson systems and influence vectors per
+  // (wavenumber, substep). Exact same results; trades memory for the
+  // repeated factorizations (ablation: bench_ablation_solver_cache).
+  bool cache_solvers = true;
+};
+
+/// One-dimensional energy spectra at one wall-normal location.
+struct spectrum_data {
+  std::vector<double> euu, evv, eww;  // indexed by wavenumber index
+};
+
+/// Section timings of one or more steps (the breakdown of Tables 9-10).
+struct step_timings {
+  double transpose = 0.0;  // communication + on-node reorder
+  double fft = 0.0;
+  double advance = 0.0;    // nonlinear assembly + implicit solves
+  double total = 0.0;
+};
+
+class channel_dns {
+ public:
+  channel_dns(const channel_config& cfg, vmpi::communicator& world);
+  ~channel_dns();
+  channel_dns(const channel_dns&) = delete;
+  channel_dns& operator=(const channel_dns&) = delete;
+
+  [[nodiscard]] const channel_config& config() const;
+  [[nodiscard]] const wall_normal_operators& operators() const;
+  [[nodiscard]] const pencil::decomp& dec() const;
+
+  /// Parabolic Poiseuille profile plus divergence-free perturbations of
+  /// the given amplitude (fraction of the laminar centerline velocity) on
+  /// the low Fourier modes. Deterministic for a given seed.
+  void initialize(double perturbation, std::uint64_t seed = 1);
+
+  /// Advance one full RK3 time step.
+  void step();
+
+  /// Change the time step (invalidates cached implicit solvers).
+  void set_dt(double dt);
+
+  /// Adapt dt each step so the convective CFL tracks `target` (clamped to
+  /// [dt_min, dt_max]); pass target <= 0 to disable. Uses the CFL of the
+  /// previous step, so the controller lags by one step.
+  void set_cfl_target(double target, double dt_min, double dt_max);
+
+  [[nodiscard]] double time() const;
+  [[nodiscard]] long step_count() const;
+  [[nodiscard]] double dt() const;
+
+  // --- diagnostics (collective calls) ------------------------------------
+  /// Bulk (volume-averaged) streamwise velocity.
+  double bulk_velocity();
+  /// Volume-averaged kinetic energy 0.5 <u.u>.
+  double kinetic_energy();
+  /// Max |ikx u + dv/dy + ikz w| over modes and collocation points.
+  double max_divergence();
+  /// Convective CFL number of the last computed physical fields.
+  [[nodiscard]] double cfl() const;
+  /// Wall shear stress d<U>/dy * nu at the lower wall (should approach 1).
+  double wall_shear_stress();
+  /// Volume-averaged viscous dissipation nu <|grad u|^2>, computed
+  /// spectrally. In a statistically steady state this balances the power
+  /// input F * U_bulk; for laminar Poiseuille the balance is exact.
+  double dissipation();
+
+  // --- statistics ----------------------------------------------------------
+  /// Sample the instantaneous velocity field into the running profiles.
+  void accumulate_stats();
+  [[nodiscard]] profile_data stats();
+  void reset_stats();
+
+  /// Copy the instantaneous physical velocity fields (x-pencil layout
+  /// [z_local][y_local][x]) — for visualization (paper Figures 7-8).
+  void physical_velocity(std::vector<double>& u, std::vector<double>& v,
+                         std::vector<double>& w);
+
+  /// Instantaneous spanwise vorticity omega_z = dv/dx - du/dy in physical
+  /// space (same layout) — the quantity of paper Figure 8.
+  void physical_vorticity_z(std::vector<double>& wz);
+
+  /// Instantaneous 1-D energy spectra at collocation point y_index:
+  /// E(kx) summed over kz (streamwise), indexed by the streamwise mode
+  /// 0..nx/2-1. The conjugate (negative-kx) half is counted by the usual
+  /// factor of two; the mean mode is excluded. Collective call.
+  spectrum_data streamwise_spectra(int y_index);
+  /// E(|kz|) summed over kx, indexed 0..nz/2.
+  spectrum_data spanwise_spectra(int y_index);
+
+  // --- state access ---------------------------------------------------------
+  /// Mean streamwise velocity at the collocation points (valid on every
+  /// rank; reduced internally).
+  std::vector<double> mean_profile();
+  /// Replace the mean streamwise profile (values at collocation points;
+  /// must vanish at the walls). No-op on ranks not owning the mean mode.
+  void set_mean_profile(const std::vector<double>& values_at_points);
+  /// Spline coefficients of v-hat / omega-hat for global mode (jx, jz);
+  /// empty if this rank does not own the mode.
+  std::vector<std::complex<double>> mode_v(std::size_t jx, std::size_t jz);
+  std::vector<std::complex<double>> mode_omega(std::size_t jx, std::size_t jz);
+
+  // --- checkpointing ---------------------------------------------------------
+  /// Save the evolved state to a per-rank binary file (call at a step
+  /// boundary; RK3 carries no nonlinear history across steps). Restoring
+  /// requires the same configuration and decomposition.
+  void save_checkpoint(const std::string& path) const;
+  void load_checkpoint(const std::string& path);
+
+  /// Decomposition-independent checkpoint: gathers the global modal state
+  /// and writes one file from rank 0 (collective). load redistributes it
+  /// onto this instance's process grid, so a run saved on P_A x P_B ranks
+  /// restarts on any other grid of the same spectral resolution.
+  void save_checkpoint_global(const std::string& path);
+  void load_checkpoint_global(const std::string& path);
+
+  /// Parallel single-file checkpoint: every rank writes its own modes at
+  /// their global offsets (MPI-IO style — no rank gathers the global
+  /// state, so memory stays O(local) as a production-size run requires).
+  /// The file layout is global, so it is also decomposition-independent.
+  void save_checkpoint_parallel(const std::string& path);
+  void load_checkpoint_parallel(const std::string& path);
+
+  // --- performance ----------------------------------------------------------
+  [[nodiscard]] step_timings timings() const;
+  void reset_timings();
+
+ private:
+  struct impl;
+  std::unique_ptr<impl> impl_;
+};
+
+}  // namespace pcf::core

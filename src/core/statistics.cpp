@@ -1,0 +1,106 @@
+#include "core/statistics.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace pcf::core {
+
+profile_accumulator::profile_accumulator(std::size_t ny_local,
+                                         std::size_t y_offset,
+                                         std::size_t ny_global)
+    : ny_local_(ny_local), y_offset_(y_offset), ny_global_(ny_global) {
+  su_.assign(ny_global, 0.0);
+  sv_.assign(ny_global, 0.0);
+  sw_.assign(ny_global, 0.0);
+  suu_.assign(ny_global, 0.0);
+  svv_.assign(ny_global, 0.0);
+  sww_.assign(ny_global, 0.0);
+  suv_.assign(ny_global, 0.0);
+}
+
+void profile_accumulator::add_sample(const double* u, const double* v,
+                                     const double* w, std::size_t nz_local,
+                                     std::size_t ny_local,
+                                     std::size_t nx_line) {
+  PCF_REQUIRE(ny_local == ny_local_, "layout mismatch");
+  for (std::size_t z = 0; z < nz_local; ++z) {
+    for (std::size_t y = 0; y < ny_local; ++y) {
+      const std::size_t base = (z * ny_local + y) * nx_line;
+      double a = 0, b = 0, c = 0, aa = 0, bb = 0, cc = 0, ab = 0;
+      for (std::size_t x = 0; x < nx_line; ++x) {
+        const double uu = u[base + x], vv = v[base + x], ww = w[base + x];
+        a += uu;
+        b += vv;
+        c += ww;
+        aa += uu * uu;
+        bb += vv * vv;
+        cc += ww * ww;
+        ab += uu * vv;
+      }
+      const std::size_t yg = y_offset_ + y;
+      su_[yg] += a;
+      sv_[yg] += b;
+      sw_[yg] += c;
+      suu_[yg] += aa;
+      svv_[yg] += bb;
+      sww_[yg] += cc;
+      suv_[yg] += ab;
+    }
+  }
+  ++samples_;
+}
+
+profile_data profile_accumulator::finalize(
+    vmpi::communicator& world, const std::vector<double>& y_points,
+    std::size_t points_per_plane) const {
+  PCF_REQUIRE(y_points.size() == ny_global_, "y grid size mismatch");
+  const std::size_t n = ny_global_;
+  std::vector<double> local(7 * n), global(7 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    local[0 * n + i] = su_[i];
+    local[1 * n + i] = sv_[i];
+    local[2 * n + i] = sw_[i];
+    local[3 * n + i] = suu_[i];
+    local[4 * n + i] = svv_[i];
+    local[5 * n + i] = sww_[i];
+    local[6 * n + i] = suv_[i];
+  }
+  world.allreduce_sum(local.data(), global.data(), local.size());
+
+  profile_data p;
+  p.y = y_points;
+  p.samples = samples_;
+  p.u.resize(n);
+  p.uu.resize(n);
+  p.vv.resize(n);
+  p.ww.resize(n);
+  p.uv.resize(n);
+  const double norm =
+      1.0 / (static_cast<double>(points_per_plane) *
+             static_cast<double>(std::max<long>(samples_, 1)));
+  for (std::size_t i = 0; i < n; ++i) {
+    const double mu = global[0 * n + i] * norm;
+    const double mv = global[1 * n + i] * norm;
+    const double mw = global[2 * n + i] * norm;
+    p.u[i] = mu;
+    p.uu[i] = global[3 * n + i] * norm - mu * mu;
+    p.vv[i] = global[4 * n + i] * norm - mv * mv;
+    p.ww[i] = global[5 * n + i] * norm - mw * mw;
+    p.uv[i] = global[6 * n + i] * norm - mu * mv;
+  }
+  return p;
+}
+
+void profile_accumulator::reset() {
+  std::fill(su_.begin(), su_.end(), 0.0);
+  std::fill(sv_.begin(), sv_.end(), 0.0);
+  std::fill(sw_.begin(), sw_.end(), 0.0);
+  std::fill(suu_.begin(), suu_.end(), 0.0);
+  std::fill(svv_.begin(), svv_.end(), 0.0);
+  std::fill(sww_.begin(), sww_.end(), 0.0);
+  std::fill(suv_.begin(), suv_.end(), 0.0);
+  samples_ = 0;
+}
+
+}  // namespace pcf::core

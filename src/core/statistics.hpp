@@ -1,0 +1,53 @@
+// Turbulence statistics: wall-normal profiles of the mean velocity and the
+// Reynolds stresses, accumulated as time averages over physical-space
+// samples (paper Section 6, Figures 5-6).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "vmpi/vmpi.hpp"
+
+namespace pcf::core {
+
+/// Gathered profiles, one entry per wall-normal collocation point.
+struct profile_data {
+  std::vector<double> y;     // collocation points in [-1, 1]
+  std::vector<double> u;     // <u>
+  std::vector<double> uu;    // <u'u'>
+  std::vector<double> vv;    // <v'v'>
+  std::vector<double> ww;    // <w'w'>
+  std::vector<double> uv;    // <u'v'>  (turbulent shear stress is -<u'v'>)
+  long samples = 0;
+};
+
+/// Accumulates x-z plane sums of velocity moments on the local x-pencil
+/// block; finalize() reduces across ranks and converts to averages.
+class profile_accumulator {
+ public:
+  profile_accumulator(std::size_t ny_local, std::size_t y_offset,
+                      std::size_t ny_global);
+
+  /// Add one sample: u, v, w are x-pencil physical fields laid out as
+  /// [z_local][y_local][x] with the given extents.
+  void add_sample(const double* u, const double* v, const double* w,
+                  std::size_t nz_local, std::size_t ny_local,
+                  std::size_t nx_line);
+
+  /// Reduce over the world communicator; `points_per_plane` is the global
+  /// number of x-z points per y level. Returns mean profiles; the
+  /// fluctuation moments are central (mean subtracted).
+  [[nodiscard]] profile_data finalize(vmpi::communicator& world,
+                                      const std::vector<double>& y_points,
+                                      std::size_t points_per_plane) const;
+
+  [[nodiscard]] long samples() const { return samples_; }
+  void reset();
+
+ private:
+  std::size_t ny_local_, y_offset_, ny_global_;
+  std::vector<double> su_, sv_, sw_, suu_, svv_, sww_, suv_;
+  long samples_ = 0;
+};
+
+}  // namespace pcf::core

@@ -1,0 +1,309 @@
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "fft/fft.hpp"
+#include "util/check.hpp"
+#include "util/counters.hpp"
+
+namespace pcf::fft {
+
+namespace {
+
+constexpr std::size_t kMaxButterflyRadix = 31;
+
+/// Scratch shared by in-place execution and the Bluestein path; one per
+/// thread so plan execution stays thread-safe.
+std::vector<cplx>& tls_scratch() {
+  static thread_local std::vector<cplx> s;
+  return s;
+}
+
+double twopi() { return 2.0 * std::numbers::pi; }
+
+}  // namespace
+
+std::vector<std::size_t> factorize(std::size_t n) {
+  PCF_REQUIRE(n >= 1, "factorize requires n >= 1");
+  std::vector<std::size_t> f;
+  for (std::size_t p = 2; p * p <= n; p += (p == 2 ? 1 : 2)) {
+    while (n % p == 0) {
+      f.push_back(p);
+      n /= p;
+    }
+  }
+  if (n > 1) f.push_back(n);
+  return f;
+}
+
+bool is_smooth(std::size_t n) {
+  auto f = factorize(n);
+  return f.empty() || f.back() <= kMaxButterflyRadix;
+}
+
+void dft_naive(const cplx* in, cplx* out, std::size_t n, int sign) {
+  PCF_REQUIRE(sign == 1 || sign == -1, "sign must be +1 or -1");
+  for (std::size_t k = 0; k < n; ++k) {
+    cplx acc{0.0, 0.0};
+    for (std::size_t j = 0; j < n; ++j) {
+      // Reduce j*k mod n before forming the angle to preserve accuracy.
+      const double ang = sign * twopi() * static_cast<double>((j * k) % n) /
+                         static_cast<double>(n);
+      acc += in[j] * std::polar(1.0, ang);
+    }
+    out[k] = acc;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mixed-radix engine
+// ---------------------------------------------------------------------------
+
+struct stage {
+  std::size_t n = 0;          // transform length at this depth
+  std::size_t r = 0;          // radix applied at this depth
+  std::size_t m = 0;          // n / r
+  std::vector<cplx> tw;       // twiddles, layout tw[k2 * r + q] = w_n^{q k2}
+};
+
+struct c2c_plan::impl {
+  std::size_t n = 0;
+  direction dir_ = direction::forward;
+  double sign = -1.0;  // -1 forward, +1 inverse
+  std::vector<stage> stages;
+  // Root tables per distinct radix: roots[r][(q*k) % r] = w_r^{q k}.
+  std::vector<std::vector<cplx>> radix_roots;  // indexed by radix value
+  double flops = 0.0;
+
+  // Bluestein state (only when n is not smooth).
+  bool bluestein = false;
+  std::size_t bl_m = 0;                 // padded power-of-two length
+  std::vector<cplx> bl_chirp;           // a_j = exp(sign i pi j^2 / n)
+  std::vector<cplx> bl_bhat;            // FFT_M of the chirp filter
+  std::unique_ptr<c2c_plan> bl_fwd, bl_inv;
+
+  void build(std::size_t len, direction d);
+  void build_mixed_radix();
+  void build_bluestein();
+  void exec(std::size_t depth, const cplx* in, std::size_t istride,
+            cplx* out) const;
+  void exec_bluestein(const cplx* in, cplx* out) const;
+  void run(const cplx* in, cplx* out) const;
+
+  const cplx* roots(std::size_t r) const { return radix_roots[r].data(); }
+};
+
+void c2c_plan::impl::build(std::size_t len, direction d) {
+  n = len;
+  dir_ = d;
+  sign = (d == direction::forward) ? -1.0 : 1.0;
+  flops = (n > 1)
+              ? 5.0 * static_cast<double>(n) * std::log2(static_cast<double>(n))
+              : 0.0;
+  if (n <= 1) return;
+  if (is_smooth(n))
+    build_mixed_radix();
+  else
+    build_bluestein();
+}
+
+void c2c_plan::impl::build_mixed_radix() {
+  // Merge prime factors: pairs of 2s become radix-4 stages (the hot path
+  // for the power-of-two-rich grid sizes used in the DNS).
+  auto primes = factorize(n);
+  std::vector<std::size_t> radices;
+  std::size_t twos = 0;
+  for (std::size_t p : primes) {
+    if (p == 2)
+      ++twos;
+    else
+      radices.push_back(p);
+  }
+  while (twos >= 2) {
+    radices.push_back(4);
+    twos -= 2;
+  }
+  if (twos == 1) radices.push_back(2);
+  std::sort(radices.begin(), radices.end(), std::greater<>());
+
+  radix_roots.assign(kMaxButterflyRadix + 1, {});
+  std::size_t rem = n;
+  for (std::size_t r : radices) {
+    stage st;
+    st.n = rem;
+    st.r = r;
+    st.m = rem / r;
+    st.tw.resize(rem);
+    for (std::size_t k2 = 0; k2 < st.m; ++k2) {
+      for (std::size_t q = 0; q < r; ++q) {
+        const double ang = sign * twopi() *
+                           static_cast<double>((q * k2) % st.n) /
+                           static_cast<double>(st.n);
+        st.tw[k2 * r + q] = std::polar(1.0, ang);
+      }
+    }
+    if (radix_roots[r].empty()) {
+      radix_roots[r].resize(r);
+      for (std::size_t q = 0; q < r; ++q)
+        radix_roots[r][q] =
+            std::polar(1.0, sign * twopi() * static_cast<double>(q) /
+                                static_cast<double>(r));
+    }
+    stages.push_back(std::move(st));
+    rem /= r;
+  }
+  PCF_ASSERT(rem == 1);
+}
+
+void c2c_plan::impl::build_bluestein() {
+  bluestein = true;
+  bl_m = 1;
+  while (bl_m < 2 * n - 1) bl_m <<= 1;
+  bl_fwd = std::make_unique<c2c_plan>(bl_m, direction::forward);
+  bl_inv = std::make_unique<c2c_plan>(bl_m, direction::inverse);
+
+  bl_chirp.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    // j^2 mod 2n keeps the argument small for accuracy.
+    const std::size_t j2 = (j * j) % (2 * n);
+    bl_chirp[j] = std::polar(
+        1.0, sign * std::numbers::pi * static_cast<double>(j2) /
+                 static_cast<double>(n));
+  }
+  std::vector<cplx> b(bl_m, cplx{0.0, 0.0});
+  for (std::size_t j = 0; j < n; ++j) {
+    const cplx c = std::conj(bl_chirp[j]);
+    b[j] = c;
+    if (j != 0) b[bl_m - j] = c;
+  }
+  bl_bhat.resize(bl_m);
+  bl_fwd->execute(b.data(), bl_bhat.data());
+}
+
+namespace {
+
+/// Column butterfly: y[q] live at base[q*colstride], pre-twiddled values in
+/// t[]. Specialized for radix 2/3/4; table-driven for other small primes.
+inline void butterfly(cplx* base, std::size_t colstride, const cplx* t,
+                      std::size_t r, const cplx* roots, double sign) {
+  switch (r) {
+    case 2: {
+      const cplx a = t[0], b = t[1];
+      base[0] = a + b;
+      base[colstride] = a - b;
+      return;
+    }
+    case 3: {
+      const double s3 = sign * 0.8660254037844386467637231707529362;  // sqrt(3)/2
+      const cplx u = t[1] + t[2];
+      const cplx v = t[1] - t[2];
+      const cplx w = t[0] - 0.5 * u;
+      const cplx iv{-s3 * v.imag(), s3 * v.real()};  // i * s3 * v
+      base[0] = t[0] + u;
+      base[colstride] = w + iv;
+      base[2 * colstride] = w - iv;
+      return;
+    }
+    case 4: {
+      const cplx a = t[0] + t[2];
+      const cplx b = t[0] - t[2];
+      const cplx c = t[1] + t[3];
+      const cplx d = t[1] - t[3];
+      // forward (sign=-1): X1 = b - i d, X3 = b + i d
+      const cplx id{-sign * d.imag(), sign * d.real()};  // sign * i * d
+      base[0] = a + c;
+      base[colstride] = b + id;
+      base[2 * colstride] = a - c;
+      base[3 * colstride] = b - id;
+      return;
+    }
+    default: {
+      for (std::size_t k = 0; k < r; ++k) {
+        cplx acc = t[0];
+        for (std::size_t q = 1; q < r; ++q) acc += t[q] * roots[(q * k) % r];
+        base[k * colstride] = acc;
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+void c2c_plan::impl::exec(std::size_t depth, const cplx* in,
+                          std::size_t istride, cplx* out) const {
+  const stage& st = stages[depth];
+  const std::size_t r = st.r;
+  const std::size_t m = st.m;
+  cplx t[kMaxButterflyRadix + 1];
+
+  if (m == 1) {
+    for (std::size_t q = 0; q < r; ++q) t[q] = in[q * istride];
+    butterfly(out, 1, t, r, roots(r), sign);
+    return;
+  }
+
+  for (std::size_t q = 0; q < r; ++q)
+    exec(depth + 1, in + q * istride, istride * r, out + q * m);
+
+  for (std::size_t k2 = 0; k2 < m; ++k2) {
+    const cplx* tw = &st.tw[k2 * r];
+    cplx* col = out + k2;
+    t[0] = col[0];
+    for (std::size_t q = 1; q < r; ++q) t[q] = col[q * m] * tw[q];
+    butterfly(col, m, t, r, roots(r), sign);
+  }
+}
+
+void c2c_plan::impl::exec_bluestein(const cplx* in, cplx* out) const {
+  std::vector<cplx> u(bl_m, cplx{0.0, 0.0});
+  std::vector<cplx> uhat(bl_m);
+  for (std::size_t j = 0; j < n; ++j) u[j] = in[j] * bl_chirp[j];
+  bl_fwd->execute(u.data(), uhat.data());
+  for (std::size_t j = 0; j < bl_m; ++j) uhat[j] *= bl_bhat[j];
+  bl_inv->execute(uhat.data(), u.data());
+  const double inv_m = 1.0 / static_cast<double>(bl_m);
+  for (std::size_t k = 0; k < n; ++k) out[k] = u[k] * inv_m * bl_chirp[k];
+}
+
+void c2c_plan::impl::run(const cplx* in, cplx* out) const {
+  if (n == 0) return;
+  if (n == 1) {
+    out[0] = in[0];
+    return;
+  }
+  if (bluestein) {
+    exec_bluestein(in, out);
+  } else if (in == out) {
+    auto& s = tls_scratch();
+    if (s.size() < n) s.resize(n);
+    std::copy_n(in, n, s.data());
+    exec(0, s.data(), 1, out);
+  } else {
+    exec(0, in, 1, out);
+  }
+  counters::add_flops(static_cast<std::uint64_t>(flops));
+  counters::add_read(n * sizeof(cplx));
+  counters::add_written(n * sizeof(cplx));
+}
+
+c2c_plan::c2c_plan(std::size_t n, direction dir) : impl_(new impl) {
+  impl_->build(n, dir);
+}
+c2c_plan::~c2c_plan() = default;
+c2c_plan::c2c_plan(c2c_plan&&) noexcept = default;
+c2c_plan& c2c_plan::operator=(c2c_plan&&) noexcept = default;
+
+std::size_t c2c_plan::size() const { return impl_->n; }
+direction c2c_plan::dir() const { return impl_->dir_; }
+double c2c_plan::flops_per_execute() const { return impl_->flops; }
+
+void c2c_plan::execute(const cplx* in, cplx* out) const { impl_->run(in, out); }
+
+void c2c_plan::execute_many(const cplx* in, std::size_t in_stride, cplx* out,
+                            std::size_t out_stride, std::size_t count) const {
+  for (std::size_t b = 0; b < count; ++b)
+    impl_->run(in + b * in_stride, out + b * out_stride);
+}
+
+}  // namespace pcf::fft

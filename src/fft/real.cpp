@@ -1,0 +1,137 @@
+// Real <-> complex transforms via the even/odd packing trick: a length-n
+// real transform is computed with one length-n/2 complex transform plus an
+// O(n) unpack. This is the storage layout the paper's kernel exploits when
+// it drops the Nyquist mode (Section 4.4).
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "fft/fft.hpp"
+#include "util/check.hpp"
+
+namespace pcf::fft {
+
+namespace {
+
+std::vector<cplx>& tls_scratch() {
+  static thread_local std::vector<cplx> s;
+  return s;
+}
+
+/// Unit roots e^{sign i 2 pi k / n} for k = 0..n/2.
+std::vector<cplx> half_roots(std::size_t n, double sign) {
+  std::vector<cplx> w(n / 2 + 1);
+  for (std::size_t k = 0; k <= n / 2; ++k)
+    w[k] = std::polar(1.0, sign * 2.0 * std::numbers::pi *
+                               static_cast<double>(k) /
+                               static_cast<double>(n));
+  return w;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// r2c
+// ---------------------------------------------------------------------------
+
+struct r2c_plan::impl {
+  std::size_t n = 0;
+  c2c_plan half;        // length n/2 forward transform
+  std::vector<cplx> w;  // e^{-2 pi i k / n}
+
+  explicit impl(std::size_t len)
+      : n(len), half(len / 2, direction::forward), w(half_roots(len, -1.0)) {
+    PCF_REQUIRE(len >= 2 && len % 2 == 0, "r2c length must be even");
+  }
+
+  void run(const double* in, cplx* out) const {
+    const std::size_t h = n / 2;
+    auto& s = tls_scratch();
+    if (s.size() < 2 * h) s.resize(2 * h);
+    cplx* z = s.data();
+    cplx* Z = s.data() + h;
+    for (std::size_t j = 0; j < h; ++j) z[j] = cplx{in[2 * j], in[2 * j + 1]};
+    half.execute(z, Z);
+    // Unpack: X_k = E_k + w^k O_k with
+    //   E_k = (Z_k + conj(Z_{h-k})) / 2,  O_k = -i (Z_k - conj(Z_{h-k})) / 2.
+    for (std::size_t k = 0; k <= h; ++k) {
+      const cplx zk = Z[k % h];
+      const cplx zmk = std::conj(Z[(h - k) % h]);
+      const cplx e = 0.5 * (zk + zmk);
+      const cplx d = 0.5 * (zk - zmk);
+      const cplx o{d.imag(), -d.real()};  // -i * d
+      out[k] = e + w[k] * o;
+    }
+  }
+};
+
+r2c_plan::r2c_plan(std::size_t n) : impl_(new impl(n)) {}
+r2c_plan::~r2c_plan() = default;
+r2c_plan::r2c_plan(r2c_plan&&) noexcept = default;
+r2c_plan& r2c_plan::operator=(r2c_plan&&) noexcept = default;
+std::size_t r2c_plan::size() const { return impl_->n; }
+
+void r2c_plan::execute(const double* in, cplx* out) const {
+  impl_->run(in, out);
+}
+
+void r2c_plan::execute_many(const double* in, std::size_t in_stride, cplx* out,
+                            std::size_t out_stride, std::size_t count) const {
+  for (std::size_t b = 0; b < count; ++b)
+    impl_->run(in + b * in_stride, out + b * out_stride);
+}
+
+// ---------------------------------------------------------------------------
+// c2r
+// ---------------------------------------------------------------------------
+
+struct c2r_plan::impl {
+  std::size_t n = 0;
+  c2c_plan half;        // length n/2 inverse transform
+  std::vector<cplx> w;  // e^{+2 pi i k / n}
+
+  explicit impl(std::size_t len)
+      : n(len), half(len / 2, direction::inverse), w(half_roots(len, 1.0)) {
+    PCF_REQUIRE(len >= 2 && len % 2 == 0, "c2r length must be even");
+  }
+
+  void run(const cplx* in, double* out) const {
+    const std::size_t h = n / 2;
+    auto& s = tls_scratch();
+    if (s.size() < 2 * h) s.resize(2 * h);
+    cplx* Z = s.data();
+    cplx* z = s.data() + h;
+    // Repack: Z_k = E_k + i O_k (scale 2 relative to the forward E/O) so
+    // that r2c followed by c2r scales by exactly n, matching FFTW.
+    for (std::size_t k = 0; k < h; ++k) {
+      const cplx xk = in[k];
+      const cplx xmk = std::conj(in[h - k]);
+      const cplx e = xk + xmk;
+      const cplx o = w[k] * (xk - xmk);
+      Z[k] = cplx{e.real() - o.imag(), e.imag() + o.real()};  // e + i*o
+    }
+    half.execute(Z, z);
+    for (std::size_t j = 0; j < h; ++j) {
+      out[2 * j] = z[j].real();
+      out[2 * j + 1] = z[j].imag();
+    }
+  }
+};
+
+c2r_plan::c2r_plan(std::size_t n) : impl_(new impl(n)) {}
+c2r_plan::~c2r_plan() = default;
+c2r_plan::c2r_plan(c2r_plan&&) noexcept = default;
+c2r_plan& c2r_plan::operator=(c2r_plan&&) noexcept = default;
+std::size_t c2r_plan::size() const { return impl_->n; }
+
+void c2r_plan::execute(const cplx* in, double* out) const {
+  impl_->run(in, out);
+}
+
+void c2r_plan::execute_many(const cplx* in, std::size_t in_stride, double* out,
+                            std::size_t out_stride, std::size_t count) const {
+  for (std::size_t b = 0; b < count; ++b)
+    impl_->run(in + b * in_stride, out + b * out_stride);
+}
+
+}  // namespace pcf::fft

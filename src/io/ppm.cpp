@@ -1,0 +1,47 @@
+#include "io/ppm.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "util/check.hpp"
+
+namespace pcf::io {
+
+void diverging_rgb(double v, double lo, double hi, unsigned char rgb[3]) {
+  double t = hi > lo ? (v - lo) / (hi - lo) : 0.5;
+  t = std::clamp(t, 0.0, 1.0);
+  // Blue (0,0,1) -> white (1,1,1) -> red (1,0,0).
+  double r, g, b;
+  if (t < 0.5) {
+    const double s = 2.0 * t;
+    r = s;
+    g = s;
+    b = 1.0;
+  } else {
+    const double s = 2.0 * (t - 0.5);
+    r = 1.0;
+    g = 1.0 - s;
+    b = 1.0 - s;
+  }
+  rgb[0] = static_cast<unsigned char>(255.0 * r + 0.5);
+  rgb[1] = static_cast<unsigned char>(255.0 * g + 0.5);
+  rgb[2] = static_cast<unsigned char>(255.0 * b + 0.5);
+}
+
+void write_ppm(const std::string& path, const std::vector<double>& data,
+               std::size_t width, std::size_t height, double lo, double hi) {
+  PCF_REQUIRE(data.size() == width * height, "data size mismatch");
+  std::ofstream os(path, std::ios::binary);
+  PCF_REQUIRE(os.good(), "cannot open output file");
+  os << "P6\n" << width << ' ' << height << "\n255\n";
+  std::vector<unsigned char> row(3 * width);
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x)
+      diverging_rgb(data[y * width + x], lo, hi, &row[3 * x]);
+    os.write(reinterpret_cast<const char*>(row.data()),
+             static_cast<std::streamsize>(row.size()));
+  }
+  PCF_REQUIRE(os.good(), "write failed");
+}
+
+}  // namespace pcf::io

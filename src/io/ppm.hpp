@@ -1,0 +1,20 @@
+// PPM image output for flow visualization (paper Figures 7-8).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pcf::io {
+
+/// Write a scalar field as a binary PPM image using a blue-white-red
+/// diverging colormap centered on (lo + hi) / 2. Data is row-major
+/// height x width; row 0 is the top of the image.
+void write_ppm(const std::string& path, const std::vector<double>& data,
+               std::size_t width, std::size_t height, double lo, double hi);
+
+/// Map a value in [lo, hi] to RGB via the same colormap (exposed for
+/// tests).
+void diverging_rgb(double v, double lo, double hi, unsigned char rgb[3]);
+
+}  // namespace pcf::io

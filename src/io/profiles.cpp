@@ -1,0 +1,39 @@
+#include "io/profiles.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace pcf::io {
+
+void write_profiles_csv(const std::string& path, const core::profile_data& p,
+                        double re_tau) {
+  std::ofstream os(path);
+  PCF_REQUIRE(os.good(), "cannot open output file");
+  os << "y,yplus,Uplus,uu,vv,ww,minus_uv\n";
+  os.precision(12);
+  for (std::size_t i = 0; i < p.y.size(); ++i) {
+    const double yplus = (1.0 + p.y[i]) * re_tau;  // distance from lower wall
+    os << p.y[i] << ',' << yplus << ',' << p.u[i] << ',' << p.uu[i] << ','
+       << p.vv[i] << ',' << p.ww[i] << ',' << -p.uv[i] << '\n';
+  }
+  PCF_REQUIRE(os.good(), "write failed");
+}
+
+std::vector<double> read_csv_column(const std::string& path, int column) {
+  std::ifstream is(path);
+  PCF_REQUIRE(is.good(), "cannot open input file");
+  std::string line;
+  std::getline(is, line);  // header
+  std::vector<double> out;
+  while (std::getline(is, line)) {
+    std::stringstream ss(line);
+    std::string cell;
+    for (int c = 0; c <= column; ++c) std::getline(ss, cell, ',');
+    out.push_back(std::stod(cell));
+  }
+  return out;
+}
+
+}  // namespace pcf::io

@@ -1,0 +1,20 @@
+// Text output of turbulence statistics (the data behind Figures 5-6).
+#pragma once
+
+#include <string>
+
+#include "core/statistics.hpp"
+
+namespace pcf::io {
+
+/// Write wall-normal profiles as CSV with both outer and wall (plus)
+/// units: y, y+, U+, uu+, vv+, ww+, -uv+. `re_tau` converts to plus
+/// units (u_tau = 1 in this code's normalization). Profiles from both
+/// channel halves are written as-is (no folding).
+void write_profiles_csv(const std::string& path,
+                        const core::profile_data& p, double re_tau);
+
+/// Parse one column back from a profiles CSV (testing aid).
+std::vector<double> read_csv_column(const std::string& path, int column);
+
+}  // namespace pcf::io

@@ -1,0 +1,45 @@
+#include "io/slices.hpp"
+
+#include "util/check.hpp"
+
+namespace pcf::io {
+
+std::vector<double> gather_xy_slice(vmpi::communicator& world,
+                                    const pencil::decomp& d,
+                                    const std::vector<double>& field,
+                                    std::size_t zg) {
+  PCF_REQUIRE(zg < d.nzf, "z index out of range");
+  PCF_REQUIRE(field.size() == d.x_pencil_real_elems(), "field size mismatch");
+  const std::size_t ny = d.g.ny, nx = d.nxf;
+  std::vector<double> local(ny * nx, 0.0), global(ny * nx, 0.0);
+  if (zg >= d.zp.offset && zg < d.zp.offset + d.zp.count) {
+    const std::size_t zl = zg - d.zp.offset;
+    for (std::size_t y = 0; y < d.yb.count; ++y)
+      for (std::size_t x = 0; x < nx; ++x)
+        local[(d.yb.offset + y) * nx + x] =
+            field[(zl * d.yb.count + y) * nx + x];
+  }
+  world.allreduce_sum(local.data(), global.data(), local.size());
+  return global;
+}
+
+std::vector<double> gather_xz_slice(vmpi::communicator& world,
+                                    const pencil::decomp& d,
+                                    const std::vector<double>& field,
+                                    std::size_t yg) {
+  PCF_REQUIRE(yg < d.g.ny, "y index out of range");
+  PCF_REQUIRE(field.size() == d.x_pencil_real_elems(), "field size mismatch");
+  const std::size_t nz = d.nzf, nx = d.nxf;
+  std::vector<double> local(nz * nx, 0.0), global(nz * nx, 0.0);
+  if (yg >= d.yb.offset && yg < d.yb.offset + d.yb.count) {
+    const std::size_t yl = yg - d.yb.offset;
+    for (std::size_t z = 0; z < d.zp.count; ++z)
+      for (std::size_t x = 0; x < nx; ++x)
+        local[(d.zp.offset + z) * nx + x] =
+            field[(z * d.yb.count + yl) * nx + x];
+  }
+  world.allreduce_sum(local.data(), global.data(), local.size());
+  return global;
+}
+
+}  // namespace pcf::io

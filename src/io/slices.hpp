@@ -1,0 +1,28 @@
+// Gathering distributed x-pencil fields into global planes for I/O and
+// visualization (paper Figures 7-8 at any rank count).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "pencil/pencil.hpp"
+#include "vmpi/vmpi.hpp"
+
+namespace pcf::io {
+
+/// Gather the global x-y plane at physical z index `zg` from an x-pencil
+/// field laid out [z_local][y_local][x]. Returns the ny_global x nxf plane
+/// row-major in (y, x) on every rank. Collective over `world`.
+std::vector<double> gather_xy_slice(vmpi::communicator& world,
+                                    const pencil::decomp& d,
+                                    const std::vector<double>& field,
+                                    std::size_t zg);
+
+/// Gather the global x-z plane at wall-normal index `yg` (row-major in
+/// (z, x), nzf x nxf). Collective over `world`.
+std::vector<double> gather_xz_slice(vmpi::communicator& world,
+                                    const pencil::decomp& d,
+                                    const std::vector<double>& field,
+                                    std::size_t yg);
+
+}  // namespace pcf::io

@@ -1,0 +1,46 @@
+#include "io/vtk.hpp"
+
+#include <fstream>
+
+#include "util/check.hpp"
+
+namespace pcf::io {
+
+void write_vtk_rectilinear(
+    const std::string& path, const std::vector<double>& xs,
+    const std::vector<double>& ys, const std::vector<double>& zs,
+    const std::vector<std::pair<std::string, const std::vector<double>*>>&
+        fields) {
+  const std::size_t nx = xs.size(), ny = ys.size(), nz = zs.size();
+  PCF_REQUIRE(nx >= 1 && ny >= 1 && nz >= 1, "empty grid");
+  const std::size_t npts = nx * ny * nz;
+  for (const auto& [name, data] : fields) {
+    PCF_REQUIRE(data != nullptr && data->size() == npts,
+                "field size must match grid");
+    PCF_REQUIRE(!name.empty() && name.find(' ') == std::string::npos,
+                "field names must be non-empty without spaces");
+  }
+
+  std::ofstream os(path);
+  PCF_REQUIRE(os.good(), "cannot open VTK output file");
+  os << "# vtk DataFile Version 3.0\n"
+     << "poongback-repro channel flow field\n"
+     << "ASCII\nDATASET RECTILINEAR_GRID\n"
+     << "DIMENSIONS " << nx << ' ' << ny << ' ' << nz << '\n';
+  os.precision(9);
+  auto coords = [&](const char* label, const std::vector<double>& v) {
+    os << label << ' ' << v.size() << " double\n";
+    for (double c : v) os << c << '\n';
+  };
+  coords("X_COORDINATES", xs);
+  coords("Y_COORDINATES", ys);
+  coords("Z_COORDINATES", zs);
+  os << "POINT_DATA " << npts << '\n';
+  for (const auto& [name, data] : fields) {
+    os << "SCALARS " << name << " double 1\nLOOKUP_TABLE default\n";
+    for (double v : *data) os << v << '\n';
+  }
+  PCF_REQUIRE(os.good(), "VTK write failed");
+}
+
+}  // namespace pcf::io

@@ -1,0 +1,22 @@
+// Legacy-VTK rectilinear-grid output of gathered 3-D fields, for
+// visualization in ParaView/VisIt (the full-field counterpart of the PPM
+// slices of Figures 7-8).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pcf::io {
+
+/// Write named scalar fields on a rectilinear grid. Coordinates define
+/// the grid (sizes nx, ny, nz); each field must hold nx*ny*nz values with
+/// x varying fastest, then y, then z (the natural order of a gathered
+/// x-pencil field indexed [z][y][x]).
+void write_vtk_rectilinear(
+    const std::string& path, const std::vector<double>& xs,
+    const std::vector<double>& ys, const std::vector<double>& zs,
+    const std::vector<std::pair<std::string, const std::vector<double>*>>&
+        fields);
+
+}  // namespace pcf::io

@@ -1,0 +1,88 @@
+// Machine models of the paper's four benchmark systems (Section 3).
+//
+// The real machines are petascale installations we cannot run on; these
+// models capture the parameters the paper's analysis says control
+// performance — effective per-core compute rates of the two memory-bound
+// kernels (Table 2), per-node memory bandwidth and its thread-saturation
+// curve (Table 4), effective per-node alltoall bandwidth and how it decays
+// with partition size (5-D torus vs 3-D torus vs fat-tree), and the
+// contention that sets in when too many MPI tasks (or too many nodes)
+// drive the interconnect at once (Section 5.3). The compute rates and
+// alltoall bandwidths are calibrated against the paper's own Tables 9/10
+// entries at the smallest core counts; the *scaling* behaviour then comes
+// from the model, and reproducing the rest of each table is the test.
+#pragma once
+
+#include <string>
+
+namespace pcf::netsim {
+
+enum class topology {
+  torus5d,   // BG/Q (Mira)
+  torus3d,   // Cray Gemini (Blue Waters)
+  fat_tree,  // InfiniBand clusters (Lonestar QDR, Stampede FDR)
+};
+
+struct machine {
+  std::string name;
+  topology topo = topology::fat_tree;
+
+  int cores_per_node = 16;
+  int smt_per_core = 1;          // hardware threads per core
+  double core_peak_gflops = 10;  // theoretical per core
+
+  // Effective per-core compute rates (memory-bandwidth-bound; paper
+  // Table 2: the N-S advance runs at ~9% of peak on BG/Q).
+  double fft_gflops_per_core = 1.0;
+  double advance_gflops_per_core = 1.0;
+
+  double mem_bw_node = 28.8e9;  // STREAM-like bytes/s per node
+  double latency = 2.5e-6;      // per-message software+wire latency, s
+
+  // Effective per-node alltoall bandwidth at a 64-node partition, and how
+  // it decays with partition size: bw(N) = a2a_bw * (64 / N)^a2a_node_exp.
+  // The 5-D torus barely decays (exp ~ 0); Gemini decays hard (the
+  // Blue Waters collapse of Table 9).
+  double a2a_bw = 2e9;
+  double a2a_node_exp = 0.0;
+
+  // Half-utilization message size: an exchange with per-pair messages of m
+  // bytes runs at a2a_bw * m / (m + msg_half); 0 disables the effect.
+  // The calibrated models keep this at 0 (message-count contention is
+  // carried by the task/node sigmoids instead, to avoid double counting);
+  // it is available for what-if studies with the scaling_explorer example.
+  double msg_half = 0.0;
+
+  // Contention (Section 5.3): the alltoall time is multiplied by
+  //   max(1 + amp * sig(tasks / task_sat), 1 + amp * sig(nodes / node_sat))
+  // with sig(x) = x^4 / (1 + x^4) — a sharp onset once either the MPI task
+  // count (per-core ranks) or the partition size (hybrid at full machine)
+  // saturates the interconnect.
+  double cont_amp = 0.0;
+  double task_sat = 1e9;
+  double node_sat = 1e9;
+
+  // Descriptive link/NIC figures (used by documentation and tests).
+  double nic_bw = 10e9;
+  double link_bw = 2e9;
+  double fat_tree_oversub = 2.0;
+  long total_nodes = 49152;
+
+  /// Effective alltoall bandwidth per node for a partition of `nodes`.
+  [[nodiscard]] double alltoall_bw(double nodes) const;
+
+  /// Contention multiplier for a job with the given task and node counts.
+  [[nodiscard]] double contention(double tasks, double nodes) const;
+
+  /// Bisection bandwidth available per participating node (descriptive
+  /// topology comparison; the predictor uses alltoall_bw()).
+  [[nodiscard]] double bisection_per_node(double nodes) const;
+
+  // The four benchmark systems.
+  static machine mira();
+  static machine lonestar();
+  static machine stampede();
+  static machine blue_waters();
+};
+
+}  // namespace pcf::netsim

@@ -1,0 +1,33 @@
+#include "netsim/roofline.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace pcf::netsim {
+
+roofline_estimate project(const machine& m, const op_counts& counts,
+                          int cores) {
+  PCF_REQUIRE(cores >= 1 && cores <= m.cores_per_node,
+              "roofline projection is per node");
+  const double flops = static_cast<double>(counts.flops);
+  const double bytes =
+      static_cast<double>(counts.bytes_read + counts.bytes_written);
+  const double flop_roof = cores * m.core_peak_gflops * 1e9;
+  // Memory roof: same thread-saturation curve as the reorder model.
+  const double frac =
+      std::max(0.105, std::min(0.90, 0.105 * static_cast<double>(cores)));
+  const double mem_roof = m.mem_bw_node * frac;
+
+  roofline_estimate e;
+  const double t_flops = flops / flop_roof;
+  const double t_bytes = bytes / mem_roof;
+  e.seconds = std::max(t_flops, t_bytes);
+  e.memory_bound = t_bytes >= t_flops;
+  e.gflops = e.seconds > 0.0 ? flops / e.seconds / 1e9 : 0.0;
+  e.intensity = bytes > 0.0 ? flops / bytes : 0.0;
+  e.peak_fraction = flop_roof > 0.0 ? e.gflops * 1e9 / flop_roof : 0.0;
+  return e;
+}
+
+}  // namespace pcf::netsim

@@ -1,0 +1,27 @@
+// Roofline projection: turn the instrumented flop/byte counts of a kernel
+// (util/counters) into a predicted execution time on a modelled machine —
+// the formal version of the paper's Table 2 analysis ("the limiting
+// on-node hardware resource is memory bandwidth").
+#pragma once
+
+#include "netsim/machine.hpp"
+#include "util/counters.hpp"
+
+namespace pcf::netsim {
+
+struct roofline_estimate {
+  double seconds = 0.0;
+  double gflops = 0.0;          // achieved flop rate at that time
+  double intensity = 0.0;       // flops per byte
+  bool memory_bound = false;    // which roof binds
+  double peak_fraction = 0.0;   // achieved / peak flops
+};
+
+/// Project `counts` onto `cores` cores of one node of machine `m`
+/// (cores <= m.cores_per_node). Compute roof: cores * core_peak_gflops;
+/// memory roof: the node's STREAM bandwidth scaled by the thread
+/// saturation curve of Table 4.
+roofline_estimate project(const machine& m, const op_counts& counts,
+                          int cores = 1);
+
+}  // namespace pcf::netsim

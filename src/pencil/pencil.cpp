@@ -1,0 +1,535 @@
+#include "pencil/pencil.hpp"
+
+#include <algorithm>
+
+#include "util/aligned.hpp"
+#include "util/counters.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pcf::pencil {
+
+block block_range(std::size_t n, int p, int r) {
+  PCF_REQUIRE(p >= 1 && r >= 0 && r < p, "invalid block decomposition");
+  const std::size_t base = n / static_cast<std::size_t>(p);
+  const std::size_t rem = n % static_cast<std::size_t>(p);
+  const auto ur = static_cast<std::size_t>(r);
+  block b;
+  b.offset = ur * base + std::min(ur, rem);
+  b.count = base + (ur < rem ? 1 : 0);
+  return b;
+}
+
+decomp::decomp(const grid& gg, const kernel_config& cfg, int pa_, int pb_,
+               int ca_, int cb_)
+    : g(gg), pa(pa_), pb(pb_), ca(ca_), cb(cb_) {
+  PCF_REQUIRE(g.nx % 4 == 0, "nx must be divisible by 4");
+  PCF_REQUIRE(g.nz % 2 == 0, "nz must be even");
+  PCF_REQUIRE(g.ny >= 1, "ny must be positive");
+  nxs = g.nxh() + (cfg.drop_nyquist ? 0 : 1);
+  nxf = cfg.dealias ? g.nxp() : g.nx;
+  nzf = cfg.dealias ? g.nzp() : g.nz;
+  xs = block_range(nxs, pa, ca);
+  zs = block_range(g.nz, pb, cb);
+  yb = block_range(g.ny, pb, cb);
+  zp = block_range(nzf, pa, ca);
+}
+
+// ---------------------------------------------------------------------------
+
+struct parallel_fft::impl {
+  decomp d;
+  kernel_config cfg;
+  vmpi::communicator comm_a;  // copies share the underlying group state
+  vmpi::communicator comm_b;
+
+  fft::c2c_plan z_fwd, z_inv;
+  fft::r2c_plan x_fwd;
+  fft::c2r_plan x_inv;
+
+  thread_pool fft_pool;
+  thread_pool reorder_pool;
+
+  // Workspaces. The customized kernel ping-pongs between two buffers; the
+  // P3DFFT-mode kernel allocates a third (its documented 3x footprint).
+  aligned_buffer<cplx> w1, w2, w3;
+
+  // alltoallv counts/displacements, in complex elements.
+  std::vector<std::size_t> sc_yz, sd_yz, rc_yz, rd_yz;  // CommB, y<->z
+  std::vector<std::size_t> sc_zx, sd_zx, rc_zx, rd_zx;  // CommA, z<->x
+
+  // Exchange strategies resolved at plan time (paper Section 4.3: FFTW's
+  // planner times the candidates and keeps the fastest).
+  exchange_strategy strat_a = exchange_strategy::alltoall;
+  exchange_strategy strat_b = exchange_strategy::alltoall;
+
+  section_timer comm_t, reorder_t, fft_t;
+
+  impl(const grid& g, vmpi::cart2d& cart, kernel_config c)
+      : d(g, c, cart.pa(), cart.pb(), cart.coord_a(), cart.coord_b()),
+        cfg(c),
+        comm_a(cart.comm_a()),
+        comm_b(cart.comm_b()),
+        z_fwd(d.nzf, fft::direction::forward),
+        z_inv(d.nzf, fft::direction::inverse),
+        x_fwd(d.nxf),
+        x_inv(d.nxf),
+        fft_pool(std::max(1, c.fft_threads)),
+        reorder_pool(std::max(1, c.reorder_threads)) {
+    build_counts();
+    const std::size_t wn = workspace_elems();
+    w1.reset(wn);
+    w2.reset(wn);
+    if (!cfg.drop_nyquist && !cfg.dealias) w3.reset(wn);  // P3DFFT mode
+    plan_strategies();
+  }
+
+  /// One exchange with either strategy. The pairwise algorithm runs p-1
+  /// rounds with partner (rank + r) mod p — the MPI_Sendrecv pattern FFTW's
+  /// transpose planner generates.
+  void do_exchange(vmpi::communicator& comm, exchange_strategy strat,
+                   const cplx* send, const std::size_t* sc,
+                   const std::size_t* sd, cplx* recv, const std::size_t* rc,
+                   const std::size_t* rd) {
+    if (strat == exchange_strategy::alltoall) {
+      comm.alltoallv(send, sc, sd, recv, rc, rd);
+      return;
+    }
+    const int p = comm.size();
+    const int me = comm.rank();
+    std::copy_n(send + sd[me], sc[me],
+                recv + rd[me]);  // self block, no communication
+    for (int r = 1; r < p; ++r) {
+      const int dest = (me + r) % p;
+      const int src = (me + p - r) % p;
+      comm.exchange(send + sd[dest], sc[dest], dest, recv + rd[src], rc[src]);
+    }
+  }
+
+  /// Resolve auto_plan by timing both strategies on the real buffers and
+  /// counts; all ranks must agree, so the timings are max-reduced before
+  /// the choice is made.
+  void plan_strategies() {
+    strat_a = cfg.strategy;
+    strat_b = cfg.strategy;
+    if (cfg.strategy != exchange_strategy::auto_plan) return;
+    auto pick = [&](vmpi::communicator& comm, const std::size_t* sc,
+                    const std::size_t* sd, const std::size_t* rc,
+                    const std::size_t* rd) {
+      if (comm.size() == 1) return exchange_strategy::alltoall;
+      double best[2];
+      const exchange_strategy cand[2] = {exchange_strategy::alltoall,
+                                         exchange_strategy::pairwise};
+      for (int c = 0; c < 2; ++c) {
+        wall_timer t;
+        for (int rep = 0; rep < 3; ++rep)
+          do_exchange(comm, cand[c], w1.data(), sc, sd, w2.data(), rc, rd);
+        best[c] = t.seconds();
+      }
+      double agreed[2];
+      comm.allreduce_max(best, agreed, 2);
+      return agreed[0] <= agreed[1] ? cand[0] : cand[1];
+    };
+    strat_b = pick(comm_b, sc_yz.data(), sd_yz.data(), rc_yz.data(),
+                   rd_yz.data());
+    strat_a = pick(comm_a, sc_zx.data(), sd_zx.data(), rc_zx.data(),
+                   rd_zx.data());
+  }
+
+  [[nodiscard]] std::size_t workspace_elems() const {
+    const std::size_t yz_total = d.xs.count * d.g.nz * d.yb.count;
+    const std::size_t zx_total = d.nxs * d.yb.count * d.zp.count;
+    std::size_t m = d.y_pencil_elems();
+    m = std::max(m, yz_total);
+    m = std::max(m, d.z_pencil_elems());
+    m = std::max(m, zx_total);
+    m = std::max(m, d.x_pencil_spec_elems());
+    return m;
+  }
+
+  void build_counts() {
+    const int pb = d.pb, pa = d.pa;
+    sc_yz.resize(static_cast<std::size_t>(pb));
+    sd_yz.resize(static_cast<std::size_t>(pb));
+    rc_yz.resize(static_cast<std::size_t>(pb));
+    rd_yz.resize(static_cast<std::size_t>(pb));
+    std::size_t s = 0, r = 0;
+    for (int q = 0; q < pb; ++q) {
+      const block yq = block_range(d.g.ny, pb, q);
+      const block zq = block_range(d.g.nz, pb, q);
+      sc_yz[static_cast<std::size_t>(q)] = d.xs.count * d.zs.count * yq.count;
+      sd_yz[static_cast<std::size_t>(q)] = s;
+      s += sc_yz[static_cast<std::size_t>(q)];
+      rc_yz[static_cast<std::size_t>(q)] = d.xs.count * zq.count * d.yb.count;
+      rd_yz[static_cast<std::size_t>(q)] = r;
+      r += rc_yz[static_cast<std::size_t>(q)];
+    }
+    sc_zx.resize(static_cast<std::size_t>(pa));
+    sd_zx.resize(static_cast<std::size_t>(pa));
+    rc_zx.resize(static_cast<std::size_t>(pa));
+    rd_zx.resize(static_cast<std::size_t>(pa));
+    s = r = 0;
+    for (int q = 0; q < pa; ++q) {
+      const block zq = block_range(d.nzf, pa, q);
+      const block xq = block_range(d.nxs, pa, q);
+      sc_zx[static_cast<std::size_t>(q)] = d.xs.count * d.yb.count * zq.count;
+      sd_zx[static_cast<std::size_t>(q)] = s;
+      s += sc_zx[static_cast<std::size_t>(q)];
+      rc_zx[static_cast<std::size_t>(q)] = xq.count * d.yb.count * d.zp.count;
+      rd_zx[static_cast<std::size_t>(q)] = r;
+      r += rc_zx[static_cast<std::size_t>(q)];
+    }
+  }
+
+  /// Padded position of spectral z mode zg (3/2-rule: negative modes move
+  /// to the end of the padded line).
+  [[nodiscard]] std::size_t zpad_pos(std::size_t zg) const {
+    return zg < d.g.nz / 2 ? zg : zg + (d.nzf - d.g.nz);
+  }
+
+  // --- inverse path (spectral -> physical) --------------------------------
+
+  void pack_y_to_z(const cplx* spec, cplx* send) {
+    reorder_t.start();
+    const std::size_t zc = d.zs.count, ny = d.g.ny;
+    reorder_pool.run(d.xs.count, [&](std::size_t xb, std::size_t xe) {
+      for (int q = 0; q < d.pb; ++q) {
+        const block yq = block_range(ny, d.pb, q);
+        for (std::size_t x = xb; x < xe; ++x) {
+          for (std::size_t z = 0; z < zc; ++z) {
+            const cplx* src = spec + (x * zc + z) * ny + yq.offset;
+            cplx* dst = send + sd_yz[static_cast<std::size_t>(q)] +
+                        (x * zc + z) * yq.count;
+            std::copy_n(src, yq.count, dst);
+          }
+        }
+      }
+    });
+    counters::add_read(d.y_pencil_elems() * sizeof(cplx));
+    counters::add_written(d.y_pencil_elems() * sizeof(cplx));
+    reorder_t.stop();
+  }
+
+  void unpack_z_pencil(const cplx* recv, cplx* zbuf) {
+    reorder_t.start();
+    const std::size_t yc = d.yb.count, nzf = d.nzf, nzg = d.g.nz;
+    const bool dealias = nzf > nzg;
+    // Zero the dealiasing gap once per line. The gap also swallows the
+    // spanwise Nyquist mode nz/2: on the padded grid +nz/2 and -nz/2 are
+    // distinct modes, so the (self-conjugate) Nyquist coefficient is not
+    // representable and is dropped, as in the paper (Section 4.4).
+    if (dealias) {
+      reorder_pool.run(d.xs.count * yc, [&](std::size_t b, std::size_t e) {
+        for (std::size_t l = b; l < e; ++l)
+          std::fill_n(zbuf + l * nzf + nzg / 2, nzf - nzg + 1, cplx{0.0, 0.0});
+      });
+    }
+    reorder_pool.run(d.xs.count, [&](std::size_t xb, std::size_t xe) {
+      for (int q = 0; q < d.pb; ++q) {
+        const block zq = block_range(nzg, d.pb, q);
+        const cplx* seg = recv + rd_yz[static_cast<std::size_t>(q)];
+        for (std::size_t x = xb; x < xe; ++x) {
+          for (std::size_t zl = 0; zl < zq.count; ++zl) {
+            const std::size_t zg = zq.offset + zl;
+            if (dealias && zg == nzg / 2) continue;  // dropped Nyquist
+            const std::size_t zp = zpad_pos(zg);
+            const cplx* src = seg + (x * zq.count + zl) * yc;
+            for (std::size_t y = 0; y < yc; ++y)
+              zbuf[(x * yc + y) * nzf + zp] = src[y];
+          }
+        }
+      }
+    });
+    counters::add_read(d.xs.count * nzg * yc * sizeof(cplx));
+    counters::add_written(d.z_pencil_elems() * sizeof(cplx));
+    reorder_t.stop();
+  }
+
+  void pack_z_to_x(const cplx* zbuf, cplx* send) {
+    reorder_t.start();
+    const std::size_t yc = d.yb.count, nzf = d.nzf;
+    reorder_pool.run(d.xs.count, [&](std::size_t xb, std::size_t xe) {
+      for (int q = 0; q < d.pa; ++q) {
+        const block zq = block_range(nzf, d.pa, q);
+        for (std::size_t x = xb; x < xe; ++x) {
+          for (std::size_t y = 0; y < yc; ++y) {
+            const cplx* src = zbuf + (x * yc + y) * nzf + zq.offset;
+            cplx* dst = send + sd_zx[static_cast<std::size_t>(q)] +
+                        (x * yc + y) * zq.count;
+            std::copy_n(src, zq.count, dst);
+          }
+        }
+      }
+    });
+    counters::add_read(d.z_pencil_elems() * sizeof(cplx));
+    counters::add_written(d.z_pencil_elems() * sizeof(cplx));
+    reorder_t.stop();
+  }
+
+  void unpack_x_pencil(const cplx* recv, cplx* xbuf) {
+    reorder_t.start();
+    const std::size_t yc = d.yb.count, zc = d.zp.count;
+    const std::size_t modes = d.x_line_modes();
+    // Zero the dealiasing pad region of each x line.
+    if (modes > d.nxs) {
+      reorder_pool.run(zc * yc, [&](std::size_t b, std::size_t e) {
+        for (std::size_t l = b; l < e; ++l)
+          std::fill_n(xbuf + l * modes + d.nxs, modes - d.nxs, cplx{0.0, 0.0});
+      });
+    }
+    reorder_pool.run(zc, [&](std::size_t zb, std::size_t ze) {
+      for (int q = 0; q < d.pa; ++q) {
+        const block xq = block_range(d.nxs, d.pa, q);
+        const cplx* seg = recv + rd_zx[static_cast<std::size_t>(q)];
+        for (std::size_t xl = 0; xl < xq.count; ++xl) {
+          for (std::size_t y = 0; y < yc; ++y) {
+            const cplx* src = seg + (xl * yc + y) * zc;
+            for (std::size_t z = zb; z < ze; ++z)
+              xbuf[(z * yc + y) * modes + xq.offset + xl] = src[z];
+          }
+        }
+      }
+    });
+    counters::add_read(d.nxs * yc * zc * sizeof(cplx));
+    counters::add_written(d.x_pencil_spec_elems() * sizeof(cplx));
+    reorder_t.stop();
+  }
+
+  // --- forward path (physical -> spectral) --------------------------------
+
+  void pack_x_to_z(const cplx* xspec, cplx* send) {
+    reorder_t.start();
+    const std::size_t yc = d.yb.count, zc = d.zp.count;
+    const std::size_t modes = d.x_line_modes();
+    reorder_pool.run(zc, [&](std::size_t zb, std::size_t ze) {
+      for (int q = 0; q < d.pa; ++q) {
+        const block xq = block_range(d.nxs, d.pa, q);
+        cplx* seg = send + rd_zx[static_cast<std::size_t>(q)];
+        for (std::size_t xl = 0; xl < xq.count; ++xl) {
+          for (std::size_t y = 0; y < yc; ++y) {
+            cplx* dst = seg + (xl * yc + y) * zc;
+            for (std::size_t z = zb; z < ze; ++z)
+              dst[z] = xspec[(z * yc + y) * modes + xq.offset + xl];
+          }
+        }
+      }
+    });
+    counters::add_read(d.nxs * yc * zc * sizeof(cplx));
+    counters::add_written(d.nxs * yc * zc * sizeof(cplx));
+    reorder_t.stop();
+  }
+
+  void unpack_z_from_x(const cplx* recv, cplx* zbuf) {
+    reorder_t.start();
+    const std::size_t yc = d.yb.count, nzf = d.nzf;
+    reorder_pool.run(d.xs.count, [&](std::size_t xb, std::size_t xe) {
+      for (int q = 0; q < d.pa; ++q) {
+        const block zq = block_range(nzf, d.pa, q);
+        const cplx* seg = recv + sd_zx[static_cast<std::size_t>(q)];
+        for (std::size_t x = xb; x < xe; ++x) {
+          for (std::size_t y = 0; y < yc; ++y) {
+            cplx* dst = zbuf + (x * yc + y) * nzf + zq.offset;
+            std::copy_n(seg + (x * yc + y) * zq.count, zq.count, dst);
+          }
+        }
+      }
+    });
+    counters::add_read(d.z_pencil_elems() * sizeof(cplx));
+    counters::add_written(d.z_pencil_elems() * sizeof(cplx));
+    reorder_t.stop();
+  }
+
+  void pack_z_to_y(const cplx* zbuf, cplx* send, double scale) {
+    reorder_t.start();
+    const std::size_t yc = d.yb.count, nzf = d.nzf, nzg = d.g.nz;
+    reorder_pool.run(d.xs.count, [&](std::size_t xb, std::size_t xe) {
+      for (int q = 0; q < d.pb; ++q) {
+        const block zq = block_range(nzg, d.pb, q);
+        cplx* seg = send + rd_yz[static_cast<std::size_t>(q)];
+        for (std::size_t x = xb; x < xe; ++x) {
+          for (std::size_t zl = 0; zl < zq.count; ++zl) {
+            const std::size_t zg = zq.offset + zl;
+            cplx* dst = seg + (x * zq.count + zl) * yc;
+            if (nzf > nzg && zg == nzg / 2) {  // dropped Nyquist
+              std::fill_n(dst, yc, cplx{0.0, 0.0});
+              continue;
+            }
+            const std::size_t zp = zpad_pos(zg);
+            for (std::size_t y = 0; y < yc; ++y)
+              dst[y] = zbuf[(x * yc + y) * nzf + zp] * scale;
+          }
+        }
+      }
+    });
+    counters::add_read(d.xs.count * nzg * yc * sizeof(cplx));
+    counters::add_written(d.xs.count * nzg * yc * sizeof(cplx));
+    reorder_t.stop();
+  }
+
+  void unpack_y_pencil(const cplx* recv, cplx* spec) {
+    reorder_t.start();
+    const std::size_t zc = d.zs.count, ny = d.g.ny;
+    reorder_pool.run(d.xs.count, [&](std::size_t xb, std::size_t xe) {
+      for (int q = 0; q < d.pb; ++q) {
+        const block yq = block_range(ny, d.pb, q);
+        const cplx* seg = recv + sd_yz[static_cast<std::size_t>(q)];
+        for (std::size_t x = xb; x < xe; ++x) {
+          for (std::size_t z = 0; z < zc; ++z) {
+            cplx* dst = spec + (x * zc + z) * ny + yq.offset;
+            std::copy_n(seg + (x * zc + z) * yq.count, yq.count, dst);
+          }
+        }
+      }
+    });
+    counters::add_read(d.y_pencil_elems() * sizeof(cplx));
+    counters::add_written(d.y_pencil_elems() * sizeof(cplx));
+    reorder_t.stop();
+  }
+
+  // --- FFT stages ----------------------------------------------------------
+
+  void z_fft(cplx* zbuf, const fft::c2c_plan& plan) {
+    fft_t.start();
+    const std::size_t lines = d.xs.count * d.yb.count;
+    const std::size_t len = d.nzf;
+    fft_pool.run(lines, [&](std::size_t b, std::size_t e) {
+      plan.execute_many(zbuf + b * len, len, zbuf + b * len, len, e - b);
+    });
+    fft_t.stop();
+  }
+
+  void x_c2r(const cplx* xspec, double* phys) {
+    fft_t.start();
+    const std::size_t lines = d.zp.count * d.yb.count;
+    const std::size_t modes = d.x_line_modes();
+    fft_pool.run(lines, [&](std::size_t b, std::size_t e) {
+      x_inv.execute_many(xspec + b * modes, modes, phys + b * d.nxf, d.nxf,
+                         e - b);
+    });
+    fft_t.stop();
+  }
+
+  void x_r2c(const double* phys, cplx* xspec) {
+    fft_t.start();
+    const std::size_t lines = d.zp.count * d.yb.count;
+    const std::size_t modes = d.x_line_modes();
+    fft_pool.run(lines, [&](std::size_t b, std::size_t e) {
+      x_fwd.execute_many(phys + b * d.nxf, d.nxf, xspec + b * modes, modes,
+                         e - b);
+    });
+    fft_t.stop();
+  }
+
+  // --- transposes (communication) ------------------------------------------
+
+  void a2a_yz(const cplx* send, cplx* recv) {
+    comm_t.start();
+    do_exchange(comm_b, strat_b, send, sc_yz.data(), sd_yz.data(), recv,
+                rc_yz.data(), rd_yz.data());
+    comm_t.stop();
+  }
+  void a2a_zy(const cplx* send, cplx* recv) {
+    comm_t.start();
+    do_exchange(comm_b, strat_b, send, rc_yz.data(), rd_yz.data(), recv,
+                sc_yz.data(), sd_yz.data());
+    comm_t.stop();
+  }
+  void a2a_zx(const cplx* send, cplx* recv) {
+    comm_t.start();
+    do_exchange(comm_a, strat_a, send, sc_zx.data(), sd_zx.data(), recv,
+                rc_zx.data(), rd_zx.data());
+    comm_t.stop();
+  }
+  void a2a_xz(const cplx* send, cplx* recv) {
+    comm_t.start();
+    do_exchange(comm_a, strat_a, send, rc_zx.data(), rd_zx.data(), recv,
+                sc_zx.data(), sd_zx.data());
+    comm_t.stop();
+  }
+
+  void to_physical(const cplx* spec, double* phys) {
+    cplx* a = w1.data();
+    cplx* b = w2.data();
+    pack_y_to_z(spec, a);
+    if (w3.empty()) {
+      a2a_yz(a, b);
+      unpack_z_pencil(b, a);
+      z_fft(a, z_inv);
+      pack_z_to_x(a, b);
+      a2a_zx(b, a);
+      unpack_x_pencil(a, b);
+      x_c2r(b, phys);
+    } else {
+      // P3DFFT-style: dedicated buffers per stage (3x footprint).
+      cplx* c = w3.data();
+      a2a_yz(a, b);
+      unpack_z_pencil(b, c);
+      z_fft(c, z_inv);
+      pack_z_to_x(c, a);
+      a2a_zx(a, b);
+      unpack_x_pencil(b, c);
+      x_c2r(c, phys);
+    }
+  }
+
+  void to_spectral(const double* phys, cplx* spec) {
+    cplx* a = w1.data();
+    cplx* b = w2.data();
+    const double scale =
+        1.0 / (static_cast<double>(d.nxf) * static_cast<double>(d.nzf));
+    x_r2c(phys, a);
+    if (w3.empty()) {
+      pack_x_to_z(a, b);
+      a2a_xz(b, a);
+      unpack_z_from_x(a, b);
+      z_fft(b, z_fwd);
+      pack_z_to_y(b, a, scale);
+      a2a_zy(a, b);
+      unpack_y_pencil(b, spec);
+    } else {
+      cplx* c = w3.data();
+      pack_x_to_z(a, b);
+      a2a_xz(b, c);
+      unpack_z_from_x(c, a);
+      z_fft(a, z_fwd);
+      pack_z_to_y(a, b, scale);
+      a2a_zy(b, c);
+      unpack_y_pencil(c, spec);
+    }
+  }
+};
+
+parallel_fft::parallel_fft(const grid& g, vmpi::cart2d& cart,
+                           kernel_config cfg)
+    : impl_(new impl(g, cart, cfg)) {}
+parallel_fft::~parallel_fft() = default;
+
+const decomp& parallel_fft::dec() const { return impl_->d; }
+const kernel_config& parallel_fft::config() const { return impl_->cfg; }
+
+void parallel_fft::to_physical(const cplx* spec, double* phys) {
+  impl_->to_physical(spec, phys);
+}
+void parallel_fft::to_spectral(const double* phys, cplx* spec) {
+  impl_->to_spectral(phys, spec);
+}
+
+std::size_t parallel_fft::workspace_bytes() const {
+  return (impl_->w1.size() + impl_->w2.size() + impl_->w3.size()) *
+         sizeof(cplx);
+}
+
+exchange_strategy parallel_fft::strategy_a() const { return impl_->strat_a; }
+exchange_strategy parallel_fft::strategy_b() const { return impl_->strat_b; }
+
+double parallel_fft::comm_seconds() const { return impl_->comm_t.total(); }
+double parallel_fft::reorder_seconds() const {
+  return impl_->reorder_t.total();
+}
+double parallel_fft::fft_seconds() const { return impl_->fft_t.total(); }
+void parallel_fft::reset_timers() {
+  impl_->comm_t.reset();
+  impl_->reorder_t.reset();
+  impl_->fft_t.reset();
+}
+
+}  // namespace pcf::pencil

@@ -1,0 +1,149 @@
+// 2-D pencil decomposition and the customized parallel FFT kernel
+// (paper Sections 2.2-2.3 and 4.3-4.4).
+//
+// Global data is a spectral field with nxh = nx/2 retained streamwise
+// Fourier modes (the Nyquist mode is dropped — one of the customized
+// kernel's advantages over P3DFFT), ny wall-normal points and nz spanwise
+// modes, distributed over a P_A x P_B process grid:
+//
+//   y-pencils: [x-block(P_A)][z-block(P_B)][ny]      (y contiguous)
+//   z-pencils: [x-block(P_A)][y-block(P_B)][nzp]     (z contiguous)
+//   x-pencils: [zp-block(P_A)][y-block(P_B)][...x]   (x contiguous)
+//
+// The spectral -> physical path is: y->z transpose (CommB), 3/2 pad + z
+// inverse FFT, z->x transpose (CommA), 3/2 pad + c2r FFT. The 3/2-rule
+// padding/truncation is fused into the transpose unpack/pack, as in the
+// paper. Physical grid is nxp = 3nx/2 by nzp = 3nz/2 (per y point).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <memory>
+
+#include "fft/fft.hpp"
+#include "util/timer.hpp"
+#include "vmpi/vmpi.hpp"
+
+namespace pcf::pencil {
+
+using cplx = std::complex<double>;
+
+/// Block distribution of n items over p ranks (remainder spread over the
+/// first n % p ranks).
+struct block {
+  std::size_t offset = 0;
+  std::size_t count = 0;
+};
+block block_range(std::size_t n, int p, int r);
+
+/// Global grid extents (spectral sizes; nx = full streamwise modes before
+/// the Nyquist drop, must be divisible by 4; nz must be even).
+struct grid {
+  std::size_t nx = 0;
+  std::size_t ny = 0;
+  std::size_t nz = 0;
+
+  [[nodiscard]] std::size_t nxh() const { return nx / 2; }       // modes kept
+  [[nodiscard]] std::size_t nxp() const { return 3 * nx / 2; }   // phys x
+  [[nodiscard]] std::size_t nzp() const { return 3 * nz / 2; }   // phys z
+};
+
+/// How each global exchange is executed. The paper (Section 4.3) relies on
+/// FFTW 3.3's transpose planner, which times several implementations
+/// (MPI_Alltoall, MPI_Sendrecv rounds, ...) and keeps the fastest;
+/// `auto_plan` reproduces that: both strategies are timed on a dummy
+/// exchange at construction and the winner is used for production.
+enum class exchange_strategy {
+  auto_plan,  // measure both at plan time, keep the faster
+  alltoall,   // one alltoallv per transpose
+  pairwise,   // P-1 rounds of pairwise sendrecv exchanges
+};
+
+/// Kernel configuration. The defaults are the paper's customized kernel;
+/// `p3dfft_mode()` reproduces P3DFFT 2.5.1's implementation choices for the
+/// Table 6 comparison.
+struct kernel_config {
+  bool drop_nyquist = true;   // don't store/transpose the x Nyquist mode
+  bool dealias = true;        // fuse 3/2 pad/truncate into the transposes
+  int fft_threads = 1;        // threads for FFT + pad/truncate blocks
+  int reorder_threads = 1;    // threads for pack/unpack (on-node reorder)
+  exchange_strategy strategy = exchange_strategy::alltoall;
+
+  static kernel_config p3dfft_mode() {
+    return kernel_config{false, false, 1, 1, exchange_strategy::alltoall};
+  }
+};
+
+/// Per-rank decomposition bookkeeping.
+struct decomp {
+  decomp(const grid& g, const kernel_config& cfg, int pa, int pb, int ca,
+         int cb);
+
+  grid g;
+  int pa, pb;      // process grid
+  int ca, cb;      // my coordinates
+  std::size_t nxs; // spectral x modes carried (nxh or nxh+1 with Nyquist)
+  std::size_t nxf; // physical x line length (nxp, or nx without dealiasing)
+  std::size_t nzf; // physical z line length (nzp, or nz without dealiasing)
+
+  block xs;   // my spectral-x block (over P_A), y- and z-pencils
+  block zs;   // my spectral-z block (over P_B), y-pencils
+  block yb;   // my y block (over P_B), z- and x-pencils
+  block zp;   // my physical-z block (over P_A), x-pencils
+
+  [[nodiscard]] std::size_t y_pencil_elems() const {
+    return xs.count * zs.count * g.ny;
+  }
+  [[nodiscard]] std::size_t z_pencil_elems() const {
+    return xs.count * yb.count * nzf;
+  }
+  /// Complex modes per x line in x-pencils (input of the c2r transform).
+  [[nodiscard]] std::size_t x_line_modes() const { return nxf / 2 + 1; }
+  [[nodiscard]] std::size_t x_pencil_spec_elems() const {
+    return zp.count * yb.count * x_line_modes();
+  }
+  [[nodiscard]] std::size_t x_pencil_real_elems() const {
+    return zp.count * yb.count * nxf;
+  }
+};
+
+/// The parallel FFT kernel: spectral y-pencils <-> physical x-pencils.
+/// Thread-unsafe per instance (owns buffers); each rank builds its own.
+class parallel_fft {
+ public:
+  parallel_fft(const grid& g, vmpi::cart2d& cart, kernel_config cfg);
+  ~parallel_fft();
+  parallel_fft(const parallel_fft&) = delete;
+  parallel_fft& operator=(const parallel_fft&) = delete;
+
+  [[nodiscard]] const decomp& dec() const;
+  [[nodiscard]] const kernel_config& config() const;
+
+  /// Spectral (y-pencil, y_pencil_elems complex) -> physical (x-pencil,
+  /// x_pencil_real_elems doubles).
+  void to_physical(const cplx* spec, double* phys);
+
+  /// Physical -> spectral, normalized so that a to_physical/to_spectral
+  /// round trip is the identity.
+  void to_spectral(const double* phys, cplx* spec);
+
+  /// Internal workspace allocated (for the paper's 1x-vs-3x buffer claim).
+  [[nodiscard]] std::size_t workspace_bytes() const;
+
+  /// Exchange strategies actually in use for CommA / CommB (resolved from
+  /// the configured strategy; auto_plan picks at construction).
+  [[nodiscard]] exchange_strategy strategy_a() const;
+  [[nodiscard]] exchange_strategy strategy_b() const;
+
+  /// Section timers (accumulated across calls).
+  [[nodiscard]] double comm_seconds() const;
+  [[nodiscard]] double reorder_seconds() const;
+  [[nodiscard]] double fft_seconds() const;
+  void reset_timers();
+
+ private:
+  struct impl;
+  std::unique_ptr<impl> impl_;
+};
+
+}  // namespace pcf::pencil

@@ -1,0 +1,92 @@
+// Cache-line/SIMD aligned storage for numerical kernels.
+#pragma once
+
+#include <algorithm>
+#include <complex>
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <type_traits>
+
+#include "util/check.hpp"
+
+namespace pcf {
+
+inline constexpr std::size_t kAlignment = 64;  // one x86 cache line
+
+/// Owning, 64-byte-aligned, fixed-size buffer of trivially copyable T.
+/// Unlike std::vector it never value-initializes on resize-free paths and
+/// guarantees alignment suitable for vectorized kernels.
+template <class T>
+class aligned_buffer {
+  static_assert(std::is_trivially_copyable_v<T> ||
+                    std::is_same_v<T, std::complex<double>>,
+                "aligned_buffer is for POD-like numeric types");
+
+ public:
+  aligned_buffer() = default;
+
+  explicit aligned_buffer(std::size_t n) { allocate(n); }
+
+  aligned_buffer(std::size_t n, const T& fill) {
+    allocate(n);
+    std::fill_n(data_.get(), n, fill);
+  }
+
+  aligned_buffer(const aligned_buffer& other) {
+    allocate(other.size_);
+    std::copy_n(other.data_.get(), size_, data_.get());
+  }
+  aligned_buffer& operator=(const aligned_buffer& other) {
+    if (this != &other) {
+      allocate(other.size_);
+      std::copy_n(other.data_.get(), size_, data_.get());
+    }
+    return *this;
+  }
+  aligned_buffer(aligned_buffer&&) noexcept = default;
+  aligned_buffer& operator=(aligned_buffer&&) noexcept = default;
+
+  /// Discards contents; new contents are uninitialized.
+  void reset(std::size_t n) { allocate(n); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  T* data() noexcept { return data_.get(); }
+  const T* data() const noexcept { return data_.get(); }
+
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  T* begin() noexcept { return data(); }
+  T* end() noexcept { return data() + size_; }
+  const T* begin() const noexcept { return data(); }
+  const T* end() const noexcept { return data() + size_; }
+
+  void fill(const T& v) { std::fill_n(data_.get(), size_, v); }
+
+ private:
+  struct free_deleter {
+    void operator()(T* p) const noexcept { std::free(p); }
+  };
+
+  void allocate(std::size_t n) {
+    size_ = n;
+    if (n == 0) {
+      data_.reset();
+      return;
+    }
+    // round byte count up to the alignment as aligned_alloc requires
+    std::size_t bytes = (n * sizeof(T) + kAlignment - 1) / kAlignment * kAlignment;
+    T* p = static_cast<T*>(std::aligned_alloc(kAlignment, bytes));
+    if (p == nullptr) throw std::bad_alloc();
+    data_.reset(p);
+  }
+
+  std::unique_ptr<T[], free_deleter> data_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace pcf

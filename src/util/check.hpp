@@ -1,0 +1,46 @@
+// Error handling: PCF_REQUIRE for recoverable precondition violations
+// (throws), PCF_ASSERT for internal invariants (aborts in debug builds).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pcf {
+
+/// Exception thrown on violated preconditions in the public API.
+class precondition_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Exception thrown when a numerical routine fails (e.g. singular matrix).
+class numerical_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": requirement failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw precondition_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace pcf
+
+#define PCF_REQUIRE(expr, msg)                                              \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::pcf::detail::throw_precondition(#expr, __FILE__, __LINE__, (msg));  \
+  } while (0)
+
+#ifdef NDEBUG
+#define PCF_ASSERT(expr) ((void)0)
+#else
+#include <cassert>
+#define PCF_ASSERT(expr) assert(expr)
+#endif

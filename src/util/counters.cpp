@@ -1,0 +1,56 @@
+#include "util/counters.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <vector>
+
+namespace pcf::counters {
+namespace {
+
+std::mutex g_mutex;
+op_counts g_total;
+std::vector<op_counts*> g_locals;  // live threads' buckets, guarded by g_mutex
+
+/// Each thread's bucket folds itself into the global total and drops out of
+/// the registry on thread exit, so drain() never sees a dangling pointer.
+struct local_holder {
+  op_counts counts;
+
+  local_holder() {
+    std::lock_guard<std::mutex> lk(g_mutex);
+    g_locals.push_back(&counts);
+  }
+  ~local_holder() {
+    std::lock_guard<std::mutex> lk(g_mutex);
+    g_total += counts;
+    g_locals.erase(std::find(g_locals.begin(), g_locals.end(), &counts));
+  }
+};
+
+}  // namespace
+
+op_counts& local() {
+  static thread_local local_holder holder;
+  return holder.counts;
+}
+
+void drain() {
+  std::lock_guard<std::mutex> lk(g_mutex);
+  for (op_counts* c : g_locals) {
+    g_total += *c;
+    *c = op_counts{};
+  }
+}
+
+op_counts total() {
+  std::lock_guard<std::mutex> lk(g_mutex);
+  return g_total;
+}
+
+void reset() {
+  std::lock_guard<std::mutex> lk(g_mutex);
+  g_total = op_counts{};
+  for (op_counts* c : g_locals) *c = op_counts{};
+}
+
+}  // namespace pcf::counters

@@ -1,0 +1,50 @@
+// Flop/byte instrumentation.
+//
+// The paper characterizes its kernels with IBM's HPM hardware counters
+// (Table 2). We have no hardware counters here, so kernels account their
+// floating-point operations and memory traffic explicitly; the netsim
+// machine models turn these counts into predicted GFlops / DDR-traffic
+// figures for the same kernels.
+#pragma once
+
+#include <cstdint>
+
+namespace pcf {
+
+/// Aggregated operation counts for one kernel invocation (or accumulated
+/// over many). Thread-local accumulation keeps hot loops contention-free;
+/// call `counters::drain()` after a parallel region to fold into totals.
+struct op_counts {
+  std::uint64_t flops = 0;        // floating point add/mul/fma(=2)
+  std::uint64_t bytes_read = 0;   // bytes loaded from arrays
+  std::uint64_t bytes_written = 0;
+
+  op_counts& operator+=(const op_counts& o) {
+    flops += o.flops;
+    bytes_read += o.bytes_read;
+    bytes_written += o.bytes_written;
+    return *this;
+  }
+};
+
+namespace counters {
+
+/// Thread-local counter bucket (cheap to update in hot code).
+op_counts& local();
+
+/// Fold every thread's local bucket into the global total and zero them.
+/// Must be called from a serial section.
+void drain();
+
+/// Global accumulated counts (after drain()).
+op_counts total();
+
+/// Zero the global total and all thread-local buckets seen so far.
+void reset();
+
+inline void add_flops(std::uint64_t n) { local().flops += n; }
+inline void add_read(std::uint64_t n) { local().bytes_read += n; }
+inline void add_written(std::uint64_t n) { local().bytes_written += n; }
+
+}  // namespace counters
+}  // namespace pcf

@@ -1,0 +1,72 @@
+// Lightweight non-owning strided views over 2-D and 3-D arrays.
+//
+// The DNS code stores fields as contiguous row-major blocks whose logical
+// axis order changes as pencils are transposed; these views give kernels a
+// readable (i,j,k) interface without hiding the underlying layout.
+#pragma once
+
+#include <cstddef>
+
+#include "util/check.hpp"
+
+namespace pcf {
+
+/// Non-owning view of a row-major n0 x n1 matrix (stride may exceed n1).
+template <class T>
+class view2d {
+ public:
+  view2d() = default;
+  view2d(T* data, std::size_t n0, std::size_t n1)
+      : data_(data), n0_(n0), n1_(n1), stride_(n1) {}
+  view2d(T* data, std::size_t n0, std::size_t n1, std::size_t stride)
+      : data_(data), n0_(n0), n1_(n1), stride_(stride) {
+    PCF_ASSERT(stride >= n1);
+  }
+
+  T& operator()(std::size_t i, std::size_t j) const noexcept {
+    PCF_ASSERT(i < n0_ && j < n1_);
+    return data_[i * stride_ + j];
+  }
+
+  T* row(std::size_t i) const noexcept { return data_ + i * stride_; }
+
+  [[nodiscard]] std::size_t extent0() const noexcept { return n0_; }
+  [[nodiscard]] std::size_t extent1() const noexcept { return n1_; }
+  [[nodiscard]] std::size_t stride() const noexcept { return stride_; }
+  T* data() const noexcept { return data_; }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t n0_ = 0, n1_ = 0, stride_ = 0;
+};
+
+/// Non-owning view of a contiguous row-major n0 x n1 x n2 block.
+template <class T>
+class view3d {
+ public:
+  view3d() = default;
+  view3d(T* data, std::size_t n0, std::size_t n1, std::size_t n2)
+      : data_(data), n0_(n0), n1_(n1), n2_(n2) {}
+
+  T& operator()(std::size_t i, std::size_t j, std::size_t k) const noexcept {
+    PCF_ASSERT(i < n0_ && j < n1_ && k < n2_);
+    return data_[(i * n1_ + j) * n2_ + k];
+  }
+
+  /// Contiguous innermost line at (i, j).
+  T* line(std::size_t i, std::size_t j) const noexcept {
+    return data_ + (i * n1_ + j) * n2_;
+  }
+
+  [[nodiscard]] std::size_t extent0() const noexcept { return n0_; }
+  [[nodiscard]] std::size_t extent1() const noexcept { return n1_; }
+  [[nodiscard]] std::size_t extent2() const noexcept { return n2_; }
+  [[nodiscard]] std::size_t size() const noexcept { return n0_ * n1_ * n2_; }
+  T* data() const noexcept { return data_; }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t n0_ = 0, n1_ = 0, n2_ = 0;
+};
+
+}  // namespace pcf

@@ -1,0 +1,55 @@
+// Deterministic pseudo-random number generation for initial conditions,
+// test matrices and synthetic workloads. SplitMix64 core: reproducible
+// across platforms (unlike distribution-dependent std:: facilities).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace pcf {
+
+/// SplitMix64: tiny, fast, well-distributed; one 64-bit state word.
+class rng {
+ public:
+  explicit rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Standard normal via Marsaglia polar method.
+  double normal() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    double m = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * m;
+    have_spare_ = true;
+    return u * m;
+  }
+
+ private:
+  std::uint64_t state_;
+  double spare_ = 0.0;
+  bool have_spare_ = false;
+};
+
+}  // namespace pcf

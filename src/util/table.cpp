@@ -1,0 +1,67 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace pcf {
+
+text_table::text_table(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void text_table::add_row(std::vector<std::string> cells) {
+  PCF_REQUIRE(cells.size() == header_.size(),
+              "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string text_table::str() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ") << std::setw(static_cast<int>(width[c]))
+         << row[c];
+    }
+    os << " |\n";
+  };
+  emit(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << (c == 0 ? "|" : "|") << std::string(width[c] + 2, '-');
+  }
+  os << "|\n";
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string text_table::fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::setprecision(precision) << std::fixed << v;
+  return os.str();
+}
+
+std::string text_table::fmt_pct(double fraction, int precision) {
+  std::ostringstream os;
+  os << std::setprecision(precision) << std::fixed << 100.0 * fraction << '%';
+  return os.str();
+}
+
+std::string text_table::fmt_time(double seconds) {
+  std::ostringstream os;
+  if (seconds >= 1.0)
+    os << std::setprecision(3) << std::fixed << seconds << " s";
+  else if (seconds >= 1e-3)
+    os << std::setprecision(3) << std::fixed << seconds * 1e3 << " ms";
+  else
+    os << std::setprecision(3) << std::fixed << seconds * 1e6 << " us";
+  return os.str();
+}
+
+}  // namespace pcf

@@ -1,0 +1,31 @@
+// Plain-text table formatting for the benchmark harness, so each bench
+// binary can print rows in the same layout as the paper's tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pcf {
+
+/// Accumulates rows of string cells and renders an aligned text table.
+class text_table {
+ public:
+  explicit text_table(std::vector<std::string> header);
+
+  /// Append one row; must have the same number of cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment and a header separator.
+  [[nodiscard]] std::string str() const;
+
+  /// Number formatting helpers used throughout the bench harness.
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt_pct(double fraction, int precision = 1);
+  static std::string fmt_time(double seconds);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pcf

@@ -1,0 +1,111 @@
+#include "util/thread_pool.hpp"
+
+#include "util/check.hpp"
+
+namespace pcf {
+
+thread_pool::thread_pool(int num_threads) : num_threads_(num_threads) {
+  PCF_REQUIRE(num_threads >= 1, "thread_pool needs at least one thread");
+  workers_.reserve(static_cast<std::size_t>(num_threads - 1));
+  for (int id = 1; id < num_threads; ++id)
+    workers_.emplace_back([this, id] { worker_loop(id); });
+}
+
+thread_pool::~thread_pool() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    shutdown_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void thread_pool::chunk(std::size_t n, int tid, std::size_t& begin,
+                        std::size_t& end) const {
+  const auto t = static_cast<std::size_t>(num_threads_);
+  const std::size_t base = n / t, rem = n % t;
+  const auto u = static_cast<std::size_t>(tid);
+  begin = u * base + std::min(u, rem);
+  end = begin + base + (u < rem ? 1 : 0);
+}
+
+void thread_pool::worker_loop(int id) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t, std::size_t)>* rfn;
+    const std::function<void(int)>* tfn;
+    std::size_t n;
+    {
+      std::unique_lock<std::mutex> lk(mutex_);
+      cv_start_.wait(lk, [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      rfn = range_fn_;
+      tfn = thread_fn_;
+      n = task_n_;
+    }
+    if (rfn != nullptr) {
+      std::size_t b, e;
+      chunk(n, id, b, e);
+      if (b < e) (*rfn)(b, e);
+    } else if (tfn != nullptr) {
+      (*tfn)(id);
+    }
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      if (--pending_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void thread_pool::dispatch_and_wait() {
+  // Caller participates as thread 0.
+  if (range_fn_ != nullptr) {
+    std::size_t b, e;
+    chunk(task_n_, 0, b, e);
+    if (b < e) (*range_fn_)(b, e);
+  } else if (thread_fn_ != nullptr) {
+    (*thread_fn_)(0);
+  }
+  std::unique_lock<std::mutex> lk(mutex_);
+  cv_done_.wait(lk, [&] { return pending_ == 0; });
+  range_fn_ = nullptr;
+  thread_fn_ = nullptr;
+}
+
+void thread_pool::run(std::size_t n,
+                      const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (num_threads_ == 1 || n <= 1) {
+    if (n > 0) fn(0, n);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    range_fn_ = &fn;
+    thread_fn_ = nullptr;
+    task_n_ = n;
+    pending_ = num_threads_ - 1;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  dispatch_and_wait();
+}
+
+void thread_pool::run_per_thread(const std::function<void(int)>& fn) {
+  if (num_threads_ == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    range_fn_ = nullptr;
+    thread_fn_ = &fn;
+    task_n_ = 0;
+    pending_ = num_threads_ - 1;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  dispatch_and_wait();
+}
+
+}  // namespace pcf

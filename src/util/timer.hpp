@@ -1,0 +1,49 @@
+// Wall-clock timing, the moral equivalent of the paper's MPI_Wtime() use.
+#pragma once
+
+#include <chrono>
+
+namespace pcf {
+
+/// Monotonic wall-clock stopwatch.
+class wall_timer {
+  using clock = std::chrono::steady_clock;
+
+ public:
+  wall_timer() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or last restart().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  clock::time_point start_;
+};
+
+/// Accumulates time across start/stop intervals, e.g. per code section
+/// (transpose / FFT / N-S advance) as in the paper's Tables 9-10.
+class section_timer {
+ public:
+  void start() { t_.restart(); running_ = true; }
+  void stop() {
+    if (running_) {
+      total_ += t_.seconds();
+      ++count_;
+      running_ = false;
+    }
+  }
+  [[nodiscard]] double total() const { return total_; }
+  [[nodiscard]] long count() const { return count_; }
+  void reset() { total_ = 0.0; count_ = 0; running_ = false; }
+
+ private:
+  wall_timer t_;
+  double total_ = 0.0;
+  long count_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace pcf

@@ -1,0 +1,156 @@
+// Virtual MPI: an in-process message-passing runtime.
+//
+// The paper's machines (Mira, Stampede, Lonestar, Blue Waters) are not
+// available here, so the pencil-transpose communication runs on this
+// runtime instead: ranks are threads in one process, and the collectives
+// exchange data through shared memory. What it preserves from real MPI is
+// exactly what the DNS code depends on — communicator/sub-communicator
+// topology (MPI_Cart_create / MPI_Cart_sub), alltoall(v) semantics, and the
+// pairwise-exchange pattern FFTW's transpose planner generates — so the
+// transpose code paths are the genuine ones and are testable at 4-64 ranks.
+//
+// Simplification relative to MPI: every operation is *bulk-synchronous* —
+// all ranks of a communicator must call the same operation together (the
+// natural structure of a spectral DNS timestep). There is no tag matching
+// or unexpected-message queue.
+//
+// Per-communicator byte/call statistics are recorded so benchmarks can
+// report communication volumes, and so the netsim machine models can be
+// applied to measured traffic.
+#pragma once
+
+#include <atomic>
+#include <complex>
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace pcf::vmpi {
+
+/// Aggregate communication statistics for one communicator (shared across
+/// its ranks; byte counts are totals over all ranks).
+struct comm_stats {
+  std::uint64_t alltoall_calls = 0;
+  std::uint64_t exchange_calls = 0;
+  std::uint64_t reduce_calls = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+namespace detail {
+struct group_state;
+}
+
+/// One rank's handle to a communicator. Copyable; all copies refer to the
+/// same shared group.
+class communicator {
+ public:
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const;
+
+  /// Synchronize all ranks of this communicator.
+  void barrier();
+
+  /// MPI_Alltoall: send block r (count elements) to rank r; receive block r
+  /// from rank r.
+  template <class T>
+  void alltoall(const T* send, T* recv, std::size_t count) {
+    alltoall_bytes(send, recv, count * sizeof(T));
+  }
+
+  /// MPI_Alltoallv with std::size_t counts/displacements in *elements*.
+  template <class T>
+  void alltoallv(const T* send, const std::size_t* scounts,
+                 const std::size_t* sdispls, T* recv,
+                 const std::size_t* rcounts, const std::size_t* rdispls) {
+    alltoallv_bytes(send, scounts, sdispls, recv, rcounts, rdispls, sizeof(T));
+  }
+
+  /// Pairwise exchange (MPI_Sendrecv where every rank participates):
+  /// send `scount` elements to `dest`; receive into recv from whichever
+  /// rank targeted this one. The dest assignment must be a permutation.
+  template <class T>
+  void exchange(const T* send, std::size_t scount, int dest, T* recv,
+                std::size_t rcount) {
+    exchange_bytes(send, scount * sizeof(T), dest, recv, rcount * sizeof(T));
+  }
+
+  /// Element-wise reductions over all ranks; every rank gets the result.
+  void allreduce_sum(const double* send, double* recv, std::size_t count);
+  void allreduce_sum(const std::complex<double>* send,
+                     std::complex<double>* recv, std::size_t count);
+  void allreduce_max(const double* send, double* recv, std::size_t count);
+  void allreduce_min(const double* send, double* recv, std::size_t count);
+
+  /// Broadcast count*sizeof(T) bytes from root.
+  template <class T>
+  void bcast(T* data, std::size_t count, int root) {
+    bcast_bytes(data, count * sizeof(T), root);
+  }
+
+  /// Gather equal-size blocks to every rank.
+  template <class T>
+  void allgather(const T* send, T* recv, std::size_t count) {
+    allgather_bytes(send, recv, count * sizeof(T));
+  }
+
+  /// MPI_Comm_split: ranks with equal color form a new communicator,
+  /// ordered by (key, rank). Collective.
+  communicator split(int color, int key);
+
+  /// Shared statistics for this communicator.
+  [[nodiscard]] comm_stats stats() const;
+
+ private:
+  friend void run_world(int, const std::function<void(communicator&)>&);
+  communicator(std::shared_ptr<detail::group_state> state, int rank)
+      : state_(std::move(state)), rank_(rank) {}
+
+  void alltoall_bytes(const void* send, void* recv, std::size_t bytes);
+  void alltoallv_bytes(const void* send, const std::size_t* scounts,
+                       const std::size_t* sdispls, void* recv,
+                       const std::size_t* rcounts, const std::size_t* rdispls,
+                       std::size_t elem_size);
+  void exchange_bytes(const void* send, std::size_t sbytes, int dest,
+                      void* recv, std::size_t rbytes);
+  void bcast_bytes(void* data, std::size_t bytes, int root);
+  void allgather_bytes(const void* send, void* recv, std::size_t bytes);
+
+  std::shared_ptr<detail::group_state> state_;
+  int rank_ = 0;
+};
+
+/// Launch `nranks` threads each running fn with its world communicator.
+/// Exceptions thrown by any rank are rethrown (first one wins) after all
+/// ranks have been joined.
+void run_world(int nranks, const std::function<void(communicator&)>& fn);
+
+/// 2-D Cartesian process grid P_A x P_B with row-major rank placement
+/// (rank = a * P_B + b), mirroring the paper's MPI_Cart_create usage:
+/// CommB groups ranks that are *contiguous* (node-local when P_B divides
+/// the cores per node — the layout Table 5 shows is fastest), CommA groups
+/// strided ranks.
+class cart2d {
+ public:
+  cart2d(communicator& world, int pa, int pb);
+
+  [[nodiscard]] int coord_a() const { return a_; }
+  [[nodiscard]] int coord_b() const { return b_; }
+  [[nodiscard]] int pa() const { return pa_; }
+  [[nodiscard]] int pb() const { return pb_; }
+  /// Sub-communicator over ranks with the same B coordinate (size P_A).
+  communicator& comm_a() { return comm_a_; }
+  /// Sub-communicator over ranks with the same A coordinate (size P_B).
+  communicator& comm_b() { return comm_b_; }
+
+ private:
+  int pa_, pb_, a_, b_;
+  communicator comm_a_, comm_b_;
+};
+
+}  // namespace pcf::vmpi

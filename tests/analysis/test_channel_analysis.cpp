@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/channel.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using pcf::analysis::check_stress_balance;
+using pcf::analysis::fit_loglaw;
+using pcf::analysis::indicator_function;
+
+/// Synthetic profile obeying an exact log law in a band.
+void make_loglaw_profile(double kappa, double B, std::vector<double>& yp,
+                         std::vector<double>& up) {
+  for (double y = 1.0; y < 400.0; y *= 1.15) {
+    yp.push_back(y);
+    up.push_back(y < 10.0 ? y : std::log(y) / kappa + B);
+  }
+}
+
+TEST(LogLaw, RecoversKappaAndB) {
+  std::vector<double> yp, up;
+  make_loglaw_profile(0.41, 5.2, yp, up);
+  auto f = fit_loglaw(yp, up, 30.0, 300.0);
+  EXPECT_NEAR(f.kappa, 0.41, 1e-10);
+  EXPECT_NEAR(f.B, 5.2, 1e-9);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+  EXPECT_GE(f.points_used, 3u);
+}
+
+TEST(LogLaw, DifferentConstantsAreDistinguished) {
+  std::vector<double> yp, up;
+  make_loglaw_profile(0.38, 4.5, yp, up);
+  auto f = fit_loglaw(yp, up, 30.0, 300.0);
+  EXPECT_NEAR(f.kappa, 0.38, 1e-10);
+  EXPECT_NEAR(f.B, 4.5, 1e-9);
+}
+
+TEST(LogLaw, RejectsEmptyBandAndDecreasingProfiles) {
+  std::vector<double> yp{1, 2, 3}, up{1, 2, 3};
+  EXPECT_THROW(fit_loglaw(yp, up, 100.0, 200.0), pcf::precondition_error);
+  std::vector<double> yp2, up2;
+  make_loglaw_profile(0.41, 5.2, yp2, up2);
+  for (auto& u : up2) u = -u;
+  EXPECT_THROW(fit_loglaw(yp2, up2, 30.0, 300.0), pcf::precondition_error);
+}
+
+TEST(LogLaw, IndicatorFlatInLogLayer) {
+  std::vector<double> yp, up;
+  make_loglaw_profile(0.40, 5.0, yp, up);
+  auto xi = indicator_function(yp, up);
+  for (std::size_t i = 0; i < yp.size(); ++i) {
+    if (yp[i] > 40.0 && yp[i] < 250.0)
+      EXPECT_NEAR(xi[i], 1.0 / 0.40, 0.05) << yp[i];
+  }
+}
+
+TEST(StressBalance, ExactLaminarProfileBalances) {
+  // Laminar: U = Re (1 - y^2) / 2, <uv> = 0: nu dU/dy = -y exactly.
+  const double re = 180.0;
+  std::vector<double> y, u, uv;
+  for (int i = 0; i <= 64; ++i) {
+    y.push_back(-1.0 + 2.0 * i / 64.0);
+    u.push_back(re * 0.5 * (1.0 - y.back() * y.back()));
+    uv.push_back(0.0);
+  }
+  auto b = check_stress_balance(y, u, uv, re);
+  EXPECT_LT(b.max_error, 1e-10);  // quadratic profile: derivative exact
+  for (std::size_t i = 0; i < y.size(); ++i)
+    EXPECT_NEAR(b.total[i], -y[i], 1e-10);
+}
+
+TEST(StressBalance, DetectsUnconvergedStatistics) {
+  // Perturb <uv>: the residual must report it.
+  const double re = 100.0;
+  std::vector<double> y, u, uv;
+  for (int i = 0; i <= 32; ++i) {
+    y.push_back(-1.0 + 2.0 * i / 32.0);
+    u.push_back(re * 0.5 * (1.0 - y.back() * y.back()));
+    uv.push_back(0.05 * std::sin(3.0 * y.back()));
+  }
+  auto b = check_stress_balance(y, u, uv, re);
+  EXPECT_GT(b.max_error, 0.03);
+}
+
+TEST(StressBalance, SplitsViscousAndTurbulentParts) {
+  const double re = 50.0;
+  std::vector<double> y{-1.0, -0.5, 0.0, 0.5, 1.0};
+  std::vector<double> u{0.0, 10.0, 14.0, 10.0, 0.0};
+  std::vector<double> uv{0.0, -0.3, 0.0, 0.3, 0.0};
+  auto b = check_stress_balance(y, u, uv, re);
+  ASSERT_EQ(b.viscous.size(), y.size());
+  EXPECT_DOUBLE_EQ(b.turbulent[1], 0.3);
+  EXPECT_DOUBLE_EQ(b.total[1], b.viscous[1] + b.turbulent[1]);
+  EXPECT_DOUBLE_EQ(b.expected[1], 0.5);
+}
+
+}  // namespace

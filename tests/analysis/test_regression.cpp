@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/regression.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using pcf::analysis::derivative;
+using pcf::analysis::fit_linear;
+
+TEST(Regression, ExactLineRecovered) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(0.3 * i - 2.0);
+    y.push_back(1.7 * x.back() - 0.4);
+  }
+  auto f = fit_linear(x, y);
+  EXPECT_NEAR(f.slope, 1.7, 1e-12);
+  EXPECT_NEAR(f.intercept, -0.4, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(Regression, NoisyLineFitsApproximately) {
+  pcf::rng r(5);
+  std::vector<double> x, y;
+  for (int i = 0; i < 500; ++i) {
+    x.push_back(i * 0.01);
+    y.push_back(2.0 * x.back() + 1.0 + 0.05 * r.normal());
+  }
+  auto f = fit_linear(x, y);
+  EXPECT_NEAR(f.slope, 2.0, 0.02);
+  EXPECT_NEAR(f.intercept, 1.0, 0.02);
+  EXPECT_GT(f.r2, 0.99);
+}
+
+TEST(Regression, RejectsDegenerateInput) {
+  EXPECT_THROW(fit_linear({1.0}, {2.0}), pcf::precondition_error);
+  EXPECT_THROW(fit_linear({1.0, 2.0}, {2.0}), pcf::precondition_error);
+  EXPECT_THROW(fit_linear({3.0, 3.0}, {1.0, 2.0}), pcf::precondition_error);
+}
+
+TEST(Derivative, ExactForQuadraticsOnNonuniformGrid) {
+  // The three-point formula is exact for polynomials up to degree 2.
+  std::vector<double> x{0.0, 0.1, 0.35, 0.7, 1.2, 2.0};
+  std::vector<double> y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    y[i] = 3.0 * x[i] * x[i] - 2.0 * x[i] + 1.0;
+  auto d = derivative(x, y);
+  for (std::size_t i = 1; i + 1 < x.size(); ++i)
+    EXPECT_NEAR(d[i], 6.0 * x[i] - 2.0, 1e-12) << i;
+}
+
+TEST(Derivative, ConvergesForSine) {
+  for (int n : {20, 40}) {
+    std::vector<double> x(static_cast<std::size_t>(n)), y(x.size());
+    for (int i = 0; i < n; ++i) {
+      x[static_cast<std::size_t>(i)] = static_cast<double>(i) / (n - 1);
+      y[static_cast<std::size_t>(i)] = std::sin(3.0 * x[static_cast<std::size_t>(i)]);
+    }
+    auto d = derivative(x, y);
+    double err = 0.0;
+    for (std::size_t i = 1; i + 1 < x.size(); ++i)
+      err = std::max(err, std::abs(d[i] - 3.0 * std::cos(3.0 * x[i])));
+    EXPECT_LT(err, 50.0 / (n * n));  // second order
+  }
+}
+
+}  // namespace

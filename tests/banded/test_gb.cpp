@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <vector>
+
+#include "banded/gb.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using pcf::banded::cplx;
+using pcf::banded::gb_matrix;
+
+/// Dense mirror used to verify banded results: y = A x.
+template <class T>
+std::vector<T> dense_apply(const std::vector<std::vector<T>>& A,
+                           const std::vector<T>& x) {
+  const std::size_t n = A.size();
+  std::vector<T> y(n, T{});
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) y[i] += A[i][j] * x[j];
+  return y;
+}
+
+/// Random diagonally dominant banded matrix; fills both the gb_matrix and a
+/// dense mirror.
+template <class T>
+std::vector<std::vector<T>> fill_random(gb_matrix<T>& M, std::uint64_t seed) {
+  const int n = M.n();
+  pcf::rng r(seed);
+  std::vector<std::vector<T>> dense(static_cast<std::size_t>(n),
+                                    std::vector<T>(static_cast<std::size_t>(n), T{}));
+  for (int i = 0; i < n; ++i) {
+    double rowsum = 0.0;
+    for (int j = std::max(0, i - M.kl()); j <= std::min(n - 1, i + M.ku());
+         ++j) {
+      if (j == i) continue;
+      T v;
+      if constexpr (std::is_same_v<T, cplx>)
+        v = cplx{r.uniform(-1, 1), r.uniform(-1, 1)};
+      else
+        v = r.uniform(-1, 1);
+      M.at(i, j) = v;
+      dense[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = v;
+      rowsum += std::abs(v);
+    }
+    const T d = T(rowsum + 1.0);
+    M.at(i, i) = d;
+    dense[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] = d;
+  }
+  return dense;
+}
+
+class GbShapes : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GbShapes, SolveRecoversKnownSolution) {
+  const auto [n, kl, ku] = GetParam();
+  gb_matrix<double> M(n, kl, ku);
+  auto dense = fill_random(M, 7 * static_cast<std::uint64_t>(n) + kl);
+  pcf::rng r(99);
+  std::vector<double> x_true(static_cast<std::size_t>(n));
+  for (auto& v : x_true) v = r.uniform(-2, 2);
+  auto b = dense_apply(dense, x_true);
+  M.factorize();
+  M.solve(b.data());
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(b[static_cast<std::size_t>(i)],
+                                          x_true[static_cast<std::size_t>(i)],
+                                          1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GbShapes,
+    ::testing::Values(std::make_tuple(1, 0, 0), std::make_tuple(5, 1, 1),
+                      std::make_tuple(16, 2, 3), std::make_tuple(33, 3, 2),
+                      std::make_tuple(64, 7, 7), std::make_tuple(100, 4, 9),
+                      std::make_tuple(128, 15, 15)));
+
+TEST(Gb, ComplexMatrixComplexRhs) {
+  const int n = 40, k = 3;
+  gb_matrix<cplx> M(n, k, k);
+  auto dense = fill_random(M, 5);
+  pcf::rng r(3);
+  std::vector<cplx> x_true(n);
+  for (auto& v : x_true) v = cplx{r.uniform(-1, 1), r.uniform(-1, 1)};
+  auto b = dense_apply(dense, x_true);
+  M.factorize();
+  M.solve(b.data());
+  for (int i = 0; i < n; ++i)
+    EXPECT_LT(std::abs(b[static_cast<std::size_t>(i)] -
+                       x_true[static_cast<std::size_t>(i)]),
+              1e-10);
+}
+
+TEST(Gb, RealMatrixComplexRhsMatchesSplitSolves) {
+  const int n = 50, k = 4;
+  gb_matrix<double> M(n, k, k);
+  auto dense = fill_random(M, 11);
+  pcf::rng r(13);
+  std::vector<cplx> b(n);
+  for (auto& v : b) v = cplx{r.uniform(-1, 1), r.uniform(-1, 1)};
+  std::vector<double> re(n), im(n);
+  for (int i = 0; i < n; ++i) {
+    re[static_cast<std::size_t>(i)] = b[static_cast<std::size_t>(i)].real();
+    im[static_cast<std::size_t>(i)] = b[static_cast<std::size_t>(i)].imag();
+  }
+  M.factorize();
+  M.solve(b.data());
+  M.solve(re.data());
+  M.solve(im.data());
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(b[static_cast<std::size_t>(i)].real(),
+                re[static_cast<std::size_t>(i)], 1e-12);
+    EXPECT_NEAR(b[static_cast<std::size_t>(i)].imag(),
+                im[static_cast<std::size_t>(i)], 1e-12);
+  }
+}
+
+TEST(Gb, PivotingHandlesZeroDiagonal) {
+  // [[0, 1], [1, 0]] requires a row interchange.
+  gb_matrix<double> M(2, 1, 1);
+  M.at(0, 1) = 1.0;
+  M.at(1, 0) = 1.0;
+  M.at(0, 0) = 0.0;
+  M.at(1, 1) = 0.0;
+  std::vector<double> b{3.0, 4.0};
+  M.factorize();
+  M.solve(b.data());
+  EXPECT_NEAR(b[0], 4.0, 1e-14);
+  EXPECT_NEAR(b[1], 3.0, 1e-14);
+}
+
+TEST(Gb, SingularMatrixThrows) {
+  gb_matrix<double> M(3, 1, 1);
+  // Column 1 identically zero -> singular.
+  M.at(0, 0) = 1.0;
+  M.at(2, 2) = 1.0;
+  EXPECT_THROW(M.factorize(), pcf::numerical_error);
+}
+
+TEST(Gb, SolveBeforeFactorizeThrows) {
+  gb_matrix<double> M(3, 1, 1);
+  std::vector<double> b(3, 1.0);
+  EXPECT_THROW(M.solve(b.data()), pcf::precondition_error);
+}
+
+TEST(Gb, AtRejectsOutOfBand) {
+  gb_matrix<double> M(10, 1, 2);
+  EXPECT_THROW(M.at(0, 3), pcf::precondition_error);
+  EXPECT_THROW(M.at(5, 3), pcf::precondition_error);
+  EXPECT_NO_THROW(M.at(5, 4));
+  EXPECT_NO_THROW(M.at(5, 7));
+}
+
+TEST(Gb, SolveManyAppliesEachRhs) {
+  const int n = 20, k = 2, nrhs = 3;
+  gb_matrix<double> M(n, k, k);
+  auto dense = fill_random(M, 21);
+  pcf::rng r(2);
+  std::vector<double> xs(static_cast<std::size_t>(n) * nrhs);
+  for (auto& v : xs) v = r.uniform(-1, 1);
+  std::vector<double> bs(xs.size());
+  for (int q = 0; q < nrhs; ++q) {
+    std::vector<double> x(xs.begin() + q * n, xs.begin() + (q + 1) * n);
+    auto b = dense_apply(dense, x);
+    std::copy(b.begin(), b.end(), bs.begin() + q * n);
+  }
+  M.factorize();
+  M.solve_many(bs.data(), nrhs, static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < xs.size(); ++i) EXPECT_NEAR(bs[i], xs[i], 1e-10);
+}
+
+TEST(Gb, StorageBytesMatchesLapackLayout) {
+  gb_matrix<double> M(100, 3, 3);
+  // (2*kl + ku + 1) * n doubles plus pivot array.
+  EXPECT_EQ(M.storage_bytes(), (2 * 3 + 3 + 1) * 100 * sizeof(double) +
+                                   100 * sizeof(int));
+}
+
+}  // namespace

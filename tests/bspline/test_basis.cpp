@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "bspline/bspline.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using pcf::bspline::basis;
+
+class BasisDegrees : public ::testing::TestWithParam<int> {};
+
+TEST_P(BasisDegrees, PartitionOfUnity) {
+  const int p = GetParam();
+  auto b = basis::uniform(-1.0, 1.0, 12, p);
+  std::vector<double> N(static_cast<std::size_t>(p) + 1);
+  for (int s = 0; s <= 200; ++s) {
+    const double x = -1.0 + 2.0 * s / 200.0;
+    b.eval(x, N.data());
+    double sum = 0.0;
+    for (double v : N) sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-13) << "x=" << x;
+  }
+}
+
+TEST_P(BasisDegrees, BasisValuesNonnegative) {
+  const int p = GetParam();
+  auto b = basis::uniform(0.0, 3.0, 9, p);
+  std::vector<double> N(static_cast<std::size_t>(p) + 1);
+  for (int s = 0; s <= 100; ++s) {
+    const double x = 3.0 * s / 100.0;
+    b.eval(x, N.data());
+    for (double v : N) EXPECT_GE(v, -1e-14);
+  }
+}
+
+TEST_P(BasisDegrees, DerivativeOfUnityIsZero) {
+  const int p = GetParam();
+  auto b = basis::uniform(-2.0, 2.0, 10, p);
+  std::vector<double> ders(2 * static_cast<std::size_t>(p + 1));
+  for (int s = 1; s < 50; ++s) {
+    const double x = -2.0 + 4.0 * s / 50.0;
+    b.eval_derivs(x, 1, ders.data());
+    double sum = 0.0;
+    for (int c = 0; c <= p; ++c) sum += ders[static_cast<std::size_t>(p + 1 + c)];
+    EXPECT_NEAR(sum, 0.0, 1e-11);
+  }
+}
+
+TEST_P(BasisDegrees, EvalDerivsRowZeroMatchesEval) {
+  const int p = GetParam();
+  auto b = basis::uniform(0.0, 1.0, 8, p);
+  std::vector<double> N(static_cast<std::size_t>(p) + 1);
+  std::vector<double> ders(3 * static_cast<std::size_t>(p + 1));
+  for (int s = 0; s <= 40; ++s) {
+    const double x = s / 40.0;
+    const int f1 = b.eval(x, N.data());
+    const int f2 = b.eval_derivs(x, 2, ders.data());
+    EXPECT_EQ(f1, f2);
+    for (int c = 0; c <= p; ++c)
+      EXPECT_NEAR(N[static_cast<std::size_t>(c)], ders[static_cast<std::size_t>(c)], 1e-14);
+  }
+}
+
+TEST_P(BasisDegrees, DerivativesMatchFiniteDifferences) {
+  const int p = GetParam();
+  auto b = basis::uniform(-1.0, 1.0, 7, p);
+  const int n = b.size();
+  // A fixed smooth coefficient vector.
+  std::vector<double> c(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) c[static_cast<std::size_t>(i)] = std::sin(0.7 * i);
+  const double h = 1e-6;
+  for (double x : {-0.63, -0.21, 0.0, 0.37, 0.82}) {
+    const double d_exact = b.spline_deriv(c.data(), x, 1);
+    const double d_fd =
+        (b.spline_value(c.data(), x + h) - b.spline_value(c.data(), x - h)) /
+        (2 * h);
+    EXPECT_NEAR(d_exact, d_fd, 1e-5 * std::max(1.0, std::abs(d_exact)));
+    const double d2_exact = b.spline_deriv(c.data(), x, 2);
+    const double d2_fd = (b.spline_value(c.data(), x + h) -
+                          2 * b.spline_value(c.data(), x) +
+                          b.spline_value(c.data(), x - h)) /
+                         (h * h);
+    EXPECT_NEAR(d2_exact, d2_fd, 1e-2 * std::max(1.0, std::abs(d2_exact)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, BasisDegrees, ::testing::Values(1, 2, 3, 5, 7));
+
+TEST(Basis, SizesAndKnots) {
+  auto b = basis::uniform(0.0, 1.0, 10, 7);
+  EXPECT_EQ(b.size(), 17);             // intervals + degree
+  EXPECT_EQ(b.knots().size(), 25u);    // n + p + 1
+  EXPECT_EQ(b.degree(), 7);
+  EXPECT_EQ(b.knots().front(), 0.0);
+  EXPECT_EQ(b.knots().back(), 1.0);
+}
+
+TEST(Basis, GrevillePointsSpanDomainAndAreIncreasing) {
+  auto b = basis::channel(16, 2.0, 7);
+  const auto& g = b.greville();
+  EXPECT_EQ(static_cast<int>(g.size()), b.size());
+  EXPECT_DOUBLE_EQ(g.front(), -1.0);
+  EXPECT_DOUBLE_EQ(g.back(), 1.0);
+  for (std::size_t i = 1; i < g.size(); ++i) EXPECT_GT(g[i], g[i - 1]);
+}
+
+TEST(Basis, ChannelStretchingClustersTowardWalls) {
+  auto b = basis::channel(32, 2.5, 7);
+  const auto& br = b.breakpoints();
+  const double wall_spacing = br[1] - br[0];
+  const double center_spacing = br[17] - br[16];
+  EXPECT_LT(wall_spacing, 0.4 * center_spacing);
+  // Symmetry about the centerline.
+  for (std::size_t i = 0; i < br.size(); ++i)
+    EXPECT_NEAR(br[i], -br[br.size() - 1 - i], 1e-14);
+}
+
+TEST(Basis, FindSpanBrackets) {
+  auto b = basis::uniform(0.0, 1.0, 4, 3);
+  for (int s = 0; s <= 20; ++s) {
+    const double x = s / 20.0;
+    const int mu = b.find_span(x);
+    EXPECT_LE(b.knots()[static_cast<std::size_t>(mu)], x);
+    if (x < 1.0) {
+      EXPECT_LT(x, b.knots()[static_cast<std::size_t>(mu + 1)]);
+    }
+  }
+  // Right end maps to the last nonempty span.
+  EXPECT_EQ(b.find_span(1.0), b.size() - 1);
+}
+
+TEST(Basis, ClampedEndsInterpolateFirstAndLastCoefficient) {
+  auto b = basis::uniform(-1.0, 1.0, 9, 7);
+  std::vector<double> c(static_cast<std::size_t>(b.size()), 0.0);
+  c.front() = 3.5;
+  c.back() = -2.0;
+  EXPECT_NEAR(b.spline_value(c.data(), -1.0), 3.5, 1e-13);
+  EXPECT_NEAR(b.spline_value(c.data(), 1.0), -2.0, 1e-13);
+}
+
+TEST(Basis, PolynomialReproductionViaGrevilleWeights) {
+  // Linear precision: sum_i xi_i N_i(x) = x exactly (Greville's identity).
+  auto b = basis::channel(10, 1.8, 7);
+  const auto& g = b.greville();
+  for (int s = 0; s <= 60; ++s) {
+    const double x = -1.0 + 2.0 * s / 60.0;
+    EXPECT_NEAR(b.spline_value(g.data(), x), x, 1e-12);
+  }
+}
+
+TEST(Basis, HighDerivativeBeyondDegreeIsZero) {
+  auto b = basis::uniform(0.0, 1.0, 6, 3);
+  std::vector<double> c(static_cast<std::size_t>(b.size()), 1.0);
+  EXPECT_EQ(b.spline_deriv(c.data(), 0.5, 4), 0.0);
+}
+
+TEST(Basis, RejectsBadConstruction) {
+  EXPECT_THROW(basis({0.0, 0.0, 1.0}, 3), pcf::precondition_error);
+  EXPECT_THROW(basis({1.0, 0.0}, 3), pcf::precondition_error);
+  EXPECT_THROW(basis({0.0}, 3), pcf::precondition_error);
+  EXPECT_THROW(basis::uniform(0.0, 1.0, 0, 3), pcf::precondition_error);
+  EXPECT_THROW(basis::channel(8, -1.0, 3), pcf::precondition_error);
+}
+
+}  // namespace

@@ -1,0 +1,163 @@
+// Integration of bspline + banded: collocation interpolation and two-point
+// boundary-value solves — the exact linear-algebra pipeline the DNS core
+// runs per wavenumber.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "banded/compact.hpp"
+#include "bspline/bspline.hpp"
+
+namespace {
+
+using pcf::banded::compact_banded;
+using pcf::bspline::basis;
+
+/// Interpolate f at the Greville points: solve M0 c = f(xi).
+std::vector<double> interpolate(const basis& b, double (*f)(double)) {
+  auto M = b.collocation_matrix(0);
+  const auto& xi = b.greville();
+  std::vector<double> c(xi.size());
+  for (std::size_t i = 0; i < xi.size(); ++i) c[i] = f(xi[i]);
+  M.factorize();
+  M.solve(c.data());
+  return c;
+}
+
+TEST(Collocation, MatrixTimesCoefficientsEqualsValuesAtGreville) {
+  auto b = basis::uniform(-1.0, 1.0, 12, 7);
+  auto M = b.collocation_matrix(0);
+  std::vector<double> c(static_cast<std::size_t>(b.size()));
+  for (std::size_t i = 0; i < c.size(); ++i) c[i] = std::cos(0.3 * i);
+  std::vector<double> y(c.size());
+  M.apply(c.data(), y.data());
+  const auto& xi = b.greville();
+  for (std::size_t i = 0; i < c.size(); ++i)
+    EXPECT_NEAR(y[i], b.spline_value(c.data(), xi[i]), 1e-12);
+}
+
+TEST(Collocation, InterpolationReproducesPolynomialsExactly) {
+  // Any polynomial with degree <= spline degree lies in the spline space,
+  // so Greville interpolation must reproduce it to roundoff.
+  auto b = basis::channel(10, 2.0, 7);
+  auto poly = [](double x) {
+    return 1.0 + x * (0.5 + x * (-2.0 + x * (1.0 + x * (0.25 + x * (-0.125 + x * (3.0 + 0.7 * x))))));
+  };
+  auto M = b.collocation_matrix(0);
+  const auto& xi = b.greville();
+  std::vector<double> c(xi.size());
+  for (std::size_t i = 0; i < xi.size(); ++i) c[i] = poly(xi[i]);
+  M.factorize();
+  M.solve(c.data());
+  for (int s = 0; s <= 100; ++s) {
+    const double x = -1.0 + 2.0 * s / 100.0;
+    EXPECT_NEAR(b.spline_value(c.data(), x), poly(x), 1e-10);
+  }
+}
+
+TEST(Collocation, InterpolationOfSineIsSpectrallyAccurate) {
+  auto fine = basis::uniform(-1.0, 1.0, 32, 7);
+  auto c = interpolate(fine, [](double x) { return std::sin(3.0 * x); });
+  double err = 0.0;
+  for (int s = 0; s <= 200; ++s) {
+    const double x = -1.0 + 2.0 * s / 200.0;
+    err = std::max(err, std::abs(fine.spline_value(c.data(), x) - std::sin(3.0 * x)));
+  }
+  EXPECT_LT(err, 1e-9);
+}
+
+TEST(Collocation, InterpolationErrorDecreasesWithOrderEight) {
+  // 7th-degree splines: interpolation error ~ h^8.
+  auto coarse = basis::uniform(-1.0, 1.0, 8, 7);
+  auto fine = basis::uniform(-1.0, 1.0, 16, 7);
+  auto f = [](double x) { return std::sin(4.0 * x + 0.3); };
+  auto err = [&](const basis& b) {
+    auto M = b.collocation_matrix(0);
+    const auto& xi = b.greville();
+    std::vector<double> c(xi.size());
+    for (std::size_t i = 0; i < xi.size(); ++i) c[i] = f(xi[i]);
+    M.factorize();
+    M.solve(c.data());
+    double e = 0.0;
+    for (int s = 0; s <= 400; ++s) {
+      const double x = -1.0 + 2.0 * s / 400.0;
+      e = std::max(e, std::abs(b.spline_value(c.data(), x) - f(x)));
+    }
+    return e;
+  };
+  const double e_coarse = err(coarse), e_fine = err(fine);
+  // Expect at least ~2^6 reduction (allowing slack from the stretched ends).
+  EXPECT_LT(e_fine, e_coarse / 64.0);
+}
+
+TEST(Collocation, HelmholtzDirichletSolveMatchesAnalytic) {
+  // Solve u'' - k^2 u = f with u(+-1) = 0, where u_exact = sin(pi x):
+  // f = -(pi^2 + k^2) sin(pi x). This is equation (4) of the paper.
+  const double k2 = 4.0;
+  auto b = basis::channel(24, 1.5, 7);
+  const int n = b.size();
+  auto M0 = b.collocation_matrix(0);
+  auto M2 = b.collocation_matrix(2);
+  compact_banded A(n, b.degree());
+  for (int i = 0; i < n; ++i) {
+    const int s = A.row_start(i);
+    for (int j = s; j <= s + 2 * b.degree(); ++j) {
+      if (j < 0 || j >= n) continue;
+      double v = 0.0;
+      if (M2.in_profile(i, j)) v += M2.at(i, j);
+      if (M0.in_profile(i, j)) v -= k2 * M0.at(i, j);
+      A.at(i, j) = v;
+    }
+  }
+  // Dirichlet rows: clamped ends interpolate the first/last coefficient.
+  for (int j = A.row_start(0); j <= A.row_start(0) + 2 * b.degree(); ++j)
+    A.at(0, j) = (j == 0) ? 1.0 : 0.0;
+  for (int j = A.row_start(n - 1); j <= A.row_start(n - 1) + 2 * b.degree(); ++j)
+    A.at(n - 1, j) = (j == n - 1) ? 1.0 : 0.0;
+
+  const auto& xi = b.greville();
+  std::vector<double> rhs(static_cast<std::size_t>(n));
+  const double pi = std::numbers::pi;
+  for (int i = 0; i < n; ++i)
+    rhs[static_cast<std::size_t>(i)] =
+        -(pi * pi + k2) * std::sin(pi * xi[static_cast<std::size_t>(i)]);
+  rhs.front() = 0.0;
+  rhs.back() = 0.0;
+
+  A.factorize();
+  A.solve(rhs.data());
+  for (int s = 0; s <= 100; ++s) {
+    const double x = -1.0 + 2.0 * s / 100.0;
+    EXPECT_NEAR(b.spline_value(rhs.data(), x), std::sin(pi * x), 1e-7) << x;
+  }
+}
+
+TEST(Collocation, SecondDerivativeMatrixAnnihilatesLinears) {
+  auto b = basis::uniform(-1.0, 1.0, 10, 5);
+  auto M2 = b.collocation_matrix(2);
+  // Coefficients of the linear function x are the Greville points.
+  const auto& g = b.greville();
+  std::vector<double> y(g.size());
+  M2.apply(g.data(), y.data());
+  for (double v : y) EXPECT_NEAR(v, 0.0, 1e-10);
+}
+
+TEST(Collocation, FirstDerivativeMatrixDifferentiatesQuadratic) {
+  auto b = basis::uniform(-1.0, 1.0, 10, 5);
+  auto M0 = b.collocation_matrix(0);
+  auto M1 = b.collocation_matrix(1);
+  // Interpolate x^2, apply D, compare with 2x at Greville points.
+  const auto& xi = b.greville();
+  std::vector<double> c(xi.size());
+  for (std::size_t i = 0; i < xi.size(); ++i) c[i] = xi[i] * xi[i];
+  M0.factorize();
+  M0.solve(c.data());
+  std::vector<double> d(c.size());
+  M1.apply(c.data(), d.data());
+  for (std::size_t i = 0; i < xi.size(); ++i)
+    EXPECT_NEAR(d[i], 2.0 * xi[i], 1e-10);
+}
+
+}  // namespace

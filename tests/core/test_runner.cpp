@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/runner.hpp"
+
+namespace {
+
+using pcf::core::channel_config;
+using pcf::core::channel_dns;
+using pcf::core::run_campaign;
+using pcf::core::run_plan;
+using pcf::vmpi::communicator;
+using pcf::vmpi::run_world;
+
+channel_config cfg_small() {
+  channel_config cfg;
+  cfg.nx = 8;
+  cfg.nz = 8;
+  cfg.ny = 24;
+  cfg.dt = 1e-3;
+  return cfg;
+}
+
+TEST(Runner, FlowThroughTimeFromBulkVelocity) {
+  run_world(1, [&](communicator& world) {
+    channel_dns dns(cfg_small(), world);
+    dns.initialize(0.0);
+    // Laminar: U_b = Re/3 = 60, Lx = 4 pi -> t_ft = 4 pi / 60.
+    EXPECT_NEAR(pcf::core::flow_through_time(dns),
+                4.0 * 3.14159265358979 / 60.0, 1e-6);
+  });
+}
+
+TEST(Runner, RunsRequestedDurationAndSamplesStats) {
+  run_world(1, [&](communicator& world) {
+    channel_dns dns(cfg_small(), world);
+    dns.initialize(0.1);
+    const double t_ft = pcf::core::flow_through_time(dns);
+    run_plan plan;
+    plan.flow_throughs = 0.05;  // keep it quick
+    plan.warmup_fraction = 0.5;
+    plan.stats_every = 2;
+    plan.diag_every = 5;
+    auto rep = run_campaign(dns, world, plan);
+    EXPECT_FALSE(rep.hit_time_budget);
+    EXPECT_NEAR(dns.time(), 0.05 * t_ft, cfg_small().dt + 1e-12);
+    EXPECT_GT(rep.steps_run, 0);
+    EXPECT_GT(rep.profiles.samples, 0);
+    // Statistics must only come from after the warmup (~half the steps,
+    // every 2nd step).
+    EXPECT_LE(rep.profiles.samples, rep.steps_run / 2 / 2 + 2);
+    EXPECT_EQ(static_cast<long>(rep.series.size()), rep.steps_run / 5);
+  });
+}
+
+TEST(Runner, DiagnosticsSeriesIsMonotone) {
+  run_world(1, [&](communicator& world) {
+    channel_dns dns(cfg_small(), world);
+    dns.initialize(0.05);
+    run_plan plan;
+    plan.flow_throughs = 0.03;
+    plan.diag_every = 3;
+    plan.stats_every = 0;
+    int callbacks = 0;
+    auto rep = run_campaign(dns, world, plan,
+                            [&](const pcf::core::diag_sample&) { ++callbacks; });
+    ASSERT_GE(rep.series.size(), 2u);
+    EXPECT_EQ(callbacks, static_cast<int>(rep.series.size()));
+    for (std::size_t i = 1; i < rep.series.size(); ++i) {
+      EXPECT_GT(rep.series[i].step, rep.series[i - 1].step);
+      EXPECT_GT(rep.series[i].time, rep.series[i - 1].time);
+    }
+    for (const auto& d : rep.series) {
+      EXPECT_TRUE(std::isfinite(d.kinetic_energy));
+      EXPECT_GT(d.bulk_velocity, 0.0);
+    }
+  });
+}
+
+TEST(Runner, WallClockBudgetStopsEarly) {
+  run_world(1, [&](communicator& world) {
+    channel_dns dns(cfg_small(), world);
+    dns.initialize(0.0);
+    run_plan plan;
+    plan.flow_throughs = 1e6;  // absurdly long
+    plan.max_seconds = 0.2;
+    auto rep = run_campaign(dns, world, plan);
+    EXPECT_TRUE(rep.hit_time_budget);
+    EXPECT_GT(rep.steps_run, 0);
+  });
+}
+
+TEST(Runner, CheckpointsOnCadence) {
+  const std::string path = ::testing::TempDir() + "/pcf_runner_ckpt";
+  run_world(1, [&](communicator& world) {
+    channel_dns dns(cfg_small(), world);
+    dns.initialize(0.05);
+    run_plan plan;
+    plan.flow_throughs = 0.03;
+    plan.checkpoint_every = 4;
+    plan.checkpoint_path = path;
+    auto rep = run_campaign(dns, world, plan);
+    EXPECT_EQ(rep.checkpoints_written, rep.steps_run / 4);
+    std::ifstream is(path + ".0", std::ios::binary);
+    EXPECT_TRUE(is.good());
+  });
+  std::remove((path + ".0").c_str());
+}
+
+TEST(Runner, SeriesCsvRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/pcf_series.csv";
+  std::vector<pcf::core::diag_sample> series(3);
+  for (int i = 0; i < 3; ++i) {
+    series[static_cast<std::size_t>(i)].step = 10 * (i + 1);
+    series[static_cast<std::size_t>(i)].time = 0.1 * (i + 1);
+    series[static_cast<std::size_t>(i)].bulk_velocity = 15.0 + i;
+  }
+  pcf::core::write_series_csv(path, series);
+  std::ifstream is(path);
+  std::string header, l1;
+  std::getline(is, header);
+  std::getline(is, l1);
+  EXPECT_EQ(header, "step,time,bulk_velocity,kinetic_energy,wall_shear,cfl");
+  EXPECT_EQ(l1.substr(0, 3), "10,");
+  std::remove(path.c_str());
+}
+
+TEST(Runner, HaltsOnBlowup) {
+  // A grossly unstable configuration (huge dt) must be caught by the
+  // non-finite monitor instead of running to the end.
+  run_world(1, [&](communicator& world) {
+    auto cfg = cfg_small();
+    cfg.dt = 1.0;  // wildly unstable
+    channel_dns dns(cfg, world);
+    dns.initialize(0.3);
+    run_plan plan;
+    plan.flow_throughs = 10.0;
+    plan.diag_every = 1;
+    plan.max_seconds = 30.0;  // backstop
+    auto rep = run_campaign(dns, world, plan);
+    EXPECT_TRUE(rep.went_nonfinite || rep.hit_time_budget);
+    if (rep.went_nonfinite) EXPECT_LT(rep.steps_run, 10000);
+  });
+}
+
+TEST(Runner, RejectsBadPlans) {
+  run_world(1, [&](communicator& world) {
+    channel_dns dns(cfg_small(), world);
+    dns.initialize(0.0);
+    run_plan plan;
+    plan.flow_throughs = -1.0;
+    EXPECT_THROW(run_campaign(dns, world, plan), pcf::precondition_error);
+    plan.flow_throughs = 0.01;
+    plan.checkpoint_every = 1;  // no path
+    EXPECT_THROW(run_campaign(dns, world, plan), pcf::precondition_error);
+  });
+}
+
+}  // namespace

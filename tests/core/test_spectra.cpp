@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/simulation.hpp"
+
+namespace {
+
+using pcf::core::channel_config;
+using pcf::core::channel_dns;
+using pcf::vmpi::communicator;
+using pcf::vmpi::run_world;
+
+channel_config cfg_small() {
+  channel_config cfg;
+  cfg.nx = 16;
+  cfg.nz = 16;
+  cfg.ny = 24;
+  cfg.dt = 1e-4;
+  return cfg;
+}
+
+TEST(Spectra, LaminarFlowHasNoFluctuationEnergy) {
+  run_world(1, [&](communicator& world) {
+    channel_dns dns(cfg_small(), world);
+    dns.initialize(0.0);
+    auto sx = dns.streamwise_spectra(10);
+    for (double e : sx.euu) EXPECT_EQ(e, 0.0);
+    for (double e : sx.evv) EXPECT_EQ(e, 0.0);
+    auto sz = dns.spanwise_spectra(10);
+    for (double e : sz.eww) EXPECT_EQ(e, 0.0);
+  });
+}
+
+TEST(Spectra, ParsevalSumMatchesPhysicalPlaneVariance) {
+  // Sum of the streamwise spectrum over kx = fluctuation variance on the
+  // x-z plane at that y (computed independently in physical space).
+  run_world(1, [&](communicator& world) {
+    auto cfg = cfg_small();
+    channel_dns dns(cfg, world);
+    dns.initialize(0.2, 3);
+    dns.step();
+    const int yi = 12;
+    auto s = dns.streamwise_spectra(yi);
+    const double sum_uu = std::accumulate(s.euu.begin(), s.euu.end(), 0.0);
+    const double sum_vv = std::accumulate(s.evv.begin(), s.evv.end(), 0.0);
+
+    std::vector<double> u, v, w;
+    dns.physical_velocity(u, v, w);
+    const auto& d = dns.dec();
+    double mu = 0, muu = 0, mv = 0, mvv = 0;
+    std::size_t count = 0;
+    for (std::size_t z = 0; z < d.zp.count; ++z)
+      for (std::size_t x = 0; x < d.nxf; ++x) {
+        const double uu = u[(z * d.yb.count + yi) * d.nxf + x];
+        const double vv = v[(z * d.yb.count + yi) * d.nxf + x];
+        mu += uu;
+        muu += uu * uu;
+        mv += vv;
+        mvv += vv * vv;
+        ++count;
+      }
+    mu /= count;
+    muu = muu / count - mu * mu;
+    mv /= count;
+    mvv = mvv / count - mv * mv;
+    EXPECT_NEAR(sum_uu, muu, 1e-8 * std::max(1.0, muu));
+    EXPECT_NEAR(sum_vv, mvv, 1e-8 * std::max(1.0, mvv));
+  });
+}
+
+TEST(Spectra, IndependentOfDecomposition) {
+  auto cfg = cfg_small();
+  std::vector<double> ref;
+  for (auto [pa, pb] : {std::pair{1, 1}, std::pair{2, 2}}) {
+    cfg.pa = pa;
+    cfg.pb = pb;
+    std::vector<double> got;
+    std::mutex m;
+    run_world(pa * pb, [&](communicator& world) {
+      channel_dns dns(cfg, world);
+      dns.initialize(0.1, 9);
+      dns.step();
+      auto s = dns.spanwise_spectra(8);
+      if (world.rank() == 0) {
+        std::lock_guard<std::mutex> lk(m);
+        got = s.euu;
+      }
+    });
+    if (ref.empty()) {
+      ref = got;
+    } else {
+      ASSERT_EQ(ref.size(), got.size());
+      for (std::size_t i = 0; i < ref.size(); ++i)
+        EXPECT_NEAR(got[i], ref[i], 1e-12 * std::max(1.0, ref[i]));
+    }
+  }
+}
+
+TEST(Spectra, SinglePerturbationModeLandsInItsBin) {
+  // Initialization puts energy only in |kx| <= 2, |kz| <= 2: the spectrum
+  // must vanish beyond those bins.
+  run_world(1, [&](communicator& world) {
+    auto cfg = cfg_small();
+    channel_dns dns(cfg, world);
+    dns.initialize(0.3, 4);
+    auto sx = dns.streamwise_spectra(12);
+    auto sz = dns.spanwise_spectra(12);
+    for (std::size_t k = 3; k < sx.euu.size(); ++k) {
+      EXPECT_EQ(sx.euu[k], 0.0) << k;
+      EXPECT_EQ(sx.evv[k], 0.0) << k;
+    }
+    for (std::size_t k = 3; k < sz.euu.size(); ++k)
+      EXPECT_EQ(sz.euu[k], 0.0) << k;
+    // ... and some energy in the low bins.
+    EXPECT_GT(sx.evv[1] + sx.evv[2], 0.0);
+  });
+}
+
+TEST(Spectra, RejectsBadYIndex) {
+  run_world(1, [&](communicator& world) {
+    channel_dns dns(cfg_small(), world);
+    dns.initialize(0.0);
+    EXPECT_THROW(dns.streamwise_spectra(-1), pcf::precondition_error);
+    EXPECT_THROW(dns.streamwise_spectra(1000), pcf::precondition_error);
+  });
+}
+
+}  // namespace

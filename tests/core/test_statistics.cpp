@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/statistics.hpp"
+
+namespace {
+
+using pcf::core::profile_accumulator;
+using pcf::vmpi::communicator;
+using pcf::vmpi::run_world;
+
+TEST(Statistics, ConstantFieldHasZeroVariance) {
+  run_world(1, [&](communicator& world) {
+    const std::size_t nz = 3, ny = 4, nx = 8;
+    profile_accumulator acc(ny, 0, ny);
+    std::vector<double> u(nz * ny * nx, 2.0), v(nz * ny * nx, -1.0),
+        w(nz * ny * nx, 0.5);
+    acc.add_sample(u.data(), v.data(), w.data(), nz, ny, nx);
+    std::vector<double> y{0.0, 0.3, 0.6, 1.0};
+    auto p = acc.finalize(world, y, nz * nx);
+    for (std::size_t i = 0; i < ny; ++i) {
+      EXPECT_NEAR(p.u[i], 2.0, 1e-14);
+      EXPECT_NEAR(p.uu[i], 0.0, 1e-12);
+      EXPECT_NEAR(p.vv[i], 0.0, 1e-12);
+      EXPECT_NEAR(p.uv[i], 0.0, 1e-12);
+    }
+    EXPECT_EQ(p.samples, 1);
+  });
+}
+
+TEST(Statistics, KnownMomentsOfAlternatingField) {
+  run_world(1, [&](communicator& world) {
+    const std::size_t nz = 1, ny = 2, nx = 4;
+    profile_accumulator acc(ny, 0, ny);
+    // u alternates +-1 -> mean 0, variance 1; v = u -> <uv> = 1.
+    std::vector<double> u(nz * ny * nx), v(nz * ny * nx), w(nz * ny * nx, 0.0);
+    for (std::size_t i = 0; i < u.size(); ++i) u[i] = (i % 2 == 0) ? 1.0 : -1.0;
+    v = u;
+    acc.add_sample(u.data(), v.data(), w.data(), nz, ny, nx);
+    std::vector<double> y{0.0, 1.0};
+    auto p = acc.finalize(world, y, nz * nx);
+    for (std::size_t i = 0; i < ny; ++i) {
+      EXPECT_NEAR(p.u[i], 0.0, 1e-14);
+      EXPECT_NEAR(p.uu[i], 1.0, 1e-14);
+      EXPECT_NEAR(p.uv[i], 1.0, 1e-14);
+      EXPECT_NEAR(p.ww[i], 0.0, 1e-14);
+    }
+  });
+}
+
+TEST(Statistics, MultipleSamplesAverage) {
+  run_world(1, [&](communicator& world) {
+    const std::size_t nz = 1, ny = 1, nx = 2;
+    profile_accumulator acc(ny, 0, ny);
+    std::vector<double> zero(nx, 0.0);
+    std::vector<double> a{1.0, 1.0}, b{3.0, 3.0};
+    acc.add_sample(a.data(), zero.data(), zero.data(), nz, ny, nx);
+    acc.add_sample(b.data(), zero.data(), zero.data(), nz, ny, nx);
+    std::vector<double> y{0.0};
+    auto p = acc.finalize(world, y, nx);
+    EXPECT_NEAR(p.u[0], 2.0, 1e-14);   // (1 + 3) / 2
+    EXPECT_NEAR(p.uu[0], 1.0, 1e-14);  // E[u^2] - E[u]^2 = 5 - 4
+    EXPECT_EQ(p.samples, 2);
+  });
+}
+
+TEST(Statistics, DistributedRanksCombineIntoGlobalProfile) {
+  // 2 ranks each own half the y points; the reduced profile must contain
+  // both halves.
+  run_world(2, [&](communicator& world) {
+    const std::size_t ny_global = 4, ny_local = 2, nz = 1, nx = 4;
+    profile_accumulator acc(ny_local, world.rank() * ny_local, ny_global);
+    std::vector<double> u(nz * ny_local * nx),
+        zero(nz * ny_local * nx, 0.0);
+    for (std::size_t y = 0; y < ny_local; ++y)
+      for (std::size_t x = 0; x < nx; ++x)
+        u[y * nx + x] = static_cast<double>(world.rank() * ny_local + y);
+    acc.add_sample(u.data(), zero.data(), zero.data(), nz, ny_local, nx);
+    std::vector<double> ypts{0.0, 0.25, 0.5, 0.75};
+    auto p = acc.finalize(world, ypts, nx);
+    for (std::size_t i = 0; i < ny_global; ++i)
+      EXPECT_NEAR(p.u[i], static_cast<double>(i), 1e-14);
+  });
+}
+
+TEST(Statistics, ResetClearsState) {
+  run_world(1, [&](communicator& world) {
+    profile_accumulator acc(1, 0, 1);
+    std::vector<double> a{5.0};
+    acc.add_sample(a.data(), a.data(), a.data(), 1, 1, 1);
+    acc.reset();
+    EXPECT_EQ(acc.samples(), 0);
+    acc.add_sample(a.data(), a.data(), a.data(), 1, 1, 1);
+    std::vector<double> y{0.0};
+    auto p = acc.finalize(world, y, 1);
+    EXPECT_NEAR(p.u[0], 5.0, 1e-14);
+  });
+}
+
+}  // namespace

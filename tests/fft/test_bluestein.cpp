@@ -1,0 +1,94 @@
+// The Bluestein chirp-z fallback: lengths with prime factors > 31.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "fft/fft.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using pcf::fft::c2c_plan;
+using pcf::fft::cplx;
+using pcf::fft::dft_naive;
+using pcf::fft::direction;
+using pcf::fft::r2c_plan;
+
+std::vector<cplx> random_signal(std::size_t n, std::uint64_t seed) {
+  pcf::rng r(seed);
+  std::vector<cplx> x(n);
+  for (auto& v : x) v = cplx{r.uniform(-1, 1), r.uniform(-1, 1)};
+  return x;
+}
+
+class BluesteinSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BluesteinSizes, MatchesNaiveDFT) {
+  const std::size_t n = GetParam();
+  ASSERT_FALSE(pcf::fft::is_smooth(n)) << "not a Bluestein size";
+  auto x = random_signal(n, n);
+  std::vector<cplx> got(n), want(n);
+  c2c_plan p(n, direction::forward);
+  p.execute(x.data(), got.data());
+  dft_naive(x.data(), want.data(), n, -1);
+  double err = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    err = std::max(err, std::abs(got[i] - want[i]));
+  EXPECT_LT(err, 1e-8 * static_cast<double>(n));
+}
+
+TEST_P(BluesteinSizes, RoundTripScalesByN) {
+  const std::size_t n = GetParam();
+  auto x = random_signal(n, 3 * n);
+  std::vector<cplx> mid(n), back(n);
+  c2c_plan f(n, direction::forward), b(n, direction::inverse);
+  f.execute(x.data(), mid.data());
+  b.execute(mid.data(), back.data());
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_LT(std::abs(back[i] / static_cast<double>(n) - x[i]), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Primes, BluesteinSizes,
+                         ::testing::Values(37, 41, 127, 499, 997, 3 * 37,
+                                           2 * 41, 37 * 5));
+
+TEST(Bluestein, RealTransformWithPrimeHalfLength) {
+  // r2c of length 2p uses a length-p complex transform internally; with
+  // p = 499 that exercises Bluestein inside the real path.
+  const std::size_t n = 2 * 499;
+  pcf::rng r(9);
+  std::vector<double> x(n);
+  for (auto& v : x) v = r.uniform(-1, 1);
+  std::vector<cplx> X(n / 2 + 1), full(n), want(n);
+  r2c_plan p(n);
+  p.execute(x.data(), X.data());
+  for (std::size_t i = 0; i < n; ++i) full[i] = x[i];
+  dft_naive(full.data(), want.data(), n, -1);
+  for (std::size_t k = 0; k <= n / 2; ++k)
+    EXPECT_LT(std::abs(X[k] - want[k]), 1e-8);
+}
+
+TEST(Bluestein, EnergyConservedParseval) {
+  const std::size_t n = 101;
+  auto x = random_signal(n, 7);
+  std::vector<cplx> X(n);
+  c2c_plan f(n, direction::forward);
+  f.execute(x.data(), X.data());
+  double ex = 0, eX = 0;
+  for (auto& v : x) ex += std::norm(v);
+  for (auto& v : X) eX += std::norm(v);
+  EXPECT_NEAR(eX, ex * static_cast<double>(n), 1e-8 * ex * n);
+}
+
+TEST(Bluestein, DeltaFunctionFlatSpectrum) {
+  const std::size_t n = 53;
+  std::vector<cplx> x(n, cplx{0, 0}), X(n);
+  x[0] = 1.0;
+  c2c_plan f(n, direction::forward);
+  f.execute(x.data(), X.data());
+  for (auto& v : X) EXPECT_LT(std::abs(v - cplx{1, 0}), 1e-10);
+}
+
+}  // namespace

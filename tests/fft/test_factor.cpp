@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "fft/fft.hpp"
+
+namespace {
+
+using pcf::fft::factorize;
+using pcf::fft::is_smooth;
+
+TEST(Factorize, One) { EXPECT_TRUE(factorize(1).empty()); }
+
+TEST(Factorize, Primes) {
+  for (std::size_t p : {2u, 3u, 5u, 7u, 31u, 97u}) {
+    auto f = factorize(p);
+    ASSERT_EQ(f.size(), 1u);
+    EXPECT_EQ(f[0], p);
+  }
+}
+
+TEST(Factorize, ProductRecoversInput) {
+  for (std::size_t n = 1; n <= 3000; ++n) {
+    auto f = factorize(n);
+    std::size_t prod = 1;
+    for (std::size_t p : f) prod *= p;
+    EXPECT_EQ(prod, n);
+  }
+}
+
+TEST(Factorize, FactorsAreSortedPrimes) {
+  auto f = factorize(1536);  // 2^9 * 3
+  EXPECT_EQ(f.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(f.begin(), f.end()));
+  EXPECT_EQ(f.back(), 3u);
+}
+
+TEST(IsSmooth, GridSizesAreSmooth) {
+  // Sizes used in the paper's tables (and their 3/2-dealiased partners).
+  for (std::size_t n : {128u, 384u, 768u, 1024u, 1536u, 2048u, 3072u, 4096u,
+                        10240u, 12288u, 18432u}) {
+    EXPECT_TRUE(is_smooth(n)) << n;
+  }
+}
+
+TEST(IsSmooth, LargePrimesAreNot) {
+  EXPECT_FALSE(is_smooth(37));
+  EXPECT_FALSE(is_smooth(101));
+  EXPECT_FALSE(is_smooth(2 * 37));
+}
+
+}  // namespace

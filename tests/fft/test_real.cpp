@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <vector>
+
+#include "fft/fft.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using pcf::fft::c2r_plan;
+using pcf::fft::cplx;
+using pcf::fft::dft_naive;
+using pcf::fft::r2c_plan;
+
+std::vector<double> random_real(std::size_t n, std::uint64_t seed) {
+  pcf::rng r(seed);
+  std::vector<double> x(n);
+  for (auto& v : x) v = r.uniform(-1, 1);
+  return x;
+}
+
+class RealSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RealSizes, MatchesComplexDFT) {
+  const std::size_t n = GetParam();
+  auto x = random_real(n, 100 + n);
+  std::vector<cplx> xc(n), want(n), got(n / 2 + 1);
+  for (std::size_t i = 0; i < n; ++i) xc[i] = x[i];
+  dft_naive(xc.data(), want.data(), n, -1);
+  r2c_plan p(n);
+  p.execute(x.data(), got.data());
+  for (std::size_t k = 0; k <= n / 2; ++k)
+    EXPECT_LT(std::abs(got[k] - want[k]), 1e-10 * std::max<double>(1.0, n))
+        << "n=" << n << " k=" << k;
+}
+
+TEST_P(RealSizes, HermitianOutputEndpointsAreReal) {
+  const std::size_t n = GetParam();
+  auto x = random_real(n, 200 + n);
+  std::vector<cplx> X(n / 2 + 1);
+  r2c_plan p(n);
+  p.execute(x.data(), X.data());
+  EXPECT_NEAR(X[0].imag(), 0.0, 1e-12 * n);
+  EXPECT_NEAR(X[n / 2].imag(), 0.0, 1e-12 * n);
+}
+
+TEST_P(RealSizes, RoundTripScalesByN) {
+  const std::size_t n = GetParam();
+  auto x = random_real(n, 300 + n);
+  std::vector<cplx> X(n / 2 + 1);
+  std::vector<double> back(n);
+  r2c_plan f(n);
+  c2r_plan b(n);
+  f.execute(x.data(), X.data());
+  b.execute(X.data(), back.data());
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(back[i], x[i] * static_cast<double>(n), 1e-10 * n) << i;
+}
+
+TEST_P(RealSizes, C2RMatchesNaiveHermitianInverse) {
+  const std::size_t n = GetParam();
+  // Build an arbitrary Hermitian spectrum with real endpoints.
+  pcf::rng r(400 + n);
+  std::vector<cplx> X(n / 2 + 1);
+  for (auto& v : X) v = cplx{r.uniform(-1, 1), r.uniform(-1, 1)};
+  X[0] = X[0].real();
+  X[n / 2] = X[n / 2].real();
+  // Full spectrum for the naive inverse.
+  std::vector<cplx> full(n), wantc(n);
+  for (std::size_t k = 0; k <= n / 2; ++k) full[k] = X[k];
+  for (std::size_t k = n / 2 + 1; k < n; ++k) full[k] = std::conj(X[n - k]);
+  dft_naive(full.data(), wantc.data(), n, 1);
+  std::vector<double> got(n);
+  c2r_plan b(n);
+  b.execute(X.data(), got.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(wantc[i].imag(), 0.0, 1e-9 * n);
+    EXPECT_NEAR(got[i], wantc[i].real(), 1e-9 * n) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RealSizes,
+                         ::testing::Values(2, 4, 6, 8, 10, 12, 16, 24, 32, 48,
+                                           64, 96, 128, 192, 256, 384, 512,
+                                           1024, 1536));
+
+TEST(Real, CosineHitsSingleMode) {
+  const std::size_t n = 64, k0 = 3;
+  std::vector<double> x(n);
+  for (std::size_t j = 0; j < n; ++j)
+    x[j] = std::cos(2.0 * std::numbers::pi * double(k0 * j) / double(n));
+  std::vector<cplx> X(n / 2 + 1);
+  r2c_plan p(n);
+  p.execute(x.data(), X.data());
+  for (std::size_t k = 0; k <= n / 2; ++k) {
+    const double want = (k == k0) ? double(n) / 2.0 : 0.0;
+    EXPECT_NEAR(std::abs(X[k]), want, 1e-10) << k;
+  }
+}
+
+TEST(Real, NyquistModeCapturesAlternatingSignal) {
+  const std::size_t n = 32;
+  std::vector<double> x(n);
+  for (std::size_t j = 0; j < n; ++j) x[j] = (j % 2 == 0) ? 1.0 : -1.0;
+  std::vector<cplx> X(n / 2 + 1);
+  r2c_plan p(n);
+  p.execute(x.data(), X.data());
+  EXPECT_NEAR(X[n / 2].real(), double(n), 1e-10);
+  for (std::size_t k = 0; k < n / 2; ++k) EXPECT_NEAR(std::abs(X[k]), 0.0, 1e-10);
+}
+
+TEST(Real, OddLengthRejected) {
+  EXPECT_THROW(r2c_plan p(9), pcf::precondition_error);
+  EXPECT_THROW(c2r_plan p(9), pcf::precondition_error);
+}
+
+TEST(Real, ExecuteManyMatchesLoop) {
+  const std::size_t n = 48, batch = 5;
+  auto x = random_real(n * batch, 7);
+  std::vector<cplx> a((n / 2 + 1) * batch), b((n / 2 + 1) * batch);
+  r2c_plan p(n);
+  p.execute_many(x.data(), n, a.data(), n / 2 + 1, batch);
+  for (std::size_t i = 0; i < batch; ++i)
+    p.execute(x.data() + i * n, b.data() + i * (n / 2 + 1));
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+}  // namespace

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "core/simulation.hpp"
+
+namespace {
+
+using pcf::core::channel_config;
+using pcf::core::channel_dns;
+using pcf::vmpi::communicator;
+using pcf::vmpi::run_world;
+
+channel_config cfg_small() {
+  channel_config cfg;
+  cfg.nx = 8;
+  cfg.nz = 8;
+  cfg.ny = 24;
+  cfg.dt = 1e-4;
+  return cfg;
+}
+
+TEST(Checkpoint, SaveLoadResumesExactly) {
+  const std::string path = ::testing::TempDir() + "/pcf_ckpt.bin";
+  std::vector<double> direct, resumed;
+  run_world(1, [&](communicator& world) {
+    auto cfg = cfg_small();
+    channel_dns dns(cfg, world);
+    dns.initialize(0.1, 5);
+    dns.step();
+    dns.step();
+    dns.save_checkpoint(path);
+    dns.step();
+    direct = dns.mean_profile();
+  });
+  run_world(1, [&](communicator& world) {
+    auto cfg = cfg_small();
+    channel_dns dns(cfg, world);
+    dns.load_checkpoint(path);
+    EXPECT_EQ(dns.step_count(), 2);
+    dns.step();
+    resumed = dns.mean_profile();
+  });
+  ASSERT_EQ(direct.size(), resumed.size());
+  for (std::size_t i = 0; i < direct.size(); ++i)
+    EXPECT_DOUBLE_EQ(direct[i], resumed[i]);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsMismatchedGrid) {
+  const std::string path = ::testing::TempDir() + "/pcf_ckpt2.bin";
+  run_world(1, [&](communicator& world) {
+    auto cfg = cfg_small();
+    channel_dns dns(cfg, world);
+    dns.initialize(0.0);
+    dns.save_checkpoint(path);
+  });
+  EXPECT_THROW(
+      run_world(1,
+                [&](communicator& world) {
+                  auto cfg = cfg_small();
+                  cfg.nx = 16;
+                  channel_dns dns(cfg, world);
+                  dns.load_checkpoint(path);
+                }),
+      pcf::precondition_error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsGarbageFile) {
+  const std::string path = ::testing::TempDir() + "/pcf_ckpt3.bin";
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "not a checkpoint";
+  }
+  EXPECT_THROW(run_world(1,
+                         [&](communicator& world) {
+                           auto cfg = cfg_small();
+                           channel_dns dns(cfg, world);
+                           dns.load_checkpoint(path);
+                         }),
+               pcf::precondition_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "io/ppm.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using pcf::io::diverging_rgb;
+using pcf::io::write_ppm;
+
+TEST(Ppm, ColormapEndpointsAndCenter) {
+  unsigned char rgb[3];
+  diverging_rgb(-1.0, -1.0, 1.0, rgb);  // low -> blue
+  EXPECT_EQ(rgb[0], 0);
+  EXPECT_EQ(rgb[2], 255);
+  diverging_rgb(1.0, -1.0, 1.0, rgb);  // high -> red
+  EXPECT_EQ(rgb[0], 255);
+  EXPECT_EQ(rgb[2], 0);
+  diverging_rgb(0.0, -1.0, 1.0, rgb);  // center -> white
+  EXPECT_EQ(rgb[0], 255);
+  EXPECT_EQ(rgb[1], 255);
+  EXPECT_EQ(rgb[2], 255);
+}
+
+TEST(Ppm, ValuesOutsideRangeAreClamped) {
+  unsigned char lo[3], hi[3], below[3], above[3];
+  diverging_rgb(-1.0, -1.0, 1.0, lo);
+  diverging_rgb(-50.0, -1.0, 1.0, below);
+  diverging_rgb(1.0, -1.0, 1.0, hi);
+  diverging_rgb(50.0, -1.0, 1.0, above);
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_EQ(lo[c], below[c]);
+    EXPECT_EQ(hi[c], above[c]);
+  }
+}
+
+TEST(Ppm, WritesValidHeaderAndSize) {
+  const std::string path = ::testing::TempDir() + "/pcf_test.ppm";
+  std::vector<double> data(6 * 4, 0.0);
+  write_ppm(path, data, 6, 4, -1.0, 1.0);
+  std::ifstream is(path, std::ios::binary);
+  std::string magic;
+  int w = 0, h = 0, maxv = 0;
+  is >> magic >> w >> h >> maxv;
+  EXPECT_EQ(magic, "P6");
+  EXPECT_EQ(w, 6);
+  EXPECT_EQ(h, 4);
+  EXPECT_EQ(maxv, 255);
+  is.get();  // single whitespace after header
+  std::vector<char> pixels(3 * 6 * 4);
+  is.read(pixels.data(), static_cast<std::streamsize>(pixels.size()));
+  EXPECT_EQ(is.gcount(), static_cast<std::streamsize>(pixels.size()));
+  std::remove(path.c_str());
+}
+
+TEST(Ppm, RejectsMismatchedSize) {
+  std::vector<double> data(5);
+  EXPECT_THROW(write_ppm("/tmp/never.ppm", data, 3, 3, 0, 1),
+               pcf::precondition_error);
+}
+
+}  // namespace

@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "io/profiles.hpp"
+
+namespace {
+
+using pcf::core::profile_data;
+using pcf::io::read_csv_column;
+using pcf::io::write_profiles_csv;
+
+profile_data sample() {
+  profile_data p;
+  p.y = {-1.0, 0.0, 1.0};
+  p.u = {0.0, 18.0, 0.0};
+  p.uu = {0.0, 2.5, 0.0};
+  p.vv = {0.0, 1.0, 0.0};
+  p.ww = {0.0, 1.5, 0.0};
+  p.uv = {0.0, -0.8, 0.0};
+  p.samples = 10;
+  return p;
+}
+
+TEST(Profiles, RoundTripThroughCsv) {
+  const std::string path = ::testing::TempDir() + "/pcf_prof.csv";
+  write_profiles_csv(path, sample(), 180.0);
+  auto y = read_csv_column(path, 0);
+  auto yp = read_csv_column(path, 1);
+  auto u = read_csv_column(path, 2);
+  auto muv = read_csv_column(path, 6);
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[1], 0.0);
+  EXPECT_DOUBLE_EQ(yp[0], 0.0);        // lower wall: y+ = 0
+  EXPECT_DOUBLE_EQ(yp[1], 180.0);      // centerline: y+ = Re_tau
+  EXPECT_DOUBLE_EQ(u[1], 18.0);
+  EXPECT_DOUBLE_EQ(muv[1], 0.8);       // written as -<uv>
+  std::remove(path.c_str());
+}
+
+TEST(Profiles, HeaderHasSevenColumns) {
+  const std::string path = ::testing::TempDir() + "/pcf_prof2.csv";
+  write_profiles_csv(path, sample(), 180.0);
+  std::ifstream is(path);
+  std::string header;
+  std::getline(is, header);
+  EXPECT_EQ(std::count(header.begin(), header.end(), ','), 6);
+  std::remove(path.c_str());
+}
+
+}  // namespace

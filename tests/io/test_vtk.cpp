@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "io/vtk.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using pcf::io::write_vtk_rectilinear;
+
+TEST(Vtk, WritesValidRectilinearGrid) {
+  const std::string path = ::testing::TempDir() + "/pcf_test.vtk";
+  std::vector<double> xs{0.0, 1.0, 2.0}, ys{-1.0, 0.5}, zs{0.0, 0.25};
+  std::vector<double> u(3 * 2 * 2);
+  for (std::size_t i = 0; i < u.size(); ++i) u[i] = static_cast<double>(i);
+  write_vtk_rectilinear(path, xs, ys, zs, {{"u", &u}});
+
+  std::ifstream is(path);
+  std::string all((std::istreambuf_iterator<char>(is)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("DATASET RECTILINEAR_GRID"), std::string::npos);
+  EXPECT_NE(all.find("DIMENSIONS 3 2 2"), std::string::npos);
+  EXPECT_NE(all.find("X_COORDINATES 3 double"), std::string::npos);
+  EXPECT_NE(all.find("POINT_DATA 12"), std::string::npos);
+  EXPECT_NE(all.find("SCALARS u double 1"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Vtk, MultipleFieldsAllPresent) {
+  const std::string path = ::testing::TempDir() + "/pcf_test2.vtk";
+  std::vector<double> xs{0.0, 1.0}, ys{0.0}, zs{0.0};
+  std::vector<double> u{1.0, 2.0}, v{3.0, 4.0};
+  write_vtk_rectilinear(path, xs, ys, zs, {{"u", &u}, {"v", &v}});
+  std::ifstream is(path);
+  std::string all((std::istreambuf_iterator<char>(is)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("SCALARS u double 1"), std::string::npos);
+  EXPECT_NE(all.find("SCALARS v double 1"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Vtk, RejectsMismatchedFieldSize) {
+  std::vector<double> xs{0.0, 1.0}, ys{0.0}, zs{0.0};
+  std::vector<double> bad{1.0};
+  EXPECT_THROW(
+      write_vtk_rectilinear("/tmp/never.vtk", xs, ys, zs, {{"u", &bad}}),
+      pcf::precondition_error);
+}
+
+TEST(Vtk, RejectsBadFieldName) {
+  std::vector<double> xs{0.0}, ys{0.0}, zs{0.0};
+  std::vector<double> f{1.0};
+  EXPECT_THROW(write_vtk_rectilinear("/tmp/never.vtk", xs, ys, zs,
+                                     {{"bad name", &f}}),
+               pcf::precondition_error);
+}
+
+}  // namespace

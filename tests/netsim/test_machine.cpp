@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "netsim/machine.hpp"
+
+namespace {
+
+using pcf::netsim::machine;
+using pcf::netsim::topology;
+
+TEST(Machine, FourBenchmarkSystemsExist) {
+  EXPECT_EQ(machine::mira().topo, topology::torus5d);
+  EXPECT_EQ(machine::blue_waters().topo, topology::torus3d);
+  EXPECT_EQ(machine::lonestar().topo, topology::fat_tree);
+  EXPECT_EQ(machine::stampede().topo, topology::fat_tree);
+}
+
+TEST(Machine, MiraMatchesPaperParameters) {
+  auto m = machine::mira();
+  EXPECT_EQ(m.cores_per_node, 16);
+  EXPECT_EQ(m.smt_per_core, 4);
+  EXPECT_DOUBLE_EQ(m.core_peak_gflops, 12.8);      // paper Section 4.1.2
+  EXPECT_DOUBLE_EQ(m.advance_gflops_per_core, 1.16);  // paper Table 2
+  EXPECT_NEAR(m.mem_bw_node, 28.8e9, 1e8);         // 18 B/cycle at 1.6 GHz
+}
+
+TEST(Machine, BisectionDecreasesWithNodeCount) {
+  for (auto m : {machine::mira(), machine::blue_waters(), machine::lonestar()}) {
+    double prev = m.bisection_per_node(2);
+    for (double nodes : {8.0, 64.0, 512.0, 4096.0, 32768.0}) {
+      const double b = m.bisection_per_node(nodes);
+      EXPECT_LE(b, prev + 1e-9) << m.name << " at " << nodes;
+      EXPECT_GT(b, 0.0);
+      prev = b;
+    }
+  }
+}
+
+TEST(Machine, FiveDTorusDegradesSlowerThanThreeD) {
+  // The paper's core architectural claim: Mira's 5-D torus keeps far more
+  // bisection per node at scale than Blue Waters' 3-D Gemini torus.
+  auto mira = machine::mira();
+  auto bw = machine::blue_waters();
+  const double small_ratio =
+      mira.bisection_per_node(16) / bw.bisection_per_node(16);
+  const double large_ratio =
+      mira.bisection_per_node(16384) / bw.bisection_per_node(16384);
+  EXPECT_GT(large_ratio, small_ratio);
+}
+
+TEST(Machine, SingleNodeBisectionIsMemoryBandwidth) {
+  auto m = machine::mira();
+  EXPECT_DOUBLE_EQ(m.bisection_per_node(1), m.mem_bw_node);
+}
+
+TEST(Machine, FatTreeApproachesOversubscribedLimit) {
+  auto m = machine::stampede();
+  const double full = m.bisection_per_node(static_cast<double>(m.total_nodes));
+  EXPECT_NEAR(full, m.nic_bw / m.fat_tree_oversub, 0.05 * m.nic_bw);
+}
+
+}  // namespace

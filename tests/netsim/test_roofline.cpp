@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "netsim/roofline.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using pcf::netsim::machine;
+using pcf::netsim::project;
+using pcf::op_counts;
+
+TEST(Roofline, ComputeBoundKernel) {
+  // Very high arithmetic intensity: the flop roof binds.
+  op_counts c{100'000'000'000ull, 1000, 1000};
+  auto e = project(machine::mira(), c, 1);
+  EXPECT_FALSE(e.memory_bound);
+  EXPECT_NEAR(e.gflops, 12.8, 1e-9);
+  EXPECT_NEAR(e.peak_fraction, 1.0, 1e-12);
+}
+
+TEST(Roofline, MemoryBoundKernel) {
+  // Low intensity (0.1 F/B): memory roof binds, achieved flops well below
+  // peak — the Table 2 situation.
+  op_counts c{1'000'000'000ull, 5'000'000'000ull, 5'000'000'000ull};
+  auto e = project(machine::mira(), c, 16);
+  EXPECT_TRUE(e.memory_bound);
+  EXPECT_LT(e.peak_fraction, 0.15);
+  EXPECT_NEAR(e.intensity, 0.1, 1e-12);
+}
+
+TEST(Roofline, AdvanceKernelProfileIsMemoryBoundAtLowPeakFraction) {
+  // The measured N-S advance intensity (~0.17 F/B, Table 2 bench): a full
+  // BG/Q node should be memory bound at a single-digit percent of peak.
+  const double flops = 1e9;
+  op_counts c{static_cast<std::uint64_t>(flops),
+              static_cast<std::uint64_t>(flops / 0.17 / 2),
+              static_cast<std::uint64_t>(flops / 0.17 / 2)};
+  auto e = project(machine::mira(), c, 16);
+  EXPECT_TRUE(e.memory_bound);
+  EXPECT_LT(e.peak_fraction, 0.05);
+}
+
+TEST(Roofline, MoreCoresRaiseBothRoofs) {
+  op_counts c{1'000'000'000ull, 2'000'000'000ull, 0};
+  auto e1 = project(machine::mira(), c, 1);
+  auto e8 = project(machine::mira(), c, 8);
+  EXPECT_LT(e8.seconds, e1.seconds);
+}
+
+TEST(Roofline, MemoryRoofSaturatesWithCores) {
+  // Memory-bound kernel: going from 8 to 16 cores helps little (Table 4).
+  op_counts c{1000, 50'000'000'000ull, 0};
+  auto e8 = project(machine::mira(), c, 8);
+  auto e16 = project(machine::mira(), c, 16);
+  EXPECT_LT(e16.seconds, e8.seconds);        // still a little faster...
+  EXPECT_GT(e16.seconds, 0.85 * e8.seconds); // ...but nowhere near 2x
+}
+
+TEST(Roofline, RejectsBadCoreCount) {
+  op_counts c{1, 1, 1};
+  EXPECT_THROW(project(machine::mira(), c, 0), pcf::precondition_error);
+  EXPECT_THROW(project(machine::mira(), c, 17), pcf::precondition_error);
+}
+
+}  // namespace

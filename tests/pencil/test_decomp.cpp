@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "pencil/pencil.hpp"
+
+namespace {
+
+using pcf::pencil::block_range;
+using pcf::pencil::decomp;
+using pcf::pencil::grid;
+using pcf::pencil::kernel_config;
+
+TEST(BlockRange, CoversWithoutOverlap) {
+  for (std::size_t n : {1u, 7u, 16u, 100u, 1023u}) {
+    for (int p : {1, 2, 3, 4, 7, 16}) {
+      std::size_t next = 0;
+      for (int r = 0; r < p; ++r) {
+        auto b = block_range(n, p, r);
+        EXPECT_EQ(b.offset, next);
+        next += b.count;
+      }
+      EXPECT_EQ(next, n);
+    }
+  }
+}
+
+TEST(BlockRange, BalancedWithinOne) {
+  for (std::size_t n : {10u, 33u, 100u}) {
+    for (int p : {3, 4, 7}) {
+      std::size_t mn = n, mx = 0;
+      for (int r = 0; r < p; ++r) {
+        auto b = block_range(n, p, r);
+        mn = std::min(mn, b.count);
+        mx = std::max(mx, b.count);
+      }
+      EXPECT_LE(mx - mn, 1u);
+    }
+  }
+}
+
+TEST(BlockRange, MoreRanksThanItems) {
+  // 2 items over 4 ranks: two ranks get one item, two get zero.
+  std::size_t total = 0;
+  for (int r = 0; r < 4; ++r) total += block_range(2, 4, r).count;
+  EXPECT_EQ(total, 2u);
+}
+
+TEST(Decomp, CustomizedKernelDropsNyquistAndPads) {
+  grid g{16, 9, 8};
+  decomp d(g, kernel_config{}, 2, 2, 0, 1);
+  EXPECT_EQ(d.nxs, 8u);   // nx/2, Nyquist dropped
+  EXPECT_EQ(d.nxf, 24u);  // 3 nx / 2
+  EXPECT_EQ(d.nzf, 12u);  // 3 nz / 2
+  EXPECT_EQ(d.x_line_modes(), 13u);
+  // Coordinates (0, 1): x block over PA=2, z/y blocks over PB=2, rank b=1.
+  EXPECT_EQ(d.xs.count, 4u);
+  EXPECT_EQ(d.zs.offset, 4u);
+  EXPECT_EQ(d.yb.count, 4u);  // 9 over 2 -> 5, 4
+  EXPECT_EQ(d.yb.offset, 5u);
+}
+
+TEST(Decomp, P3dfftModeKeepsNyquistNoPad) {
+  grid g{16, 8, 8};
+  decomp d(g, kernel_config::p3dfft_mode(), 1, 1, 0, 0);
+  EXPECT_EQ(d.nxs, 9u);  // nx/2 + 1
+  EXPECT_EQ(d.nxf, 16u);
+  EXPECT_EQ(d.nzf, 8u);
+  EXPECT_EQ(d.x_line_modes(), 9u);  // no pad region
+}
+
+TEST(Decomp, RejectsBadGrid) {
+  kernel_config cfg;
+  EXPECT_THROW(decomp(grid{6, 8, 8}, cfg, 1, 1, 0, 0), pcf::precondition_error);
+  EXPECT_THROW(decomp(grid{8, 8, 7}, cfg, 1, 1, 0, 0), pcf::precondition_error);
+  EXPECT_THROW(decomp(grid{8, 0, 8}, cfg, 1, 1, 0, 0), pcf::precondition_error);
+}
+
+TEST(Decomp, PencilElementCounts) {
+  grid g{8, 6, 8};
+  decomp d(g, kernel_config{}, 1, 1, 0, 0);
+  EXPECT_EQ(d.y_pencil_elems(), 4u * 8u * 6u);
+  EXPECT_EQ(d.z_pencil_elems(), 4u * 6u * 12u);
+  EXPECT_EQ(d.x_pencil_real_elems(), 12u * 6u * 12u);
+}
+
+}  // namespace

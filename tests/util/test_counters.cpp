@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "util/counters.hpp"
+
+namespace {
+
+namespace counters = pcf::counters;
+
+TEST(Counters, AccumulateAndDrain) {
+  counters::reset();
+  counters::add_flops(100);
+  counters::add_read(64);
+  counters::add_written(32);
+  counters::drain();
+  auto t = counters::total();
+  EXPECT_EQ(t.flops, 100u);
+  EXPECT_EQ(t.bytes_read, 64u);
+  EXPECT_EQ(t.bytes_written, 32u);
+}
+
+TEST(Counters, ResetZerosEverything) {
+  counters::add_flops(5);
+  counters::drain();
+  counters::reset();
+  auto t = counters::total();
+  EXPECT_EQ(t.flops, 0u);
+  EXPECT_EQ(t.bytes_read, 0u);
+}
+
+TEST(Counters, DrainFoldsAllThreads) {
+  counters::reset();
+  std::vector<std::thread> ts;
+  for (int i = 0; i < 4; ++i)
+    ts.emplace_back([] { counters::add_flops(10); });
+  for (auto& t : ts) t.join();
+  counters::add_flops(2);
+  counters::drain();
+  EXPECT_EQ(counters::total().flops, 42u);
+}
+
+TEST(Counters, DrainIsIdempotentUntilNewCounts) {
+  counters::reset();
+  counters::add_flops(7);
+  counters::drain();
+  counters::drain();
+  EXPECT_EQ(counters::total().flops, 7u);
+}
+
+TEST(OpCounts, PlusEqualsAggregates) {
+  pcf::op_counts a{1, 2, 3}, b{10, 20, 30};
+  a += b;
+  EXPECT_EQ(a.flops, 11u);
+  EXPECT_EQ(a.bytes_read, 22u);
+  EXPECT_EQ(a.bytes_written, 33u);
+}
+
+}  // namespace

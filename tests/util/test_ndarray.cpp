@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "util/ndarray.hpp"
+
+namespace {
+
+using pcf::view2d;
+using pcf::view3d;
+
+TEST(View2D, RowMajorIndexing) {
+  std::vector<int> v(6);
+  std::iota(v.begin(), v.end(), 0);
+  view2d<int> m(v.data(), 2, 3);
+  EXPECT_EQ(m(0, 0), 0);
+  EXPECT_EQ(m(0, 2), 2);
+  EXPECT_EQ(m(1, 0), 3);
+  EXPECT_EQ(m(1, 2), 5);
+}
+
+TEST(View2D, StridedRows) {
+  std::vector<int> v(8);
+  std::iota(v.begin(), v.end(), 0);
+  view2d<int> m(v.data(), 2, 3, 4);  // padded rows
+  EXPECT_EQ(m(0, 2), 2);
+  EXPECT_EQ(m(1, 0), 4);
+  EXPECT_EQ(m.row(1), v.data() + 4);
+}
+
+TEST(View2D, WritesThroughView) {
+  std::vector<double> v(4, 0.0);
+  view2d<double> m(v.data(), 2, 2);
+  m(1, 1) = 9.0;
+  EXPECT_EQ(v[3], 9.0);
+}
+
+TEST(View3D, RowMajorIndexing) {
+  std::vector<int> v(24);
+  std::iota(v.begin(), v.end(), 0);
+  view3d<int> a(v.data(), 2, 3, 4);
+  EXPECT_EQ(a(0, 0, 0), 0);
+  EXPECT_EQ(a(0, 0, 3), 3);
+  EXPECT_EQ(a(0, 1, 0), 4);
+  EXPECT_EQ(a(1, 0, 0), 12);
+  EXPECT_EQ(a(1, 2, 3), 23);
+}
+
+TEST(View3D, LinePointsToInnermostRun) {
+  std::vector<int> v(24);
+  std::iota(v.begin(), v.end(), 0);
+  view3d<int> a(v.data(), 2, 3, 4);
+  const int* line = a.line(1, 2);
+  EXPECT_EQ(line, v.data() + 20);
+  EXPECT_EQ(line[3], 23);
+}
+
+TEST(View3D, SizeAndExtents) {
+  view3d<int> a(nullptr, 2, 3, 4);
+  EXPECT_EQ(a.extent0(), 2u);
+  EXPECT_EQ(a.extent1(), 3u);
+  EXPECT_EQ(a.extent2(), 4u);
+  EXPECT_EQ(a.size(), 24u);
+}
+
+}  // namespace

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using pcf::rng;
+
+TEST(Rng, DeterministicForSameSeed) {
+  rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  rng r(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    double u = r.uniform(-2.0, 5.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  rng r(99);
+  const int n = 200000;
+  double s1 = 0.0, s2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double x = r.normal();
+    s1 += x;
+    s2 += x * x;
+  }
+  EXPECT_NEAR(s1 / n, 0.0, 0.02);
+  EXPECT_NEAR(s2 / n, 1.0, 0.02);
+}
+
+}  // namespace

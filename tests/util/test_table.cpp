@@ -1,0 +1,47 @@
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using pcf::text_table;
+
+TEST(TextTable, RendersHeaderAndRows) {
+  text_table t({"Cores", "Time"});
+  t.add_row({"128", "5.38"});
+  t.add_row({"256", "2.78"});
+  std::string s = t.str();
+  EXPECT_NE(s.find("Cores"), std::string::npos);
+  EXPECT_NE(s.find("5.38"), std::string::npos);
+  EXPECT_NE(s.find("256"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAreAligned) {
+  text_table t({"A", "B"});
+  t.add_row({"x", "1234567"});
+  std::string s = t.str();
+  // Every line should have the same length (aligned columns).
+  std::size_t first_len = s.find('\n');
+  std::size_t pos = first_len + 1;
+  while (pos < s.size()) {
+    std::size_t next = s.find('\n', pos);
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+}
+
+TEST(TextTable, RejectsMismatchedRowWidth) {
+  text_table t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only-one"}), pcf::precondition_error);
+}
+
+TEST(TextTable, FormatHelpers) {
+  EXPECT_EQ(text_table::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(text_table::fmt_pct(0.805, 1), "80.5%");
+  EXPECT_EQ(text_table::fmt_time(2.5), "2.500 s");
+  EXPECT_EQ(text_table::fmt_time(0.0025), "2.500 ms");
+  EXPECT_EQ(text_table::fmt_time(2.5e-6), "2.500 us");
+}
+
+}  // namespace

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using pcf::thread_pool;
+
+TEST(ThreadPool, SingleThreadRunsWholeRange) {
+  thread_pool pool(1);
+  std::vector<int> hit(100, 0);
+  pool.run(hit.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hit[i]++;
+  });
+  for (int h : hit) EXPECT_EQ(h, 1);
+}
+
+class ThreadPoolP : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadPoolP, EveryIndexVisitedExactlyOnce) {
+  thread_pool pool(GetParam());
+  std::vector<std::atomic<int>> hit(1013);
+  pool.run(hit.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hit[i].fetch_add(1);
+  });
+  for (auto& h : hit) EXPECT_EQ(h.load(), 1);
+}
+
+TEST_P(ThreadPoolP, RangeSmallerThanThreadCount) {
+  thread_pool pool(GetParam());
+  std::vector<std::atomic<int>> hit(2);
+  pool.run(hit.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hit[i].fetch_add(1);
+  });
+  EXPECT_EQ(hit[0].load(), 1);
+  EXPECT_EQ(hit[1].load(), 1);
+}
+
+TEST_P(ThreadPoolP, RepeatedRunsAreIndependent) {
+  thread_pool pool(GetParam());
+  std::atomic<long> sum{0};
+  for (int rep = 0; rep < 20; ++rep) {
+    pool.run(64, [&](std::size_t b, std::size_t e) {
+      long local = 0;
+      for (std::size_t i = b; i < e; ++i) local += static_cast<long>(i);
+      sum.fetch_add(local);
+    });
+  }
+  EXPECT_EQ(sum.load(), 20L * (63 * 64 / 2));
+}
+
+TEST_P(ThreadPoolP, RunPerThreadTouchesEveryThreadOnce) {
+  const int n = GetParam();
+  thread_pool pool(n);
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+  pool.run_per_thread([&](int tid) { hits[static_cast<std::size_t>(tid)]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ThreadPoolP, ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(ThreadPool, ZeroLengthRunIsNoop) {
+  thread_pool pool(4);
+  bool called = false;
+  pool.run(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, RejectsZeroThreads) {
+  EXPECT_THROW(thread_pool pool(0), pcf::precondition_error);
+}
+
+}  // namespace

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/timer.hpp"
+
+namespace {
+
+using pcf::section_timer;
+using pcf::wall_timer;
+
+TEST(WallTimer, MeasuresElapsedTime) {
+  wall_timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = t.seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 2.0);
+}
+
+TEST(WallTimer, RestartResets) {
+  wall_timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  t.restart();
+  EXPECT_LT(t.seconds(), 0.015);
+}
+
+TEST(SectionTimer, AccumulatesAcrossIntervals) {
+  section_timer t;
+  for (int i = 0; i < 3; ++i) {
+    t.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    t.stop();
+  }
+  EXPECT_GE(t.total(), 0.012);
+  EXPECT_EQ(t.count(), 3);
+}
+
+TEST(SectionTimer, StopWithoutStartIsNoop) {
+  section_timer t;
+  t.stop();
+  EXPECT_EQ(t.total(), 0.0);
+  EXPECT_EQ(t.count(), 0);
+}
+
+TEST(SectionTimer, DoubleStopCountsOnce) {
+  section_timer t;
+  t.start();
+  t.stop();
+  t.stop();
+  EXPECT_EQ(t.count(), 1);
+}
+
+TEST(SectionTimer, ResetClears) {
+  section_timer t;
+  t.start();
+  t.stop();
+  t.reset();
+  EXPECT_EQ(t.total(), 0.0);
+  EXPECT_EQ(t.count(), 0);
+}
+
+}  // namespace

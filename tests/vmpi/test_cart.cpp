@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "vmpi/vmpi.hpp"
+
+namespace {
+
+using pcf::vmpi::cart2d;
+using pcf::vmpi::communicator;
+using pcf::vmpi::run_world;
+
+class GridShapes : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(GridShapes, CoordinatesAreRowMajor) {
+  const auto [pa, pb] = GetParam();
+  run_world(pa * pb, [&](communicator& c) {
+    cart2d g(c, pa, pb);
+    EXPECT_EQ(g.coord_a(), c.rank() / pb);
+    EXPECT_EQ(g.coord_b(), c.rank() % pb);
+    EXPECT_EQ(g.comm_a().size(), pa);
+    EXPECT_EQ(g.comm_b().size(), pb);
+    EXPECT_EQ(g.comm_a().rank(), g.coord_a());
+    EXPECT_EQ(g.comm_b().rank(), g.coord_b());
+  });
+}
+
+TEST_P(GridShapes, CommBGroupsContiguousRanks) {
+  // The paper's Table 5: CommB should group node-local (contiguous) ranks.
+  const auto [pa, pb] = GetParam();
+  run_world(pa * pb, [&](communicator& c) {
+    cart2d g(c, pa, pb);
+    std::vector<int> members(static_cast<std::size_t>(pb), -1);
+    const int me = c.rank();
+    g.comm_b().allgather(&me, members.data(), 1);
+    for (int b = 0; b < pb; ++b)
+      EXPECT_EQ(members[static_cast<std::size_t>(b)], g.coord_a() * pb + b);
+  });
+}
+
+TEST_P(GridShapes, CommAGroupsStridedRanks) {
+  const auto [pa, pb] = GetParam();
+  run_world(pa * pb, [&](communicator& c) {
+    cart2d g(c, pa, pb);
+    std::vector<int> members(static_cast<std::size_t>(pa), -1);
+    const int me = c.rank();
+    g.comm_a().allgather(&me, members.data(), 1);
+    for (int a = 0; a < pa; ++a)
+      EXPECT_EQ(members[static_cast<std::size_t>(a)], a * pb + g.coord_b());
+  });
+}
+
+TEST_P(GridShapes, IndependentReductionsPerSubcommunicator) {
+  const auto [pa, pb] = GetParam();
+  run_world(pa * pb, [&](communicator& c) {
+    cart2d g(c, pa, pb);
+    const double v = 1.0;
+    double sa = 0, sb = 0;
+    g.comm_a().allreduce_sum(&v, &sa, 1);
+    g.comm_b().allreduce_sum(&v, &sb, 1);
+    EXPECT_EQ(sa, static_cast<double>(pa));
+    EXPECT_EQ(sb, static_cast<double>(pb));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GridShapes,
+                         ::testing::Values(std::make_pair(1, 1),
+                                           std::make_pair(1, 4),
+                                           std::make_pair(4, 1),
+                                           std::make_pair(2, 2),
+                                           std::make_pair(2, 4),
+                                           std::make_pair(4, 4),
+                                           std::make_pair(3, 2)));
+
+TEST(Cart2d, RejectsMismatchedGrid) {
+  EXPECT_THROW(run_world(4,
+                         [&](communicator& c) {
+                           cart2d g(c, 3, 2);
+                           (void)g;
+                         }),
+               pcf::precondition_error);
+}
+
+}  // namespace

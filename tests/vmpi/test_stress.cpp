@@ -1,0 +1,111 @@
+// Randomized and interleaved stress tests of the virtual-MPI runtime —
+// the communication patterns the DNS drives hardest.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "vmpi/vmpi.hpp"
+
+namespace {
+
+using pcf::vmpi::cart2d;
+using pcf::vmpi::communicator;
+using pcf::vmpi::run_world;
+
+TEST(VmpiStress, RandomizedAlltoallvRounds) {
+  // 40 rounds of alltoallv with pseudo-random (but rank-consistent) counts;
+  // every element is tagged with (source, dest, round, index) and verified.
+  const int p = 6;
+  run_world(p, [&](communicator& c) {
+    const int me = c.rank();
+    for (int round = 0; round < 40; ++round) {
+      auto count_of = [&](int src, int dst) {
+        pcf::rng r(static_cast<std::uint64_t>(round) * 1000003 +
+                   static_cast<std::uint64_t>(src) * 131 +
+                   static_cast<std::uint64_t>(dst));
+        return static_cast<std::size_t>(r.next_u64() % 7);
+      };
+      std::vector<std::size_t> sc(p), sd(p), rc(p), rd(p);
+      std::size_t st = 0, rt = 0;
+      for (int q = 0; q < p; ++q) {
+        sc[static_cast<std::size_t>(q)] = count_of(me, q);
+        sd[static_cast<std::size_t>(q)] = st;
+        st += sc[static_cast<std::size_t>(q)];
+        rc[static_cast<std::size_t>(q)] = count_of(q, me);
+        rd[static_cast<std::size_t>(q)] = rt;
+        rt += rc[static_cast<std::size_t>(q)];
+      }
+      std::vector<double> send(std::max<std::size_t>(st, 1));
+      std::vector<double> recv(std::max<std::size_t>(rt, 1), -1.0);
+      for (int q = 0; q < p; ++q)
+        for (std::size_t k = 0; k < sc[static_cast<std::size_t>(q)]; ++k)
+          send[sd[static_cast<std::size_t>(q)] + k] =
+              me * 1e6 + q * 1e3 + round * 10 + static_cast<double>(k);
+      c.alltoallv(send.data(), sc.data(), sd.data(), recv.data(), rc.data(),
+                  rd.data());
+      for (int q = 0; q < p; ++q)
+        for (std::size_t k = 0; k < rc[static_cast<std::size_t>(q)]; ++k)
+          ASSERT_EQ(recv[rd[static_cast<std::size_t>(q)] + k],
+                    q * 1e6 + me * 1e3 + round * 10 + static_cast<double>(k))
+              << "round " << round;
+    }
+  });
+}
+
+TEST(VmpiStress, InterleavedCollectivesOnRowAndColumnComms) {
+  // The DNS alternates CommA and CommB collectives; interleave them with
+  // world reductions for many iterations.
+  run_world(8, [&](communicator& world) {
+    cart2d g(world, 4, 2);
+    double acc = 0.0;
+    for (int it = 0; it < 60; ++it) {
+      const double v = world.rank() + it;
+      double sa = 0, sb = 0, sw = 0;
+      g.comm_a().allreduce_sum(&v, &sa, 1);
+      g.comm_b().allreduce_sum(&v, &sb, 1);
+      world.allreduce_sum(&v, &sw, 1);
+      acc += sa + sb + sw;
+      // Expected: comm_a sums ranks with same b over 4 a-coords; comm_b
+      // over 2 b-coords; world over all 8.
+      const double base = 8.0 * it;
+      double ranks_a = 0;
+      for (int a = 0; a < 4; ++a) ranks_a += a * 2 + g.coord_b();
+      double ranks_b = 0;
+      for (int b = 0; b < 2; ++b) ranks_b += g.coord_a() * 2 + b;
+      EXPECT_EQ(sa, ranks_a + 4.0 * it);
+      EXPECT_EQ(sb, ranks_b + 2.0 * it);
+      EXPECT_EQ(sw, 28.0 + base);
+    }
+    EXPECT_GT(acc, 0.0);
+  });
+}
+
+TEST(VmpiStress, ManySmallWorldsSequentially) {
+  // Launch/teardown robustness: many short-lived worlds.
+  for (int it = 0; it < 25; ++it) {
+    run_world(3, [&](communicator& c) {
+      double v = 1.0, s = 0.0;
+      c.allreduce_sum(&v, &s, 1);
+      EXPECT_EQ(s, 3.0);
+    });
+  }
+}
+
+TEST(VmpiStress, LargePayloadAlltoall) {
+  // Megabyte-scale blocks, checksummed.
+  const std::size_t cnt = 1 << 15;
+  run_world(4, [&](communicator& c) {
+    std::vector<double> send(4 * cnt), recv(4 * cnt);
+    for (std::size_t i = 0; i < send.size(); ++i)
+      send[i] = c.rank() * 1.0 + static_cast<double>(i) * 1e-9;
+    c.alltoall(send.data(), recv.data(), cnt);
+    for (int q = 0; q < 4; ++q) {
+      const double want0 = q * 1.0 + static_cast<double>(c.rank() * cnt) * 1e-9;
+      EXPECT_EQ(recv[static_cast<std::size_t>(q) * cnt], want0);
+    }
+  });
+}
+
+}  // namespace
