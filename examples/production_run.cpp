@@ -28,7 +28,6 @@ int main(int argc, char** argv) {
 
   pcf::vmpi::run_world(ranks, [&](pcf::vmpi::communicator& world) {
     pcf::core::channel_dns dns(cfg, world);
-    dns.initialize(0.15);
 
     pcf::core::run_plan plan;
     plan.flow_throughs = fts;
@@ -37,6 +36,17 @@ int main(int argc, char** argv) {
     plan.diag_every = 50;
     plan.checkpoint_every = 500;
     plan.checkpoint_path = "production.ckpt";
+    plan.checkpoint_keep = 3;       // rotated generations on disk
+    plan.max_blowup_retries = 2;    // restore + halve dt, at most twice
+    plan.retry_dt_factor = 0.5;
+
+    // Resume from the newest good checkpoint generation if a previous
+    // (possibly killed) campaign left one behind; otherwise start fresh.
+    const long resumed = pcf::core::resume_or_initialize(
+        dns, world, plan.checkpoint_path, 0.15);
+    if (world.rank() == 0 && resumed >= 0)
+      std::printf("resumed from checkpoint generation %ld (t = %.3f)\n",
+                  resumed, dns.time());
 
     if (world.rank() == 0)
       std::printf("running %.2f flow-throughs (flow-through time %.3f)\n",
@@ -54,6 +64,13 @@ int main(int argc, char** argv) {
       std::printf("ran %ld steps, %ld checkpoints%s\n", rep.steps_run,
                   rep.checkpoints_written,
                   rep.hit_time_budget ? " (hit wall-clock budget)" : "");
+      if (rep.blowup_recoveries > 0)
+        std::printf("recovered from %ld blow-up(s); last restore from "
+                    "generation %ld (see production.ckpt.blowup.txt)\n",
+                    rep.blowup_recoveries, rep.restored_generation);
+      if (rep.went_nonfinite)
+        std::printf("halted on non-finite energy; diagnostics in "
+                    "production.ckpt.blowup.txt\n");
       pcf::core::write_series_csv("production_series.csv", rep.series);
       if (rep.profiles.samples > 0)
         pcf::io::write_profiles_csv("production_profiles.csv", rep.profiles,

@@ -4,8 +4,18 @@
 // checkpointed segments, discarding the transient before accumulating
 // statistics. This runner packages that workflow: it advances the DNS in
 // segments, samples statistics on a cadence after a warmup time, writes
-// periodic checkpoints, records a time series of the global diagnostics,
-// and can stop on a wall-clock budget.
+// rotated crash-safe checkpoints, records a time series of the global
+// diagnostics, and can stop on a wall-clock budget.
+//
+// Recovery policy: checkpoints rotate through numbered generations
+// (`<prefix>.g<step>.<rank>`, newest `checkpoint_keep` kept), so a corrupt
+// or torn file never leaves the campaign without a restart point — the
+// loader falls back to the newest generation that every rank verifies and
+// whose restored state is finite. If the integration blows up (non-finite
+// energy), the runner writes a diagnostic report (including the vmpi
+// communication statistics) and, when `max_blowup_retries` allows, restores
+// the newest good generation with the time step scaled by
+// `retry_dt_factor` before continuing.
 #pragma once
 
 #include <functional>
@@ -22,9 +32,17 @@ struct run_plan {
   long stats_every = 10;         // steps between statistics samples
   long diag_every = 50;          // steps between diagnostics records
   long checkpoint_every = 0;     // steps between checkpoints (0 = none)
-  std::string checkpoint_path;   // prefix; ".<rank>" is appended
+  std::string checkpoint_path;   // prefix; ".g<step>.<rank>" is appended
+  int checkpoint_keep = 2;       // rotated generations to keep (>= 1)
   double max_seconds = 0.0;      // wall-clock budget (0 = unlimited)
   bool stop_on_nonfinite = true;  // halt if the energy goes non-finite
+
+  // Blow-up recovery: restore the newest good checkpoint generation with a
+  // reduced time step, at most `max_blowup_retries` times per campaign
+  // (0 = report and halt, the pre-recovery behavior).
+  int max_blowup_retries = 0;
+  double retry_dt_factor = 0.5;  // dt multiplier applied on each retry
+  std::string report_path;  // blow-up report ("" -> <checkpoint_path>.blowup.txt)
 };
 
 /// One row of the diagnostics time series.
@@ -42,12 +60,31 @@ struct run_report {
   bool hit_time_budget = false;
   bool went_nonfinite = false;  // simulation blew up and was halted
   long checkpoints_written = 0;
+  long blowup_recoveries = 0;   // successful restore-with-reduced-dt cycles
+  long restored_generation = -1;  // newest generation restored from (-1: none)
+  bool wrote_report = false;    // a blow-up report was written
   std::vector<diag_sample> series;
   profile_data profiles;   // accumulated statistics (may be empty)
 };
 
 /// Estimate the flow-through time Lx / U_bulk from the current state.
 double flow_through_time(channel_dns& dns);
+
+/// Restore the newest checkpoint generation under `prefix` that every rank
+/// loads cleanly (atomic rename means a generation either exists complete
+/// or not at all, and the per-section CRCs reject silent corruption) and
+/// whose restored energy is finite. Returns the generation number, or -1
+/// if no generation is usable (the DNS state is then unspecified).
+/// Collective.
+long restore_newest_generation(channel_dns& dns, vmpi::communicator& world,
+                               const std::string& prefix);
+
+/// Restore the newest good generation if any rotated checkpoint exists
+/// under `prefix`, otherwise initialize(perturbation, seed). Returns the
+/// restored generation, or -1 for a fresh start. Collective.
+long resume_or_initialize(channel_dns& dns, vmpi::communicator& world,
+                          const std::string& prefix, double perturbation,
+                          std::uint64_t seed = 1);
 
 /// Execute the plan. `on_diag` (optional) is called with each diagnostics
 /// sample as it is recorded (for logging). Collective.

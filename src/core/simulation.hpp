@@ -151,6 +151,12 @@ class channel_dns {
   std::vector<std::complex<double>> mode_omega(std::size_t jx, std::size_t jz);
 
   // --- checkpointing ---------------------------------------------------------
+  // All three formats write crash-safely (temp file + atomic rename, so an
+  // interrupted save never damages the previous checkpoint) in the v2
+  // sectioned layout with a CRC-32 per array; loads verify every checksum
+  // and reject truncation or trailing bytes with an error naming the bad
+  // section. v1 files (no checksums) are still accepted on load.
+
   /// Save the evolved state to a per-rank binary file (call at a step
   /// boundary; RK3 carries no nonlinear history across steps). Restoring
   /// requires the same configuration and decomposition.

@@ -1,6 +1,7 @@
 #include "io/ppm.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 
 #include "util/check.hpp"
@@ -8,6 +9,17 @@
 namespace pcf::io {
 
 void diverging_rgb(double v, double lo, double hi, unsigned char rgb[3]) {
+  // A non-finite sample (a blown-up field, a masked point) must not reach
+  // the double -> unsigned char cast below: NaN propagates through clamp
+  // and the cast is undefined behavior. Paint it magenta — a color the
+  // blue-white-red map never produces — so bad data is visible in the
+  // image instead of garbage.
+  if (!std::isfinite(v)) {
+    rgb[0] = 255;
+    rgb[1] = 0;
+    rgb[2] = 255;
+    return;
+  }
   double t = hi > lo ? (v - lo) / (hi - lo) : 0.5;
   t = std::clamp(t, 0.0, 1.0);
   // Blue (0,0,1) -> white (1,1,1) -> red (1,0,0).

@@ -44,12 +44,19 @@ void thread_pool::worker_loop(int id) {
       tfn = thread_fn_;
       n = task_n_;
     }
-    if (rfn != nullptr) {
-      std::size_t b, e;
-      chunk(n, id, b, e);
-      if (b < e) (*rfn)(b, e);
-    } else if (tfn != nullptr) {
-      (*tfn)(id);
+    try {
+      if (rfn != nullptr) {
+        std::size_t b, e;
+        chunk(n, id, b, e);
+        if (b < e) (*rfn)(b, e);
+      } else if (tfn != nullptr) {
+        (*tfn)(id);
+      }
+    } catch (...) {
+      // An exception escaping a worker thread would std::terminate the
+      // whole process; capture the first one for the calling thread.
+      std::lock_guard<std::mutex> lk(mutex_);
+      if (!error_) error_ = std::current_exception();
     }
     {
       std::lock_guard<std::mutex> lk(mutex_);
@@ -60,17 +67,29 @@ void thread_pool::worker_loop(int id) {
 
 void thread_pool::dispatch_and_wait() {
   // Caller participates as thread 0.
-  if (range_fn_ != nullptr) {
-    std::size_t b, e;
-    chunk(task_n_, 0, b, e);
-    if (b < e) (*range_fn_)(b, e);
-  } else if (thread_fn_ != nullptr) {
-    (*thread_fn_)(0);
+  try {
+    if (range_fn_ != nullptr) {
+      std::size_t b, e;
+      chunk(task_n_, 0, b, e);
+      if (b < e) (*range_fn_)(b, e);
+    } else if (thread_fn_ != nullptr) {
+      (*thread_fn_)(0);
+    }
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (!error_) error_ = std::current_exception();
   }
   std::unique_lock<std::mutex> lk(mutex_);
   cv_done_.wait(lk, [&] { return pending_ == 0; });
   range_fn_ = nullptr;
   thread_fn_ = nullptr;
+  // Rethrow only after the barrier, when every worker is parked again and
+  // the pool is reusable.
+  if (error_) {
+    auto err = error_;
+    error_ = nullptr;
+    std::rethrow_exception(err);
+  }
 }
 
 void thread_pool::run(std::size_t n,

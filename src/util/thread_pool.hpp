@@ -9,6 +9,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -32,9 +33,14 @@ class thread_pool {
 
   /// Execute fn(begin, end) over a static partition of [0, n) into
   /// num_threads contiguous chunks. Blocks until every chunk completes.
+  /// If chunks throw, every chunk still runs to completion (or throws),
+  /// and the first captured exception is rethrown on the calling thread —
+  /// an exception escaping a worker thread would otherwise std::terminate
+  /// the process.
   void run(std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn);
 
   /// Execute fn(thread_id) once on every thread (for per-thread setup).
+  /// Same exception contract as run().
   void run_per_thread(const std::function<void(int)>& fn);
 
  private:
@@ -53,6 +59,7 @@ class thread_pool {
   std::uint64_t generation_ = 0;
   int pending_ = 0;
   bool shutdown_ = false;
+  std::exception_ptr error_;  // first exception thrown by any chunk
 
   void chunk(std::size_t n, int tid, std::size_t& begin, std::size_t& end) const;
   void dispatch_and_wait();

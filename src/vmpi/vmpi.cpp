@@ -100,12 +100,15 @@ void communicator::alltoall_bytes(const void* send, void* recv,
                     static_cast<std::size_t>(rank_) * bytes,
                 bytes);
   }
-  st.barrier();
+  // Update stats before the closing barrier so every rank observes the
+  // counts as soon as the collective returns (stats() may be called by any
+  // rank immediately afterwards).
   if (rank_ == 0) {
     st.alltoall_calls.fetch_add(1);
     st.bytes_sent.fetch_add(bytes * static_cast<std::size_t>(p) *
                             static_cast<std::size_t>(p));
   }
+  st.barrier();
 }
 
 void communicator::alltoallv_bytes(const void* send,
@@ -132,9 +135,9 @@ void communicator::alltoallv_bytes(const void* send,
                 cnt * elem_size);
     received += cnt * elem_size;
   }
-  st.barrier();
   st.alltoall_calls.fetch_add(rank_ == 0 ? 1 : 0);
   st.bytes_sent.fetch_add(received);
+  st.barrier();
 }
 
 void communicator::exchange_bytes(const void* send, std::size_t sbytes,
@@ -156,9 +159,9 @@ void communicator::exchange_bytes(const void* send, std::size_t sbytes,
   const auto& s = st.slots[static_cast<std::size_t>(src)];
   PCF_REQUIRE(s.n == rbytes, "exchange size mismatch");
   std::memcpy(recv, s.p0, rbytes);
-  st.barrier();
   if (rank_ == 0) st.exchange_calls.fetch_add(1);
   st.bytes_sent.fetch_add(sbytes);
+  st.barrier();
 }
 
 namespace {
@@ -174,8 +177,8 @@ void reduce_impl(group_state& st, int rank, const T* send, T* recv,
     const auto* src = static_cast<const T*>(st.slots[static_cast<std::size_t>(r)].p0);
     for (std::size_t i = 0; i < count; ++i) recv[i] = op(recv[i], src[i]);
   }
-  st.barrier();
   if (rank == 0) st.reduce_calls.fetch_add(1);
+  st.barrier();
 }
 
 }  // namespace

@@ -1,8 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdint>
+#include <cstring>
 #include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
 
 #include "core/simulation.hpp"
 
@@ -68,6 +74,137 @@ TEST(Checkpoint, RejectsMismatchedGrid) {
       pcf::precondition_error);
   std::remove(path.c_str());
 }
+
+TEST(Checkpoint, BitwiseIdenticalResumeUnderV2) {
+  // Save/load/step must reproduce the direct run bit for bit, not just to
+  // rounding: the restart path may not perturb the trajectory at all.
+  const std::string path = ::testing::TempDir() + "/pcf_ckpt_bitwise.bin";
+  run_world(1, [&](communicator& world) {
+    auto cfg = cfg_small();
+    channel_dns dns(cfg, world);
+    dns.initialize(0.1, 7);
+    for (int i = 0; i < 3; ++i) dns.step();
+    dns.save_checkpoint(path);
+
+    channel_dns dns2(cfg, world);
+    dns2.load_checkpoint(path);
+    EXPECT_EQ(dns2.time(), dns.time());
+    EXPECT_EQ(dns2.step_count(), dns.step_count());
+    dns.step();
+    dns2.step();
+
+    const auto direct = dns.mean_profile();
+    const auto resumed = dns2.mean_profile();
+    ASSERT_EQ(direct.size(), resumed.size());
+    EXPECT_EQ(std::memcmp(direct.data(), resumed.data(),
+                          direct.size() * sizeof(double)),
+              0);
+    const auto va = dns.mode_v(1, 2);
+    const auto vb = dns2.mode_v(1, 2);
+    ASSERT_EQ(va.size(), vb.size());
+    ASSERT_FALSE(va.empty());
+    EXPECT_EQ(std::memcmp(va.data(), vb.data(),
+                          va.size() * sizeof(std::complex<double>)),
+              0);
+  });
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsTrailingGarbage) {
+  const std::string path = ::testing::TempDir() + "/pcf_ckpt_trail.bin";
+  run_world(1, [&](communicator& world) {
+    channel_dns dns(cfg_small(), world);
+    dns.initialize(0.05);
+    dns.step();
+    dns.save_checkpoint(path);
+    {
+      std::ofstream os(path, std::ios::binary | std::ios::app);
+      os << "extra bytes past the payload";
+    }
+    channel_dns dns2(cfg_small(), world);
+    try {
+      dns2.load_checkpoint(path);
+      FAIL() << "trailing garbage was silently accepted";
+    } catch (const pcf::precondition_error& e) {
+      EXPECT_NE(std::string(e.what()).find("trailing garbage"),
+                std::string::npos)
+          << e.what();
+    }
+  });
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, LoadsV1FormatFiles) {
+  // Build a v1 (headerless, no-CRC) file from a v2 save: keep the
+  // magic/dims/time/steps prefix with the old magic, drop the meta words,
+  // concatenate the raw section payloads. The loader must accept it.
+  const std::string v2 = ::testing::TempDir() + "/pcf_ckpt_v2.bin";
+  const std::string v1 = ::testing::TempDir() + "/pcf_ckpt_v1.bin";
+  run_world(1, [&](communicator& world) {
+    channel_dns dns(cfg_small(), world);
+    dns.initialize(0.1, 11);
+    for (int i = 0; i < 2; ++i) dns.step();
+    dns.save_checkpoint(v2);
+
+    std::ifstream is(v2, std::ios::binary);
+    std::vector<char> bytes{std::istreambuf_iterator<char>(is),
+                            std::istreambuf_iterator<char>()};
+    constexpr std::uint64_t kMagicV1 = 0x50434644'4e533031ull;
+    constexpr std::size_t kPrefix = 8 + 5 * 8 + 8 + 8;  // magic..steps
+    std::ofstream os(v1, std::ios::binary);
+    os.write(reinterpret_cast<const char*>(&kMagicV1), 8);
+    os.write(bytes.data() + 8, kPrefix - 8);
+    std::size_t pos = kPrefix + 2 * 4;  // skip the v2 meta (two uint32s)
+    while (pos + 24 <= bytes.size()) {
+      std::uint64_t sz = 0;  // section header: name[8], bytes, crc, reserved
+      std::memcpy(&sz, bytes.data() + pos + 8, 8);
+      os.write(bytes.data() + pos + 24, static_cast<std::streamsize>(sz));
+      pos += 24 + sz;
+    }
+    ASSERT_EQ(pos, bytes.size());
+    os.close();
+
+    channel_dns dns2(cfg_small(), world);
+    dns2.load_checkpoint(v1);
+    EXPECT_EQ(dns2.time(), dns.time());
+    EXPECT_EQ(dns2.step_count(), dns.step_count());
+    const auto a = dns.mean_profile();
+    const auto b = dns2.mean_profile();
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(double)), 0);
+  });
+  std::remove(v2.c_str());
+  std::remove(v1.c_str());
+}
+
+#ifdef PCF_SOURCE_DIR
+TEST(Checkpoint, CommittedV1ArtifactStillLoads) {
+  // The repository ships the checkpoint of the minimal Re_tau = 180 run
+  // (results/README.md) in the v1 format; the v2 loader must keep
+  // accepting it.
+  channel_config cfg;
+  cfg.nx = 32;
+  cfg.nz = 16;
+  cfg.ny = 49;
+  cfg.lx = 3.14159265;
+  cfg.lz = 0.94247779;
+  cfg.re_tau = 180.0;
+  cfg.dt = 2e-4;
+  run_world(1, [&](communicator& world) {
+    channel_dns dns(cfg, world);
+    dns.load_checkpoint(std::string(PCF_SOURCE_DIR) +
+                        "/results/minimal_channel.ckpt.0");
+    EXPECT_EQ(dns.step_count(), 20000);
+    EXPECT_NEAR(dns.time(), 4.0, 1e-9);
+    const double ke = dns.kinetic_energy();
+    EXPECT_TRUE(std::isfinite(ke));
+    EXPECT_GT(ke, 0.0);
+    // The state is a statistically steady turbulent channel; its bulk
+    // velocity must sit near the value logged at step 20000.
+    EXPECT_NEAR(dns.bulk_velocity(), 15.474, 0.01);
+  });
+}
+#endif
 
 TEST(Checkpoint, RejectsGarbageFile) {
   const std::string path = ::testing::TempDir() + "/pcf_ckpt3.bin";

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 
 #include "io/ppm.hpp"
 #include "util/check.hpp"
@@ -35,6 +36,52 @@ TEST(Ppm, ValuesOutsideRangeAreClamped) {
     EXPECT_EQ(lo[c], below[c]);
     EXPECT_EQ(hi[c], above[c]);
   }
+}
+
+TEST(Ppm, NonFiniteValuesGetTheSentinelColor) {
+  // NaN used to flow through the colormap into a double -> unsigned char
+  // cast (undefined behavior); it must map to the magenta sentinel, which
+  // the blue-white-red map itself never produces.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  for (double v : {nan, inf, -inf}) {
+    unsigned char rgb[3] = {1, 2, 3};
+    diverging_rgb(v, -1.0, 1.0, rgb);
+    EXPECT_EQ(rgb[0], 255);
+    EXPECT_EQ(rgb[1], 0);
+    EXPECT_EQ(rgb[2], 255);
+  }
+}
+
+TEST(Ppm, NanSliceStillWritesEveryPixel) {
+  // A slice of a blown-up field: finite values mixed with NaN rows. The
+  // writer must produce a complete image with sentinel pixels, not UB.
+  const std::string path = ::testing::TempDir() + "/pcf_nan.ppm";
+  const std::size_t w = 5, h = 3;
+  std::vector<double> data(w * h, 0.25);
+  for (std::size_t x = 0; x < w; ++x)
+    data[1 * w + x] = std::numeric_limits<double>::quiet_NaN();
+  write_ppm(path, data, w, h, -1.0, 1.0);
+  std::ifstream is(path, std::ios::binary);
+  ASSERT_TRUE(is.good());
+  std::string magic;
+  int iw = 0, ih = 0, maxv = 0;
+  is >> magic >> iw >> ih >> maxv;
+  is.get();
+  std::vector<unsigned char> px(3 * w * h);
+  is.read(reinterpret_cast<char*>(px.data()),
+          static_cast<std::streamsize>(px.size()));
+  ASSERT_EQ(is.gcount(), static_cast<std::streamsize>(px.size()));
+  for (std::size_t x = 0; x < w; ++x) {
+    // Row 1 is the NaN row -> magenta sentinel.
+    EXPECT_EQ(px[3 * (w + x) + 0], 255);
+    EXPECT_EQ(px[3 * (w + x) + 1], 0);
+    EXPECT_EQ(px[3 * (w + x) + 2], 255);
+    // Rows 0 and 2 hold an in-range value -> never magenta.
+    EXPECT_NE(px[3 * x + 1], 0);
+    EXPECT_NE(px[3 * (2 * w + x) + 1], 0);
+  }
+  std::remove(path.c_str());
 }
 
 TEST(Ppm, WritesValidHeaderAndSize) {

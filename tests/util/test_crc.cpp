@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "util/crc.hpp"
+
+namespace {
+
+TEST(Crc32, MatchesTheStandardCheckValue) {
+  // The IEEE CRC-32 check value: crc32("123456789") == 0xCBF43926.
+  const char* s = "123456789";
+  EXPECT_EQ(pcf::crc32(s, std::strlen(s)), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyBufferIsZero) {
+  EXPECT_EQ(pcf::crc32(nullptr, 0), 0u);
+}
+
+TEST(Crc32, IncrementalEqualsOneShot) {
+  const std::string msg = "the quick brown fox jumps over the lazy dog";
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    std::uint32_t crc = pcf::crc32_init();
+    crc = pcf::crc32_update(crc, msg.data(), split);
+    crc = pcf::crc32_update(crc, msg.data() + split, msg.size() - split);
+    EXPECT_EQ(pcf::crc32_final(crc), pcf::crc32(msg.data(), msg.size()))
+        << "split at " << split;
+  }
+}
+
+TEST(Crc32, DetectsASingleBitFlip) {
+  std::string msg = "checkpoint payload bytes";
+  const std::uint32_t good = pcf::crc32(msg.data(), msg.size());
+  msg[7] = static_cast<char>(msg[7] ^ 1);
+  EXPECT_NE(pcf::crc32(msg.data(), msg.size()), good);
+}
+
+TEST(Crc32, CombineMatchesConcatenation) {
+  const std::string a = "first piece of a scattered file";
+  const std::string b = "and the second piece";
+  const std::string ab = a + b;
+  const std::uint32_t crc_a = pcf::crc32(a.data(), a.size());
+  const std::uint32_t crc_b = pcf::crc32(b.data(), b.size());
+  EXPECT_EQ(pcf::crc32_combine(crc_a, crc_b, b.size()),
+            pcf::crc32(ab.data(), ab.size()));
+}
+
+TEST(Crc32, CombineHandlesEmptyAndChainedPieces) {
+  const std::string a = "abc", b = "defgh", c = "ijklmnop";
+  const std::string abc = a + b + c;
+  const std::uint32_t crc_a = pcf::crc32(a.data(), a.size());
+  const std::uint32_t crc_b = pcf::crc32(b.data(), b.size());
+  const std::uint32_t crc_c = pcf::crc32(c.data(), c.size());
+  // Empty second piece is the identity.
+  EXPECT_EQ(pcf::crc32_combine(crc_a, pcf::crc32(nullptr, 0), 0), crc_a);
+  // Chaining three pieces in order reproduces the whole.
+  std::uint32_t crc = pcf::crc32_combine(crc_a, crc_b, b.size());
+  crc = pcf::crc32_combine(crc, crc_c, c.size());
+  EXPECT_EQ(crc, pcf::crc32(abc.data(), abc.size()));
+}
+
+TEST(Crc32, CombineWorksForLargeLengths) {
+  // Exercise the O(log len) matrix path with a length that has many bits.
+  std::string big(100000, '\0');
+  for (std::size_t i = 0; i < big.size(); ++i)
+    big[i] = static_cast<char>(i * 131 + 17);
+  const std::size_t cut = 12345;
+  const std::uint32_t crc_a = pcf::crc32(big.data(), cut);
+  const std::uint32_t crc_b = pcf::crc32(big.data() + cut, big.size() - cut);
+  EXPECT_EQ(pcf::crc32_combine(crc_a, crc_b, big.size() - cut),
+            pcf::crc32(big.data(), big.size()));
+}
+
+}  // namespace

@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "util/check.hpp"
@@ -21,6 +23,7 @@ TEST(ThreadPool, SingleThreadRunsWholeRange) {
 }
 
 class ThreadPoolP : public ::testing::TestWithParam<int> {};
+class ThreadPoolExceptionP : public ::testing::TestWithParam<int> {};
 
 TEST_P(ThreadPoolP, EveryIndexVisitedExactlyOnce) {
   thread_pool pool(GetParam());
@@ -74,5 +77,74 @@ TEST(ThreadPool, ZeroLengthRunIsNoop) {
 TEST(ThreadPool, RejectsZeroThreads) {
   EXPECT_THROW(thread_pool pool(0), pcf::precondition_error);
 }
+
+// An exception escaping a worker thread would std::terminate the process;
+// the pool must capture it and rethrow on the calling thread instead.
+TEST_P(ThreadPoolExceptionP, WorkerExceptionRethrownOnCaller) {
+  thread_pool pool(GetParam());
+  const auto n = static_cast<std::size_t>(4 * pool.num_threads());
+  EXPECT_THROW(
+      pool.run(n,
+               [&](std::size_t, std::size_t e) {
+                 // The chunk holding the last index throws — for a 1-thread
+                 // pool that is the caller's (only) chunk, otherwise the
+                 // last worker's.
+                 if (e == n) throw std::runtime_error("chunk failed");
+               }),
+      std::runtime_error);
+}
+
+TEST_P(ThreadPoolExceptionP, PoolStaysUsableAfterAChunkThrows) {
+  thread_pool pool(GetParam());
+  const auto n = static_cast<std::size_t>(8 * pool.num_threads());
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_THROW(pool.run(n,
+                          [&](std::size_t, std::size_t) {
+                            throw std::runtime_error("boom");
+                          }),
+                 std::runtime_error);
+    // The next dispatch must run normally on every thread.
+    std::vector<std::atomic<int>> hit(n);
+    pool.run(n, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) hit[i].fetch_add(1);
+    });
+    for (auto& h : hit) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST_P(ThreadPoolExceptionP, CallerChunkExceptionAlsoPropagates) {
+  thread_pool pool(GetParam());
+  // Thread 0 is the calling thread and owns the first chunk.
+  EXPECT_THROW(
+      pool.run(static_cast<std::size_t>(pool.num_threads()),
+               [&](std::size_t b, std::size_t) {
+                 if (b == 0) throw std::logic_error("caller chunk");
+               }),
+      std::logic_error);
+}
+
+TEST_P(ThreadPoolExceptionP, PerThreadExceptionRethrown) {
+  thread_pool pool(GetParam());
+  EXPECT_THROW(pool.run_per_thread([&](int tid) {
+    if (tid == pool.num_threads() - 1)
+      throw std::runtime_error("per-thread failure");
+  }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, FirstExceptionWinsWhenSeveralChunksThrow) {
+  thread_pool pool(4);
+  try {
+    pool.run(8, [&](std::size_t b, std::size_t) {
+      throw std::runtime_error("chunk " + std::to_string(b));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()).rfind("chunk ", 0), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ThreadPoolExceptionP,
+                         ::testing::Values(1, 2, 4));
 
 }  // namespace
