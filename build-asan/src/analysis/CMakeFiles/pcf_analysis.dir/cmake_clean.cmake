@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcf_analysis.dir/channel.cpp.o"
+  "CMakeFiles/pcf_analysis.dir/channel.cpp.o.d"
+  "CMakeFiles/pcf_analysis.dir/regression.cpp.o"
+  "CMakeFiles/pcf_analysis.dir/regression.cpp.o.d"
+  "libpcf_analysis.a"
+  "libpcf_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcf_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

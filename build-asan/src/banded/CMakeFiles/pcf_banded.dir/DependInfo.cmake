@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/banded/compact.cpp" "src/banded/CMakeFiles/pcf_banded.dir/compact.cpp.o" "gcc" "src/banded/CMakeFiles/pcf_banded.dir/compact.cpp.o.d"
+  "/root/repo/src/banded/gb.cpp" "src/banded/CMakeFiles/pcf_banded.dir/gb.cpp.o" "gcc" "src/banded/CMakeFiles/pcf_banded.dir/gb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/pcf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcf_banded.dir/compact.cpp.o"
+  "CMakeFiles/pcf_banded.dir/compact.cpp.o.d"
+  "CMakeFiles/pcf_banded.dir/gb.cpp.o"
+  "CMakeFiles/pcf_banded.dir/gb.cpp.o.d"
+  "libpcf_banded.a"
+  "libpcf_banded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcf_banded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

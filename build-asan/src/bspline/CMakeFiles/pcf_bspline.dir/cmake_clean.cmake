@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcf_bspline.dir/bspline.cpp.o"
+  "CMakeFiles/pcf_bspline.dir/bspline.cpp.o.d"
+  "libpcf_bspline.a"
+  "libpcf_bspline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcf_bspline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcf_core.dir/mode_solver.cpp.o"
+  "CMakeFiles/pcf_core.dir/mode_solver.cpp.o.d"
+  "CMakeFiles/pcf_core.dir/operators.cpp.o"
+  "CMakeFiles/pcf_core.dir/operators.cpp.o.d"
+  "CMakeFiles/pcf_core.dir/runner.cpp.o"
+  "CMakeFiles/pcf_core.dir/runner.cpp.o.d"
+  "CMakeFiles/pcf_core.dir/simulation.cpp.o"
+  "CMakeFiles/pcf_core.dir/simulation.cpp.o.d"
+  "CMakeFiles/pcf_core.dir/statistics.cpp.o"
+  "CMakeFiles/pcf_core.dir/statistics.cpp.o.d"
+  "libpcf_core.a"
+  "libpcf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fft/c2c.cpp" "src/fft/CMakeFiles/pcf_fft.dir/c2c.cpp.o" "gcc" "src/fft/CMakeFiles/pcf_fft.dir/c2c.cpp.o.d"
+  "/root/repo/src/fft/real.cpp" "src/fft/CMakeFiles/pcf_fft.dir/real.cpp.o" "gcc" "src/fft/CMakeFiles/pcf_fft.dir/real.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/pcf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

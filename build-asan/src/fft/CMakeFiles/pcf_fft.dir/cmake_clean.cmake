@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcf_fft.dir/c2c.cpp.o"
+  "CMakeFiles/pcf_fft.dir/c2c.cpp.o.d"
+  "CMakeFiles/pcf_fft.dir/real.cpp.o"
+  "CMakeFiles/pcf_fft.dir/real.cpp.o.d"
+  "libpcf_fft.a"
+  "libpcf_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcf_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcf_io.dir/ppm.cpp.o"
+  "CMakeFiles/pcf_io.dir/ppm.cpp.o.d"
+  "CMakeFiles/pcf_io.dir/profiles.cpp.o"
+  "CMakeFiles/pcf_io.dir/profiles.cpp.o.d"
+  "CMakeFiles/pcf_io.dir/slices.cpp.o"
+  "CMakeFiles/pcf_io.dir/slices.cpp.o.d"
+  "CMakeFiles/pcf_io.dir/vtk.cpp.o"
+  "CMakeFiles/pcf_io.dir/vtk.cpp.o.d"
+  "libpcf_io.a"
+  "libpcf_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcf_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

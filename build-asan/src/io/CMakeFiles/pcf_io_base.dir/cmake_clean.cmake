@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcf_io_base.dir/atomic_file.cpp.o"
+  "CMakeFiles/pcf_io_base.dir/atomic_file.cpp.o.d"
+  "libpcf_io_base.a"
+  "libpcf_io_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcf_io_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

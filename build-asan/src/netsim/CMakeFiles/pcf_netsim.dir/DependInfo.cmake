@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/machine.cpp" "src/netsim/CMakeFiles/pcf_netsim.dir/machine.cpp.o" "gcc" "src/netsim/CMakeFiles/pcf_netsim.dir/machine.cpp.o.d"
+  "/root/repo/src/netsim/predictor.cpp" "src/netsim/CMakeFiles/pcf_netsim.dir/predictor.cpp.o" "gcc" "src/netsim/CMakeFiles/pcf_netsim.dir/predictor.cpp.o.d"
+  "/root/repo/src/netsim/roofline.cpp" "src/netsim/CMakeFiles/pcf_netsim.dir/roofline.cpp.o" "gcc" "src/netsim/CMakeFiles/pcf_netsim.dir/roofline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/pcf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcf_netsim.dir/machine.cpp.o"
+  "CMakeFiles/pcf_netsim.dir/machine.cpp.o.d"
+  "CMakeFiles/pcf_netsim.dir/predictor.cpp.o"
+  "CMakeFiles/pcf_netsim.dir/predictor.cpp.o.d"
+  "CMakeFiles/pcf_netsim.dir/roofline.cpp.o"
+  "CMakeFiles/pcf_netsim.dir/roofline.cpp.o.d"
+  "libpcf_netsim.a"
+  "libpcf_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcf_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcf_pencil.dir/pencil.cpp.o"
+  "CMakeFiles/pcf_pencil.dir/pencil.cpp.o.d"
+  "libpcf_pencil.a"
+  "libpcf_pencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcf_pencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

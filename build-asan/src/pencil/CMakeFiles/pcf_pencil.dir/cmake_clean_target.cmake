@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpcf_pencil.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pcf_pencil.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcf_util.dir/counters.cpp.o"
+  "CMakeFiles/pcf_util.dir/counters.cpp.o.d"
+  "CMakeFiles/pcf_util.dir/table.cpp.o"
+  "CMakeFiles/pcf_util.dir/table.cpp.o.d"
+  "CMakeFiles/pcf_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/pcf_util.dir/thread_pool.cpp.o.d"
+  "libpcf_util.a"
+  "libpcf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

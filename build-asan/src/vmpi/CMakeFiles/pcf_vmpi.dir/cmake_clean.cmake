@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcf_vmpi.dir/vmpi.cpp.o"
+  "CMakeFiles/pcf_vmpi.dir/vmpi.cpp.o.d"
+  "libpcf_vmpi.a"
+  "libpcf_vmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcf_vmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

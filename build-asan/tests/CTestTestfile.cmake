@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("fft")
+subdirs("bspline")
+subdirs("banded")
+subdirs("vmpi")
+subdirs("pencil")
+subdirs("netsim")
+subdirs("core")
+subdirs("io")
+subdirs("analysis")

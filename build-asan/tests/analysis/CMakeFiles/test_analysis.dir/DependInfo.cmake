@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/test_channel_analysis.cpp" "tests/analysis/CMakeFiles/test_analysis.dir/test_channel_analysis.cpp.o" "gcc" "tests/analysis/CMakeFiles/test_analysis.dir/test_channel_analysis.cpp.o.d"
+  "/root/repo/tests/analysis/test_regression.cpp" "tests/analysis/CMakeFiles/test_analysis.dir/test_regression.cpp.o" "gcc" "tests/analysis/CMakeFiles/test_analysis.dir/test_regression.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/analysis/CMakeFiles/pcf_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/pcf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

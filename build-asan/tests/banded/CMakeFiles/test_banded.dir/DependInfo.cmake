@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/banded/test_compact.cpp" "tests/banded/CMakeFiles/test_banded.dir/test_compact.cpp.o" "gcc" "tests/banded/CMakeFiles/test_banded.dir/test_compact.cpp.o.d"
+  "/root/repo/tests/banded/test_gb.cpp" "tests/banded/CMakeFiles/test_banded.dir/test_gb.cpp.o" "gcc" "tests/banded/CMakeFiles/test_banded.dir/test_gb.cpp.o.d"
+  "/root/repo/tests/banded/test_oracle.cpp" "tests/banded/CMakeFiles/test_banded.dir/test_oracle.cpp.o" "gcc" "tests/banded/CMakeFiles/test_banded.dir/test_oracle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/banded/CMakeFiles/pcf_banded.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/pcf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_banded.dir/test_compact.cpp.o"
+  "CMakeFiles/test_banded.dir/test_compact.cpp.o.d"
+  "CMakeFiles/test_banded.dir/test_gb.cpp.o"
+  "CMakeFiles/test_banded.dir/test_gb.cpp.o.d"
+  "CMakeFiles/test_banded.dir/test_oracle.cpp.o"
+  "CMakeFiles/test_banded.dir/test_oracle.cpp.o.d"
+  "test_banded"
+  "test_banded.pdb"
+  "test_banded[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_banded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bspline/test_basis.cpp" "tests/bspline/CMakeFiles/test_bspline.dir/test_basis.cpp.o" "gcc" "tests/bspline/CMakeFiles/test_bspline.dir/test_basis.cpp.o.d"
+  "/root/repo/tests/bspline/test_collocation.cpp" "tests/bspline/CMakeFiles/test_bspline.dir/test_collocation.cpp.o" "gcc" "tests/bspline/CMakeFiles/test_bspline.dir/test_collocation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/bspline/CMakeFiles/pcf_bspline.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/banded/CMakeFiles/pcf_banded.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/pcf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

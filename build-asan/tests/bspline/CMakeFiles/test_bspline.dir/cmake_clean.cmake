@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bspline.dir/test_basis.cpp.o"
+  "CMakeFiles/test_bspline.dir/test_basis.cpp.o.d"
+  "CMakeFiles/test_bspline.dir/test_collocation.cpp.o"
+  "CMakeFiles/test_bspline.dir/test_collocation.cpp.o.d"
+  "test_bspline"
+  "test_bspline.pdb"
+  "test_bspline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bspline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_mode_solver.cpp" "tests/core/CMakeFiles/test_core.dir/test_mode_solver.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/test_mode_solver.cpp.o.d"
+  "/root/repo/tests/core/test_operators.cpp" "tests/core/CMakeFiles/test_core.dir/test_operators.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/test_operators.cpp.o.d"
+  "/root/repo/tests/core/test_spectra.cpp" "tests/core/CMakeFiles/test_core.dir/test_spectra.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/test_spectra.cpp.o.d"
+  "/root/repo/tests/core/test_statistics.cpp" "tests/core/CMakeFiles/test_core.dir/test_statistics.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/test_statistics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/pcf_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/io/CMakeFiles/pcf_io_base.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/bspline/CMakeFiles/pcf_bspline.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/banded/CMakeFiles/pcf_banded.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/pencil/CMakeFiles/pcf_pencil.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/fft/CMakeFiles/pcf_fft.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/vmpi/CMakeFiles/pcf_vmpi.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/pcf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

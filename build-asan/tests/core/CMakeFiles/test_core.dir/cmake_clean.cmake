@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/test_mode_solver.cpp.o"
+  "CMakeFiles/test_core.dir/test_mode_solver.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_operators.cpp.o"
+  "CMakeFiles/test_core.dir/test_operators.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_spectra.cpp.o"
+  "CMakeFiles/test_core.dir/test_spectra.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_statistics.cpp.o"
+  "CMakeFiles/test_core.dir/test_statistics.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

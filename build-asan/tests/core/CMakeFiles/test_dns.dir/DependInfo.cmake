@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_adaptive.cpp" "tests/core/CMakeFiles/test_dns.dir/test_adaptive.cpp.o" "gcc" "tests/core/CMakeFiles/test_dns.dir/test_adaptive.cpp.o.d"
+  "/root/repo/tests/core/test_diagnostics.cpp" "tests/core/CMakeFiles/test_dns.dir/test_diagnostics.cpp.o" "gcc" "tests/core/CMakeFiles/test_dns.dir/test_diagnostics.cpp.o.d"
+  "/root/repo/tests/core/test_runner.cpp" "tests/core/CMakeFiles/test_dns.dir/test_runner.cpp.o" "gcc" "tests/core/CMakeFiles/test_dns.dir/test_runner.cpp.o.d"
+  "/root/repo/tests/core/test_simulation.cpp" "tests/core/CMakeFiles/test_dns.dir/test_simulation.cpp.o" "gcc" "tests/core/CMakeFiles/test_dns.dir/test_simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/pcf_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/io/CMakeFiles/pcf_io_base.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/bspline/CMakeFiles/pcf_bspline.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/banded/CMakeFiles/pcf_banded.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/pencil/CMakeFiles/pcf_pencil.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/fft/CMakeFiles/pcf_fft.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/vmpi/CMakeFiles/pcf_vmpi.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/pcf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

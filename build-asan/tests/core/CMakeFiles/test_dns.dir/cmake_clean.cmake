@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dns.dir/test_adaptive.cpp.o"
+  "CMakeFiles/test_dns.dir/test_adaptive.cpp.o.d"
+  "CMakeFiles/test_dns.dir/test_diagnostics.cpp.o"
+  "CMakeFiles/test_dns.dir/test_diagnostics.cpp.o.d"
+  "CMakeFiles/test_dns.dir/test_runner.cpp.o"
+  "CMakeFiles/test_dns.dir/test_runner.cpp.o.d"
+  "CMakeFiles/test_dns.dir/test_simulation.cpp.o"
+  "CMakeFiles/test_dns.dir/test_simulation.cpp.o.d"
+  "test_dns"
+  "test_dns.pdb"
+  "test_dns[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fft/test_bluestein.cpp" "tests/fft/CMakeFiles/test_fft.dir/test_bluestein.cpp.o" "gcc" "tests/fft/CMakeFiles/test_fft.dir/test_bluestein.cpp.o.d"
+  "/root/repo/tests/fft/test_c2c.cpp" "tests/fft/CMakeFiles/test_fft.dir/test_c2c.cpp.o" "gcc" "tests/fft/CMakeFiles/test_fft.dir/test_c2c.cpp.o.d"
+  "/root/repo/tests/fft/test_factor.cpp" "tests/fft/CMakeFiles/test_fft.dir/test_factor.cpp.o" "gcc" "tests/fft/CMakeFiles/test_fft.dir/test_factor.cpp.o.d"
+  "/root/repo/tests/fft/test_plan_props.cpp" "tests/fft/CMakeFiles/test_fft.dir/test_plan_props.cpp.o" "gcc" "tests/fft/CMakeFiles/test_fft.dir/test_plan_props.cpp.o.d"
+  "/root/repo/tests/fft/test_real.cpp" "tests/fft/CMakeFiles/test_fft.dir/test_real.cpp.o" "gcc" "tests/fft/CMakeFiles/test_fft.dir/test_real.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/fft/CMakeFiles/pcf_fft.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/pcf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fft.dir/test_bluestein.cpp.o"
+  "CMakeFiles/test_fft.dir/test_bluestein.cpp.o.d"
+  "CMakeFiles/test_fft.dir/test_c2c.cpp.o"
+  "CMakeFiles/test_fft.dir/test_c2c.cpp.o.d"
+  "CMakeFiles/test_fft.dir/test_factor.cpp.o"
+  "CMakeFiles/test_fft.dir/test_factor.cpp.o.d"
+  "CMakeFiles/test_fft.dir/test_plan_props.cpp.o"
+  "CMakeFiles/test_fft.dir/test_plan_props.cpp.o.d"
+  "CMakeFiles/test_fft.dir/test_real.cpp.o"
+  "CMakeFiles/test_fft.dir/test_real.cpp.o.d"
+  "test_fft"
+  "test_fft.pdb"
+  "test_fft[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_atomic_file.dir/test_atomic_file.cpp.o"
+  "CMakeFiles/test_atomic_file.dir/test_atomic_file.cpp.o.d"
+  "test_atomic_file"
+  "test_atomic_file.pdb"
+  "test_atomic_file[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_atomic_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io.dir/test_checkpoint.cpp.o"
+  "CMakeFiles/test_io.dir/test_checkpoint.cpp.o.d"
+  "CMakeFiles/test_io.dir/test_ppm.cpp.o"
+  "CMakeFiles/test_io.dir/test_ppm.cpp.o.d"
+  "CMakeFiles/test_io.dir/test_profiles.cpp.o"
+  "CMakeFiles/test_io.dir/test_profiles.cpp.o.d"
+  "CMakeFiles/test_io.dir/test_slices.cpp.o"
+  "CMakeFiles/test_io.dir/test_slices.cpp.o.d"
+  "CMakeFiles/test_io.dir/test_vtk.cpp.o"
+  "CMakeFiles/test_io.dir/test_vtk.cpp.o.d"
+  "test_io"
+  "test_io.pdb"
+  "test_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

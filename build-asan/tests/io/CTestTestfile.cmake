@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/io
+# Build directory: /root/repo/build-asan/tests/io
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/io/test_io[1]_include.cmake")
+include("/root/repo/build-asan/tests/io/test_atomic_file[1]_include.cmake")
+include("/root/repo/build-asan/tests/io/test_faults[1]_include.cmake")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/netsim/test_machine.cpp" "tests/netsim/CMakeFiles/test_netsim.dir/test_machine.cpp.o" "gcc" "tests/netsim/CMakeFiles/test_netsim.dir/test_machine.cpp.o.d"
+  "/root/repo/tests/netsim/test_predictor.cpp" "tests/netsim/CMakeFiles/test_netsim.dir/test_predictor.cpp.o" "gcc" "tests/netsim/CMakeFiles/test_netsim.dir/test_predictor.cpp.o.d"
+  "/root/repo/tests/netsim/test_roofline.cpp" "tests/netsim/CMakeFiles/test_netsim.dir/test_roofline.cpp.o" "gcc" "tests/netsim/CMakeFiles/test_netsim.dir/test_roofline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/netsim/CMakeFiles/pcf_netsim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/pcf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

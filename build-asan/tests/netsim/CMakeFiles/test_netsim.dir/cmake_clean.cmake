@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netsim.dir/test_machine.cpp.o"
+  "CMakeFiles/test_netsim.dir/test_machine.cpp.o.d"
+  "CMakeFiles/test_netsim.dir/test_predictor.cpp.o"
+  "CMakeFiles/test_netsim.dir/test_predictor.cpp.o.d"
+  "CMakeFiles/test_netsim.dir/test_roofline.cpp.o"
+  "CMakeFiles/test_netsim.dir/test_roofline.cpp.o.d"
+  "test_netsim"
+  "test_netsim.pdb"
+  "test_netsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pencil.dir/test_decomp.cpp.o"
+  "CMakeFiles/test_pencil.dir/test_decomp.cpp.o.d"
+  "CMakeFiles/test_pencil.dir/test_parallel_fft.cpp.o"
+  "CMakeFiles/test_pencil.dir/test_parallel_fft.cpp.o.d"
+  "test_pencil"
+  "test_pencil.pdb"
+  "test_pencil[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

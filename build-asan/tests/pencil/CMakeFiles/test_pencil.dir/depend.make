@@ -1,0 +1,2 @@
+# Empty dependencies file for test_pencil.
+# This may be replaced when dependencies are built.

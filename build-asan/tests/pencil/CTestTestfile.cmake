@@ -1,0 +1,7 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/pencil
+# Build directory: /root/repo/build-asan/tests/pencil
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/pencil/test_pencil[1]_include.cmake")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/test_aligned.cpp" "tests/util/CMakeFiles/test_util.dir/test_aligned.cpp.o" "gcc" "tests/util/CMakeFiles/test_util.dir/test_aligned.cpp.o.d"
+  "/root/repo/tests/util/test_counters.cpp" "tests/util/CMakeFiles/test_util.dir/test_counters.cpp.o" "gcc" "tests/util/CMakeFiles/test_util.dir/test_counters.cpp.o.d"
+  "/root/repo/tests/util/test_crc.cpp" "tests/util/CMakeFiles/test_util.dir/test_crc.cpp.o" "gcc" "tests/util/CMakeFiles/test_util.dir/test_crc.cpp.o.d"
+  "/root/repo/tests/util/test_ndarray.cpp" "tests/util/CMakeFiles/test_util.dir/test_ndarray.cpp.o" "gcc" "tests/util/CMakeFiles/test_util.dir/test_ndarray.cpp.o.d"
+  "/root/repo/tests/util/test_rng.cpp" "tests/util/CMakeFiles/test_util.dir/test_rng.cpp.o" "gcc" "tests/util/CMakeFiles/test_util.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/util/test_table.cpp" "tests/util/CMakeFiles/test_util.dir/test_table.cpp.o" "gcc" "tests/util/CMakeFiles/test_util.dir/test_table.cpp.o.d"
+  "/root/repo/tests/util/test_thread_pool.cpp" "tests/util/CMakeFiles/test_util.dir/test_thread_pool.cpp.o" "gcc" "tests/util/CMakeFiles/test_util.dir/test_thread_pool.cpp.o.d"
+  "/root/repo/tests/util/test_timer.cpp" "tests/util/CMakeFiles/test_util.dir/test_timer.cpp.o" "gcc" "tests/util/CMakeFiles/test_util.dir/test_timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/pcf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/vmpi/test_cart.cpp" "tests/vmpi/CMakeFiles/test_vmpi.dir/test_cart.cpp.o" "gcc" "tests/vmpi/CMakeFiles/test_vmpi.dir/test_cart.cpp.o.d"
+  "/root/repo/tests/vmpi/test_collectives.cpp" "tests/vmpi/CMakeFiles/test_vmpi.dir/test_collectives.cpp.o" "gcc" "tests/vmpi/CMakeFiles/test_vmpi.dir/test_collectives.cpp.o.d"
+  "/root/repo/tests/vmpi/test_stress.cpp" "tests/vmpi/CMakeFiles/test_vmpi.dir/test_stress.cpp.o" "gcc" "tests/vmpi/CMakeFiles/test_vmpi.dir/test_stress.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/vmpi/CMakeFiles/pcf_vmpi.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/pcf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vmpi.dir/test_cart.cpp.o"
+  "CMakeFiles/test_vmpi.dir/test_cart.cpp.o.d"
+  "CMakeFiles/test_vmpi.dir/test_collectives.cpp.o"
+  "CMakeFiles/test_vmpi.dir/test_collectives.cpp.o.d"
+  "CMakeFiles/test_vmpi.dir/test_stress.cpp.o"
+  "CMakeFiles/test_vmpi.dir/test_stress.cpp.o.d"
+  "test_vmpi"
+  "test_vmpi.pdb"
+  "test_vmpi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
