@@ -1,0 +1,202 @@
+// Batched/pipelined pencil-transform benchmark: per-field vs batched vs
+// pipelined on the Table-5 measured grid, emitting BENCH_pencil.json so
+// later changes have a perf trajectory to compare against.
+//
+// The workload is one RK3 substage's worth of transforms (3 fields
+// spectral -> physical, 5 fields physical -> spectral), the pattern
+// simulation.cpp runs three times per step. Per-field issues 16 transpose
+// exchanges per substage; batched aggregates them into 4; pipelined
+// additionally overlaps each exchange with the neighbouring field group's
+// FFT/reorder work on a comm thread.
+//
+// Usage: bench_pencil_batch [--fast]
+//   --fast: small grid / few ranks / few reps — the ctest `perf`-label
+//   smoke variant. Env: PCF_BENCH_REPS overrides the repeat count.
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "pencil/pencil.hpp"
+#include "util/aligned.hpp"
+
+using namespace pcf::pencil;
+
+namespace {
+
+struct mode_result {
+  std::string name;
+  double total = 0.0;    // wall seconds per substage cycle (rank-0 view)
+  double comm = 0.0;     // max-over-ranks section seconds, whole run
+  double reorder = 0.0;
+  double fft = 0.0;
+  std::uint64_t exchanges = 0;       // aggregated exchanges per substage
+  std::uint64_t alltoall_calls = 0;  // vmpi calls per substage (both comms)
+};
+
+mode_result run_mode(const std::string& name, const grid& g, int pa, int pb,
+                     int trials, int reps, bool batched, int pipeline_depth) {
+  mode_result out;
+  out.name = name;
+  std::mutex m;
+  pcf::vmpi::run_world(pa * pb, [&](pcf::vmpi::communicator& world) {
+    pcf::vmpi::cart2d cart(world, pa, pb);
+    kernel_config cfg;
+    cfg.dealias = false;  // Table-5 configuration (comm benchmark)
+    cfg.max_batch = batched ? 5 : 1;
+    cfg.pipeline_depth = pipeline_depth;
+    parallel_fft pf(g, cart, cfg);
+    const auto& d = pf.dec();
+
+    std::vector<pcf::aligned_buffer<cplx>> spec(5);
+    std::vector<pcf::aligned_buffer<double>> phys(5);
+    const cplx* sp3[3];
+    double* ph3[3];
+    const double* pc5[5];
+    cplx* bk5[5];
+    for (std::size_t f = 0; f < 5; ++f) {
+      spec[f].reset(d.y_pencil_elems());
+      spec[f].fill(cplx{1.0 / static_cast<double>(f + 1), 0.0});
+      phys[f].reset(d.x_pencil_real_elems());
+      phys[f].fill(0.25 * static_cast<double>(f));
+      pc5[f] = phys[f].data();
+      bk5[f] = spec[f].data();
+    }
+    for (std::size_t f = 0; f < 3; ++f) {
+      sp3[f] = spec[f].data();
+      ph3[f] = phys[f].data();
+    }
+
+    auto substage = [&] {
+      if (batched) {
+        pf.to_physical_batch(sp3, ph3, 3);
+        pf.to_spectral_batch(pc5, bk5, 5);
+      } else {
+        for (std::size_t f = 0; f < 3; ++f)
+          pf.to_physical(sp3[f], ph3[f]);
+        for (std::size_t f = 0; f < 5; ++f)
+          pf.to_spectral(pc5[f], bk5[f]);
+      }
+    };
+
+    substage();  // warm-up (first-touch, FFT twiddle caches)
+    pf.reset_timers();
+    const auto bs0 = pf.batching();
+    const auto a0 = cart.comm_a().stats();
+    const auto b0 = cart.comm_b().stats();
+
+    // Virtual ranks oversubscribe the host's cores, so scheduler noise can
+    // only ever add time; the minimum over trials is the robust estimate.
+    double wall = 0.0;
+    for (int trial = 0; trial < trials; ++trial) {
+      world.barrier();
+      pcf::wall_timer t;
+      for (int r = 0; r < reps; ++r) substage();
+      world.barrier();
+      const double w = t.seconds() / reps;
+      if (trial == 0 || w < wall) wall = w;
+    }
+
+    double local[3] = {pf.comm_seconds(), pf.reorder_seconds(),
+                       pf.fft_seconds()};
+    double agreed[3];
+    world.allreduce_max(local, agreed, 3);
+
+    if (world.rank() == 0) {
+      const auto bs1 = pf.batching();
+      const auto a1 = cart.comm_a().stats();
+      const auto b1 = cart.comm_b().stats();
+      std::lock_guard<std::mutex> lk(m);
+      out.total = wall;
+      out.comm = agreed[0];
+      out.reorder = agreed[1];
+      out.fft = agreed[2];
+      const auto cycles = static_cast<std::uint64_t>(trials) *
+                          static_cast<std::uint64_t>(reps);
+      out.exchanges = (bs1.exchanges - bs0.exchanges) / cycles;
+      out.alltoall_calls = (a1.alltoall_calls - a0.alltoall_calls +
+                            b1.alltoall_calls - b0.alltoall_calls) /
+                           cycles;
+    }
+  });
+  return out;
+}
+
+void write_json(const char* path, const grid& g, int ranks, int reps,
+                const std::vector<mode_result>& rs) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::perror("BENCH_pencil.json");
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"pencil_batch\",\n");
+  std::fprintf(f, "  \"grid\": [%zu, %zu, %zu],\n", g.nx, g.ny, g.nz);
+  std::fprintf(f, "  \"ranks\": %d,\n  \"reps\": %d,\n", ranks, reps);
+  std::fprintf(f, "  \"substage\": \"3x to_physical + 5x to_spectral\",\n");
+  std::fprintf(f, "  \"modes\": [\n");
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    const auto& r = rs[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"total_s\": %.6e, \"comm_s\": "
+                 "%.6e, \"reorder_s\": %.6e, \"fft_s\": %.6e, \"exchanges\": "
+                 "%llu, \"alltoall_calls\": %llu}%s\n",
+                 r.name.c_str(), r.total, r.comm, r.reorder, r.fft,
+                 static_cast<unsigned long long>(r.exchanges),
+                 static_cast<unsigned long long>(r.alltoall_calls),
+                 i + 1 < rs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"speedup_batched\": %.4f,\n",
+               rs[0].total / rs[1].total);
+  std::fprintf(f, "  \"speedup_pipelined\": %.4f\n", rs[0].total / rs[2].total);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool fast = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--fast") == 0) fast = true;
+
+  pcf::bench::print_header(
+      "pencil batch", "per-field vs batched vs pipelined transforms");
+
+  const grid g = fast ? grid{16, 8, 16} : grid{32, 16, 32};
+  const int pa = fast ? 2 : 8, pb = fast ? 2 : 4;
+  const int reps = static_cast<int>(
+      pcf::bench::env_long("PCF_BENCH_REPS", fast ? 3 : 8));
+  const int trials = static_cast<int>(
+      pcf::bench::env_long("PCF_BENCH_TRIALS", fast ? 2 : 5));
+
+  std::printf("grid %zu x %zu x %zu, %d ranks (%d x %d), best of %d trials "
+              "x %d reps, workload = one RK3 substage (3 down + 5 up)\n\n",
+              g.nx, g.ny, g.nz, pa * pb, pa, pb, trials, reps);
+
+  std::vector<mode_result> rs;
+  rs.push_back(run_mode("per_field", g, pa, pb, trials, reps, false, 1));
+  rs.push_back(run_mode("batched", g, pa, pb, trials, reps, true, 1));
+  rs.push_back(run_mode("pipelined", g, pa, pb, trials, reps, true, 2));
+
+  pcf::text_table t({"Mode", "Substage", "Comm", "Reorder", "FFT",
+                     "Exch/substage", "vs per-field"});
+  for (const auto& r : rs)
+    t.add_row({r.name, pcf::text_table::fmt_time(r.total),
+               pcf::text_table::fmt_time(r.comm),
+               pcf::text_table::fmt_time(r.reorder),
+               pcf::text_table::fmt_time(r.fft),
+               std::to_string(r.exchanges),
+               pcf::text_table::fmt(rs[0].total / r.total, 2) + "x"});
+  std::fputs(t.str().c_str(), stdout);
+
+  write_json("BENCH_pencil.json", g, pa * pb, reps, rs);
+  std::printf("\nwrote BENCH_pencil.json (exchange aggregation: %llu -> "
+              "%llu per substage)\n",
+              static_cast<unsigned long long>(rs[0].exchanges),
+              static_cast<unsigned long long>(rs[1].exchanges));
+  return 0;
+}

@@ -30,6 +30,16 @@ constexpr double kBeta[3] = {37.0 / 160.0, 5.0 / 24.0, 1.0 / 6.0};
 constexpr double kGamma[3] = {8.0 / 15.0, 5.0 / 12.0, 3.0 / 4.0};
 constexpr double kZeta[3] = {0.0, -17.0 / 60.0, -5.0 / 12.0};
 
+/// Pencil-kernel configuration for the DNS: batch wide enough for the five
+/// nonlinear products of an RK3 substep to ride one aggregated exchange
+/// per transpose stage, with pipelining taken from the run configuration.
+pencil::kernel_config dns_kernel_config(const channel_config& c) {
+  pencil::kernel_config k{true, true, c.fft_threads, c.reorder_threads};
+  k.max_batch = 5;
+  k.pipeline_depth = c.pipeline_depth;
+  return k;
+}
+
 }  // namespace
 
 struct channel_dns::impl {
@@ -101,8 +111,7 @@ struct channel_dns::impl {
         world(w),
         cart(w, c.pa, c.pb),
         pf(pencil::grid{c.nx, static_cast<std::size_t>(c.ny), c.nz}, cart,
-           pencil::kernel_config{true, true, c.fft_threads,
-                                 c.reorder_threads}),
+           dns_kernel_config(c)),
         d(pf.dec()),
         ops(c.ny, c.degree, c.stretch),
         adv_pool(std::max(1, c.advance_threads)),
@@ -333,19 +342,25 @@ struct channel_dns::impl {
     advance_t.stop();
   }
 
+  /// All three velocity components spectral -> physical through ONE
+  /// batched transform (one aggregated exchange per transpose stage
+  /// instead of three).
+  void velocities_to_physical() {
+    const cplx* specs[3] = {u_s.data(), v_s.data(), w_s.data()};
+    double* phys[3] = {u_p.data(), v_p.data(), w_p.data()};
+    pf.to_physical_batch(specs, phys, 3);
+  }
+
   /// One RK3 substep: nonlinear terms from the current state, then the
   /// implicit solves per wavenumber (paper steps (a)-(j)).
   void substep(int i) {
     compute_velocities();
-    pf.to_physical(u_s.data(), u_p.data());
-    pf.to_physical(v_s.data(), v_p.data());
-    pf.to_physical(w_s.data(), w_p.data());
+    velocities_to_physical();
     compute_products();
-    pf.to_spectral(f1.data(), q1.data());
-    pf.to_spectral(f2.data(), q2.data());
-    pf.to_spectral(f3.data(), q3.data());
-    pf.to_spectral(f4.data(), q4.data());
-    pf.to_spectral(f5.data(), q5.data());
+    const double* prods[5] = {f1.data(), f2.data(), f3.data(), f4.data(),
+                              f5.data()};
+    cplx* specs[5] = {q1.data(), q2.data(), q3.data(), q4.data(), q5.data()};
+    pf.to_spectral_batch(prods, specs, 5);
 
     // Assemble h_v/h_g into the velocity work buffers (free at this point).
     std::vector<double> hU(n, 0.0), hW(n, 0.0);
@@ -588,9 +603,7 @@ double channel_dns::wall_shear_stress() {
 double channel_dns::kinetic_energy() {
   auto& s = *impl_;
   s.compute_velocities();
-  s.pf.to_physical(s.u_s.data(), s.u_p.data());
-  s.pf.to_physical(s.v_s.data(), s.v_p.data());
-  s.pf.to_physical(s.w_s.data(), s.w_p.data());
+  s.velocities_to_physical();
   // Trapezoid weights in y over the Greville points, uniform in x and z.
   const auto& pts = s.ops.points();
   std::vector<double> wy(s.n, 0.0);
@@ -694,9 +707,7 @@ double channel_dns::max_divergence() {
 void channel_dns::accumulate_stats() {
   auto& s = *impl_;
   s.compute_velocities();
-  s.pf.to_physical(s.u_s.data(), s.u_p.data());
-  s.pf.to_physical(s.v_s.data(), s.v_p.data());
-  s.pf.to_physical(s.w_s.data(), s.w_p.data());
+  s.velocities_to_physical();
   s.stats_acc.add_sample(s.u_p.data(), s.v_p.data(), s.w_p.data(),
                          s.d.zp.count, s.d.yb.count, s.d.nxf);
 }
@@ -714,9 +725,7 @@ void channel_dns::physical_velocity(std::vector<double>& u,
                                     std::vector<double>& w) {
   auto& s = *impl_;
   s.compute_velocities();
-  s.pf.to_physical(s.u_s.data(), s.u_p.data());
-  s.pf.to_physical(s.v_s.data(), s.v_p.data());
-  s.pf.to_physical(s.w_s.data(), s.w_p.data());
+  s.velocities_to_physical();
   u.assign(s.u_p.begin(), s.u_p.end());
   v.assign(s.v_p.begin(), s.v_p.end());
   w.assign(s.w_p.begin(), s.w_p.end());

@@ -49,6 +49,11 @@ struct channel_config {
   int reorder_threads = 1;
   int advance_threads = 1;
 
+  // Pencil-transform pipelining: > 1 overlaps the transpose exchanges of
+  // one field group with the FFT/reorder of the previous group on a
+  // dedicated comm thread (see pencil::kernel_config::pipeline_depth).
+  int pipeline_depth = 1;
+
   // Cache the factored Helmholtz/Poisson systems and influence vectors per
   // (wavenumber, substep). Exact same results; trades memory for the
   // repeated factorizations (ablation: bench_ablation_solver_cache).

@@ -1,6 +1,7 @@
 #include "pencil/pencil.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "util/aligned.hpp"
 #include "util/counters.hpp"
@@ -35,6 +36,22 @@ decomp::decomp(const grid& gg, const kernel_config& cfg, int pa_, int pb_,
 }
 
 // ---------------------------------------------------------------------------
+//
+// Batched layout conventions (nf = fields in the current group):
+//
+//  * exchange buffers: the per-rank segment for rank q starts at
+//    nf * displ[q] and holds the nf fields back to back, field f at
+//    nf * displ[q] + f * count[q]. Scaling the seed's dense prefix-sum
+//    displacements by nf is all the "extended build_counts()" needed, so
+//    all fields ride ONE alltoallv/pairwise exchange per transpose stage.
+//  * compute buffers (z-pencil / x-pencil layouts): field f lives at
+//    offset f * wstride, where wstride is the seed's single-field
+//    workspace size. w1/w2 (and w3 in P3DFFT mode) are allocated
+//    max_batch * wstride so both layouts always fit.
+//
+// With nf == 1 every offset degenerates to the seed's, and every pool loop
+// runs the same partition, so the single-field path is bit-identical to
+// the pre-batching kernel.
 
 struct parallel_fft::impl {
   decomp d;
@@ -51,9 +68,11 @@ struct parallel_fft::impl {
 
   // Workspaces. The customized kernel ping-pongs between two buffers; the
   // P3DFFT-mode kernel allocates a third (its documented 3x footprint).
+  // Each holds max_batch single-field workspaces side by side.
   aligned_buffer<cplx> w1, w2, w3;
+  std::size_t wstride = 0;  // elements of one field's workspace slot
 
-  // alltoallv counts/displacements, in complex elements.
+  // alltoallv counts/displacements, in complex elements (single-field).
   std::vector<std::size_t> sc_yz, sd_yz, rc_yz, rd_yz;  // CommB, y<->z
   std::vector<std::size_t> sc_zx, sd_zx, rc_zx, rd_zx;  // CommA, z<->x
 
@@ -62,7 +81,15 @@ struct parallel_fft::impl {
   exchange_strategy strat_a = exchange_strategy::alltoall;
   exchange_strategy strat_b = exchange_strategy::alltoall;
 
+  // Comm thread for pipelined mode (allocated only when pipeline_depth > 1).
+  std::unique_ptr<vmpi::async_proxy> comm_async;
+
   section_timer comm_t, reorder_t, fft_t;
+
+  // Batched-path counters. Written by the rank's own threads only; reads
+  // are ordered behind the transform call (or the async wait inside it).
+  std::uint64_t transforms_ = 0, fields_ = 0, exchanges_ = 0;
+  std::uint64_t reorder_calls_ = 0, reorder_fields_ = 0;
 
   impl(const grid& g, vmpi::cart2d& cart, kernel_config c)
       : d(g, c, cart.pa(), cart.pb(), cart.coord_a(), cart.coord_b()),
@@ -75,11 +102,16 @@ struct parallel_fft::impl {
         x_inv(d.nxf),
         fft_pool(std::max(1, c.fft_threads)),
         reorder_pool(std::max(1, c.reorder_threads)) {
+    PCF_REQUIRE(cfg.max_batch >= 1, "max_batch must be >= 1");
+    PCF_REQUIRE(cfg.pipeline_depth >= 1, "pipeline_depth must be >= 1");
     build_counts();
-    const std::size_t wn = workspace_elems();
+    wstride = workspace_elems();
+    const std::size_t wn = wstride * static_cast<std::size_t>(cfg.max_batch);
     w1.reset(wn);
     w2.reset(wn);
     if (!cfg.drop_nyquist && !cfg.dealias) w3.reset(wn);  // P3DFFT mode
+    if (cfg.pipeline_depth > 1)
+      comm_async = std::make_unique<vmpi::async_proxy>();
     plan_strategies();
   }
 
@@ -105,6 +137,35 @@ struct parallel_fft::impl {
     }
   }
 
+  /// Aggregated exchange carrying nf fields: counts and displacements are
+  /// the single-field ones scaled by nf (valid because the displacements
+  /// are dense prefix sums). The scaled arrays are locals so a call running
+  /// on the comm thread shares no scratch with the main thread.
+  void do_exchange_batch(vmpi::communicator& comm, exchange_strategy strat,
+                         const cplx* send, const std::size_t* sc,
+                         const std::size_t* sd, cplx* recv,
+                         const std::size_t* rc, const std::size_t* rd,
+                         std::size_t nf) {
+    ++exchanges_;
+    if (nf == 1) {
+      do_exchange(comm, strat, send, sc, sd, recv, rc, rd);
+      return;
+    }
+    const auto p = static_cast<std::size_t>(comm.size());
+    std::vector<std::size_t> scaled(4 * p);
+    std::size_t* bsc = scaled.data();
+    std::size_t* bsd = bsc + p;
+    std::size_t* brc = bsd + p;
+    std::size_t* brd = brc + p;
+    for (std::size_t q = 0; q < p; ++q) {
+      bsc[q] = nf * sc[q];
+      bsd[q] = nf * sd[q];
+      brc[q] = nf * rc[q];
+      brd[q] = nf * rd[q];
+    }
+    do_exchange(comm, strat, send, bsc, bsd, recv, brc, brd);
+  }
+
   /// Resolve auto_plan by timing both strategies on the real buffers and
   /// counts; all ranks must agree, so the timings are max-reduced before
   /// the choice is made.
@@ -116,9 +177,13 @@ struct parallel_fft::impl {
                     const std::size_t* sd, const std::size_t* rc,
                     const std::size_t* rd) {
       if (comm.size() == 1) return exchange_strategy::alltoall;
-      double best[2];
       const exchange_strategy cand[2] = {exchange_strategy::alltoall,
                                          exchange_strategy::pairwise};
+      // Untimed warm-up: the very first exchange pays first-touch page
+      // faults on the freshly allocated w1/w2, which used to be charged to
+      // whichever candidate ran first and biased the choice.
+      do_exchange(comm, cand[0], w1.data(), sc, sd, w2.data(), rc, rd);
+      double best[2];
       for (int c = 0; c < 2; ++c) {
         wall_timer t;
         for (int rep = 0; rep < 3; ++rep)
@@ -186,166 +251,203 @@ struct parallel_fft::impl {
     return zg < d.g.nz / 2 ? zg : zg + (d.nzf - d.g.nz);
   }
 
-  // --- inverse path (spectral -> physical) --------------------------------
+  /// Byte-counter accounting shared by every pack/unpack kernel:
+  /// `reads`/`writes` are the per-field element counts; the batch counters
+  /// additionally record how wide the fused kernels ran.
+  void account(std::size_t reads, std::size_t writes, std::size_t nf) {
+    counters::add_read(reads * nf * sizeof(cplx));
+    counters::add_written(writes * nf * sizeof(cplx));
+    ++reorder_calls_;
+    reorder_fields_ += nf;
+  }
 
-  void pack_y_to_z(const cplx* spec, cplx* send) {
+  // --- inverse path (spectral -> physical) --------------------------------
+  //
+  // Every reorder kernel widens its thread-pool loop by nf with fields in
+  // the inner blocking (index i -> item i/nf, field i%nf), so small
+  // per-field pencils still feed all reorder/fft threads.
+
+  void pack_y_to_z(const cplx* const* specs, cplx* send, std::size_t nf) {
     reorder_t.start();
     const std::size_t zc = d.zs.count, ny = d.g.ny;
-    reorder_pool.run(d.xs.count, [&](std::size_t xb, std::size_t xe) {
-      for (int q = 0; q < d.pb; ++q) {
-        const block yq = block_range(ny, d.pb, q);
-        for (std::size_t x = xb; x < xe; ++x) {
-          for (std::size_t z = 0; z < zc; ++z) {
-            const cplx* src = spec + (x * zc + z) * ny + yq.offset;
-            cplx* dst = send + sd_yz[static_cast<std::size_t>(q)] +
-                        (x * zc + z) * yq.count;
-            std::copy_n(src, yq.count, dst);
-          }
+    const std::size_t* sc = sc_yz.data();
+    const std::size_t* sd = sd_yz.data();
+    reorder_pool.run(d.xs.count * nf, [&](std::size_t ib, std::size_t ie) {
+      for (std::size_t i = ib; i < ie; ++i) {
+        const std::size_t x = i / nf, f = i % nf;
+        const cplx* spec = specs[f];
+        for (int q = 0; q < d.pb; ++q) {
+          const block yq = block_range(ny, d.pb, q);
+          cplx* seg = send + nf * sd[q] + f * sc[q];
+          for (std::size_t z = 0; z < zc; ++z)
+            std::copy_n(spec + (x * zc + z) * ny + yq.offset, yq.count,
+                        seg + (x * zc + z) * yq.count);
         }
       }
     });
-    counters::add_read(d.y_pencil_elems() * sizeof(cplx));
-    counters::add_written(d.y_pencil_elems() * sizeof(cplx));
+    account(d.y_pencil_elems(), d.y_pencil_elems(), nf);
     reorder_t.stop();
   }
 
-  void unpack_z_pencil(const cplx* recv, cplx* zbuf) {
+  void unpack_z_pencil(const cplx* recv, cplx* zbuf, std::size_t nf) {
     reorder_t.start();
     const std::size_t yc = d.yb.count, nzf = d.nzf, nzg = d.g.nz;
     const bool dealias = nzf > nzg;
+    const std::size_t* rc = rc_yz.data();
+    const std::size_t* rd = rd_yz.data();
     // Zero the dealiasing gap once per line. The gap also swallows the
     // spanwise Nyquist mode nz/2: on the padded grid +nz/2 and -nz/2 are
     // distinct modes, so the (self-conjugate) Nyquist coefficient is not
     // representable and is dropped, as in the paper (Section 4.4).
     if (dealias) {
-      reorder_pool.run(d.xs.count * yc, [&](std::size_t b, std::size_t e) {
-        for (std::size_t l = b; l < e; ++l)
-          std::fill_n(zbuf + l * nzf + nzg / 2, nzf - nzg + 1, cplx{0.0, 0.0});
+      reorder_pool.run(d.xs.count * yc * nf,
+                       [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          const std::size_t l = i / nf, f = i % nf;
+          std::fill_n(zbuf + f * wstride + l * nzf + nzg / 2, nzf - nzg + 1,
+                      cplx{0.0, 0.0});
+        }
       });
     }
-    reorder_pool.run(d.xs.count, [&](std::size_t xb, std::size_t xe) {
-      for (int q = 0; q < d.pb; ++q) {
-        const block zq = block_range(nzg, d.pb, q);
-        const cplx* seg = recv + rd_yz[static_cast<std::size_t>(q)];
-        for (std::size_t x = xb; x < xe; ++x) {
+    reorder_pool.run(d.xs.count * nf, [&](std::size_t ib, std::size_t ie) {
+      for (std::size_t i = ib; i < ie; ++i) {
+        const std::size_t x = i / nf, f = i % nf;
+        cplx* zb = zbuf + f * wstride;
+        for (int q = 0; q < d.pb; ++q) {
+          const block zq = block_range(nzg, d.pb, q);
+          const cplx* seg = recv + nf * rd[q] + f * rc[q];
           for (std::size_t zl = 0; zl < zq.count; ++zl) {
             const std::size_t zg = zq.offset + zl;
             if (dealias && zg == nzg / 2) continue;  // dropped Nyquist
             const std::size_t zp = zpad_pos(zg);
             const cplx* src = seg + (x * zq.count + zl) * yc;
             for (std::size_t y = 0; y < yc; ++y)
-              zbuf[(x * yc + y) * nzf + zp] = src[y];
+              zb[(x * yc + y) * nzf + zp] = src[y];
           }
         }
       }
     });
-    counters::add_read(d.xs.count * nzg * yc * sizeof(cplx));
-    counters::add_written(d.z_pencil_elems() * sizeof(cplx));
+    account(d.xs.count * nzg * yc, d.z_pencil_elems(), nf);
     reorder_t.stop();
   }
 
-  void pack_z_to_x(const cplx* zbuf, cplx* send) {
+  void pack_z_to_x(const cplx* zbuf, cplx* send, std::size_t nf) {
     reorder_t.start();
     const std::size_t yc = d.yb.count, nzf = d.nzf;
-    reorder_pool.run(d.xs.count, [&](std::size_t xb, std::size_t xe) {
-      for (int q = 0; q < d.pa; ++q) {
-        const block zq = block_range(nzf, d.pa, q);
-        for (std::size_t x = xb; x < xe; ++x) {
-          for (std::size_t y = 0; y < yc; ++y) {
-            const cplx* src = zbuf + (x * yc + y) * nzf + zq.offset;
-            cplx* dst = send + sd_zx[static_cast<std::size_t>(q)] +
-                        (x * yc + y) * zq.count;
-            std::copy_n(src, zq.count, dst);
-          }
+    const std::size_t* sc = sc_zx.data();
+    const std::size_t* sd = sd_zx.data();
+    reorder_pool.run(d.xs.count * nf, [&](std::size_t ib, std::size_t ie) {
+      for (std::size_t i = ib; i < ie; ++i) {
+        const std::size_t x = i / nf, f = i % nf;
+        const cplx* zb = zbuf + f * wstride;
+        for (int q = 0; q < d.pa; ++q) {
+          const block zq = block_range(nzf, d.pa, q);
+          cplx* seg = send + nf * sd[q] + f * sc[q];
+          for (std::size_t y = 0; y < yc; ++y)
+            std::copy_n(zb + (x * yc + y) * nzf + zq.offset, zq.count,
+                        seg + (x * yc + y) * zq.count);
         }
       }
     });
-    counters::add_read(d.z_pencil_elems() * sizeof(cplx));
-    counters::add_written(d.z_pencil_elems() * sizeof(cplx));
+    account(d.z_pencil_elems(), d.z_pencil_elems(), nf);
     reorder_t.stop();
   }
 
-  void unpack_x_pencil(const cplx* recv, cplx* xbuf) {
+  void unpack_x_pencil(const cplx* recv, cplx* xbuf, std::size_t nf) {
     reorder_t.start();
     const std::size_t yc = d.yb.count, zc = d.zp.count;
     const std::size_t modes = d.x_line_modes();
+    const std::size_t* rc = rc_zx.data();
+    const std::size_t* rd = rd_zx.data();
     // Zero the dealiasing pad region of each x line.
     if (modes > d.nxs) {
-      reorder_pool.run(zc * yc, [&](std::size_t b, std::size_t e) {
-        for (std::size_t l = b; l < e; ++l)
-          std::fill_n(xbuf + l * modes + d.nxs, modes - d.nxs, cplx{0.0, 0.0});
+      reorder_pool.run(zc * yc * nf, [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          const std::size_t l = i / nf, f = i % nf;
+          std::fill_n(xbuf + f * wstride + l * modes + d.nxs, modes - d.nxs,
+                      cplx{0.0, 0.0});
+        }
       });
     }
-    reorder_pool.run(zc, [&](std::size_t zb, std::size_t ze) {
-      for (int q = 0; q < d.pa; ++q) {
-        const block xq = block_range(d.nxs, d.pa, q);
-        const cplx* seg = recv + rd_zx[static_cast<std::size_t>(q)];
-        for (std::size_t xl = 0; xl < xq.count; ++xl) {
-          for (std::size_t y = 0; y < yc; ++y) {
-            const cplx* src = seg + (xl * yc + y) * zc;
-            for (std::size_t z = zb; z < ze; ++z)
-              xbuf[(z * yc + y) * modes + xq.offset + xl] = src[z];
-          }
+    reorder_pool.run(zc * nf, [&](std::size_t ib, std::size_t ie) {
+      for (std::size_t i = ib; i < ie; ++i) {
+        const std::size_t z = i / nf, f = i % nf;
+        cplx* xb = xbuf + f * wstride;
+        for (int q = 0; q < d.pa; ++q) {
+          const block xq = block_range(d.nxs, d.pa, q);
+          const cplx* seg = recv + nf * rd[q] + f * rc[q];
+          for (std::size_t xl = 0; xl < xq.count; ++xl)
+            for (std::size_t y = 0; y < yc; ++y)
+              xb[(z * yc + y) * modes + xq.offset + xl] =
+                  seg[(xl * yc + y) * zc + z];
         }
       }
     });
-    counters::add_read(d.nxs * yc * zc * sizeof(cplx));
-    counters::add_written(d.x_pencil_spec_elems() * sizeof(cplx));
+    account(d.nxs * yc * zc, d.x_pencil_spec_elems(), nf);
     reorder_t.stop();
   }
 
   // --- forward path (physical -> spectral) --------------------------------
 
-  void pack_x_to_z(const cplx* xspec, cplx* send) {
+  void pack_x_to_z(const cplx* xspec, cplx* send, std::size_t nf) {
     reorder_t.start();
     const std::size_t yc = d.yb.count, zc = d.zp.count;
     const std::size_t modes = d.x_line_modes();
-    reorder_pool.run(zc, [&](std::size_t zb, std::size_t ze) {
-      for (int q = 0; q < d.pa; ++q) {
-        const block xq = block_range(d.nxs, d.pa, q);
-        cplx* seg = send + rd_zx[static_cast<std::size_t>(q)];
-        for (std::size_t xl = 0; xl < xq.count; ++xl) {
-          for (std::size_t y = 0; y < yc; ++y) {
-            cplx* dst = seg + (xl * yc + y) * zc;
-            for (std::size_t z = zb; z < ze; ++z)
-              dst[z] = xspec[(z * yc + y) * modes + xq.offset + xl];
-          }
+    const std::size_t* rc = rc_zx.data();
+    const std::size_t* rd = rd_zx.data();
+    reorder_pool.run(zc * nf, [&](std::size_t ib, std::size_t ie) {
+      for (std::size_t i = ib; i < ie; ++i) {
+        const std::size_t z = i / nf, f = i % nf;
+        const cplx* xb = xspec + f * wstride;
+        for (int q = 0; q < d.pa; ++q) {
+          const block xq = block_range(d.nxs, d.pa, q);
+          cplx* seg = send + nf * rd[q] + f * rc[q];
+          for (std::size_t xl = 0; xl < xq.count; ++xl)
+            for (std::size_t y = 0; y < yc; ++y)
+              seg[(xl * yc + y) * zc + z] =
+                  xb[(z * yc + y) * modes + xq.offset + xl];
         }
       }
     });
-    counters::add_read(d.nxs * yc * zc * sizeof(cplx));
-    counters::add_written(d.nxs * yc * zc * sizeof(cplx));
+    account(d.nxs * yc * zc, d.nxs * yc * zc, nf);
     reorder_t.stop();
   }
 
-  void unpack_z_from_x(const cplx* recv, cplx* zbuf) {
+  void unpack_z_from_x(const cplx* recv, cplx* zbuf, std::size_t nf) {
     reorder_t.start();
     const std::size_t yc = d.yb.count, nzf = d.nzf;
-    reorder_pool.run(d.xs.count, [&](std::size_t xb, std::size_t xe) {
-      for (int q = 0; q < d.pa; ++q) {
-        const block zq = block_range(nzf, d.pa, q);
-        const cplx* seg = recv + sd_zx[static_cast<std::size_t>(q)];
-        for (std::size_t x = xb; x < xe; ++x) {
-          for (std::size_t y = 0; y < yc; ++y) {
-            cplx* dst = zbuf + (x * yc + y) * nzf + zq.offset;
-            std::copy_n(seg + (x * yc + y) * zq.count, zq.count, dst);
-          }
+    const std::size_t* sc = sc_zx.data();
+    const std::size_t* sd = sd_zx.data();
+    reorder_pool.run(d.xs.count * nf, [&](std::size_t ib, std::size_t ie) {
+      for (std::size_t i = ib; i < ie; ++i) {
+        const std::size_t x = i / nf, f = i % nf;
+        cplx* zb = zbuf + f * wstride;
+        for (int q = 0; q < d.pa; ++q) {
+          const block zq = block_range(nzf, d.pa, q);
+          const cplx* seg = recv + nf * sd[q] + f * sc[q];
+          for (std::size_t y = 0; y < yc; ++y)
+            std::copy_n(seg + (x * yc + y) * zq.count, zq.count,
+                        zb + (x * yc + y) * nzf + zq.offset);
         }
       }
     });
-    counters::add_read(d.z_pencil_elems() * sizeof(cplx));
-    counters::add_written(d.z_pencil_elems() * sizeof(cplx));
+    account(d.z_pencil_elems(), d.z_pencil_elems(), nf);
     reorder_t.stop();
   }
 
-  void pack_z_to_y(const cplx* zbuf, cplx* send, double scale) {
+  void pack_z_to_y(const cplx* zbuf, cplx* send, double scale,
+                   std::size_t nf) {
     reorder_t.start();
     const std::size_t yc = d.yb.count, nzf = d.nzf, nzg = d.g.nz;
-    reorder_pool.run(d.xs.count, [&](std::size_t xb, std::size_t xe) {
-      for (int q = 0; q < d.pb; ++q) {
-        const block zq = block_range(nzg, d.pb, q);
-        cplx* seg = send + rd_yz[static_cast<std::size_t>(q)];
-        for (std::size_t x = xb; x < xe; ++x) {
+    const std::size_t* rc = rc_yz.data();
+    const std::size_t* rd = rd_yz.data();
+    reorder_pool.run(d.xs.count * nf, [&](std::size_t ib, std::size_t ie) {
+      for (std::size_t i = ib; i < ie; ++i) {
+        const std::size_t x = i / nf, f = i % nf;
+        const cplx* zb = zbuf + f * wstride;
+        for (int q = 0; q < d.pb; ++q) {
+          const block zq = block_range(nzg, d.pb, q);
+          cplx* seg = send + nf * rd[q] + f * rc[q];
           for (std::size_t zl = 0; zl < zq.count; ++zl) {
             const std::size_t zg = zq.offset + zl;
             cplx* dst = seg + (x * zq.count + zl) * yc;
@@ -355,146 +457,343 @@ struct parallel_fft::impl {
             }
             const std::size_t zp = zpad_pos(zg);
             for (std::size_t y = 0; y < yc; ++y)
-              dst[y] = zbuf[(x * yc + y) * nzf + zp] * scale;
+              dst[y] = zb[(x * yc + y) * nzf + zp] * scale;
           }
         }
       }
     });
-    counters::add_read(d.xs.count * nzg * yc * sizeof(cplx));
-    counters::add_written(d.xs.count * nzg * yc * sizeof(cplx));
+    account(d.xs.count * nzg * yc, d.xs.count * nzg * yc, nf);
     reorder_t.stop();
   }
 
-  void unpack_y_pencil(const cplx* recv, cplx* spec) {
+  void unpack_y_pencil(const cplx* recv, cplx* const* specs, std::size_t nf) {
     reorder_t.start();
     const std::size_t zc = d.zs.count, ny = d.g.ny;
-    reorder_pool.run(d.xs.count, [&](std::size_t xb, std::size_t xe) {
-      for (int q = 0; q < d.pb; ++q) {
-        const block yq = block_range(ny, d.pb, q);
-        const cplx* seg = recv + sd_yz[static_cast<std::size_t>(q)];
-        for (std::size_t x = xb; x < xe; ++x) {
-          for (std::size_t z = 0; z < zc; ++z) {
-            cplx* dst = spec + (x * zc + z) * ny + yq.offset;
-            std::copy_n(seg + (x * zc + z) * yq.count, yq.count, dst);
-          }
+    const std::size_t* sc = sc_yz.data();
+    const std::size_t* sd = sd_yz.data();
+    reorder_pool.run(d.xs.count * nf, [&](std::size_t ib, std::size_t ie) {
+      for (std::size_t i = ib; i < ie; ++i) {
+        const std::size_t x = i / nf, f = i % nf;
+        cplx* spec = specs[f];
+        for (int q = 0; q < d.pb; ++q) {
+          const block yq = block_range(ny, d.pb, q);
+          const cplx* seg = recv + nf * sd[q] + f * sc[q];
+          for (std::size_t z = 0; z < zc; ++z)
+            std::copy_n(seg + (x * zc + z) * yq.count, yq.count,
+                        spec + (x * zc + z) * ny + yq.offset);
         }
       }
     });
-    counters::add_read(d.y_pencil_elems() * sizeof(cplx));
-    counters::add_written(d.y_pencil_elems() * sizeof(cplx));
+    account(d.y_pencil_elems(), d.y_pencil_elems(), nf);
     reorder_t.stop();
   }
 
   // --- FFT stages ----------------------------------------------------------
+  //
+  // The line loops are widened to lines * nf and re-split at field
+  // boundaries, so a chunk never spans two fields' workspace slots.
 
-  void z_fft(cplx* zbuf, const fft::c2c_plan& plan) {
+  void z_fft(cplx* zbuf, const fft::c2c_plan& plan, std::size_t nf) {
     fft_t.start();
     const std::size_t lines = d.xs.count * d.yb.count;
     const std::size_t len = d.nzf;
-    fft_pool.run(lines, [&](std::size_t b, std::size_t e) {
-      plan.execute_many(zbuf + b * len, len, zbuf + b * len, len, e - b);
+    fft_pool.run(lines * nf, [&](std::size_t b, std::size_t e) {
+      while (b < e) {
+        const std::size_t f = b / lines, l0 = b % lines;
+        const std::size_t cnt = std::min(e - b, lines - l0);
+        cplx* base = zbuf + f * wstride + l0 * len;
+        plan.execute_many(base, len, base, len, cnt);
+        b += cnt;
+      }
     });
     fft_t.stop();
   }
 
-  void x_c2r(const cplx* xspec, double* phys) {
+  void x_c2r(const cplx* xspec, double* const* phys, std::size_t nf) {
     fft_t.start();
     const std::size_t lines = d.zp.count * d.yb.count;
     const std::size_t modes = d.x_line_modes();
-    fft_pool.run(lines, [&](std::size_t b, std::size_t e) {
-      x_inv.execute_many(xspec + b * modes, modes, phys + b * d.nxf, d.nxf,
-                         e - b);
+    fft_pool.run(lines * nf, [&](std::size_t b, std::size_t e) {
+      while (b < e) {
+        const std::size_t f = b / lines, l0 = b % lines;
+        const std::size_t cnt = std::min(e - b, lines - l0);
+        x_inv.execute_many(xspec + f * wstride + l0 * modes, modes,
+                           phys[f] + l0 * d.nxf, d.nxf, cnt);
+        b += cnt;
+      }
     });
     fft_t.stop();
   }
 
-  void x_r2c(const double* phys, cplx* xspec) {
+  void x_r2c(const double* const* phys, cplx* xspec, std::size_t nf) {
     fft_t.start();
     const std::size_t lines = d.zp.count * d.yb.count;
     const std::size_t modes = d.x_line_modes();
-    fft_pool.run(lines, [&](std::size_t b, std::size_t e) {
-      x_fwd.execute_many(phys + b * d.nxf, d.nxf, xspec + b * modes, modes,
-                         e - b);
+    fft_pool.run(lines * nf, [&](std::size_t b, std::size_t e) {
+      while (b < e) {
+        const std::size_t f = b / lines, l0 = b % lines;
+        const std::size_t cnt = std::min(e - b, lines - l0);
+        x_fwd.execute_many(phys[f] + l0 * d.nxf, d.nxf,
+                           xspec + f * wstride + l0 * modes, modes, cnt);
+        b += cnt;
+      }
     });
     fft_t.stop();
   }
 
   // --- transposes (communication) ------------------------------------------
 
-  void a2a_yz(const cplx* send, cplx* recv) {
+  void a2a_yz(const cplx* send, cplx* recv, std::size_t nf) {
     comm_t.start();
-    do_exchange(comm_b, strat_b, send, sc_yz.data(), sd_yz.data(), recv,
-                rc_yz.data(), rd_yz.data());
+    do_exchange_batch(comm_b, strat_b, send, sc_yz.data(), sd_yz.data(), recv,
+                      rc_yz.data(), rd_yz.data(), nf);
     comm_t.stop();
   }
-  void a2a_zy(const cplx* send, cplx* recv) {
+  void a2a_zy(const cplx* send, cplx* recv, std::size_t nf) {
     comm_t.start();
-    do_exchange(comm_b, strat_b, send, rc_yz.data(), rd_yz.data(), recv,
-                sc_yz.data(), sd_yz.data());
+    do_exchange_batch(comm_b, strat_b, send, rc_yz.data(), rd_yz.data(), recv,
+                      sc_yz.data(), sd_yz.data(), nf);
     comm_t.stop();
   }
-  void a2a_zx(const cplx* send, cplx* recv) {
+  void a2a_zx(const cplx* send, cplx* recv, std::size_t nf) {
     comm_t.start();
-    do_exchange(comm_a, strat_a, send, sc_zx.data(), sd_zx.data(), recv,
-                rc_zx.data(), rd_zx.data());
+    do_exchange_batch(comm_a, strat_a, send, sc_zx.data(), sd_zx.data(), recv,
+                      rc_zx.data(), rd_zx.data(), nf);
     comm_t.stop();
   }
-  void a2a_xz(const cplx* send, cplx* recv) {
+  void a2a_xz(const cplx* send, cplx* recv, std::size_t nf) {
     comm_t.start();
-    do_exchange(comm_a, strat_a, send, rc_zx.data(), rd_zx.data(), recv,
-                sc_zx.data(), sd_zx.data());
+    do_exchange_batch(comm_a, strat_a, send, rc_zx.data(), rd_zx.data(), recv,
+                      sc_zx.data(), sd_zx.data(), nf);
     comm_t.stop();
   }
 
-  void to_physical(const cplx* spec, double* phys) {
+  // --- batched drivers -----------------------------------------------------
+
+  void to_physical_batch(const cplx* const* specs, double* const* phys,
+                         std::size_t nf) {
+    PCF_REQUIRE(nf >= 1, "batch needs at least one field");
+    ++transforms_;
+    fields_ += nf;
+    const auto mb = static_cast<std::size_t>(cfg.max_batch);
+    for (std::size_t f0 = 0; f0 < nf; f0 += mb)
+      inverse_chunk(specs + f0, phys + f0, std::min(mb, nf - f0));
+  }
+
+  void to_spectral_batch(const double* const* phys, cplx* const* specs,
+                         std::size_t nf) {
+    PCF_REQUIRE(nf >= 1, "batch needs at least one field");
+    ++transforms_;
+    fields_ += nf;
+    const auto mb = static_cast<std::size_t>(cfg.max_batch);
+    for (std::size_t f0 = 0; f0 < nf; f0 += mb)
+      forward_chunk(phys + f0, specs + f0, std::min(mb, nf - f0));
+  }
+
+  void inverse_chunk(const cplx* const* specs, double* const* phys,
+                     std::size_t nf) {
+    if (comm_async && nf > 1) {
+      inverse_pipelined(specs, phys, nf);
+      return;
+    }
     cplx* a = w1.data();
     cplx* b = w2.data();
-    pack_y_to_z(spec, a);
+    pack_y_to_z(specs, a, nf);
     if (w3.empty()) {
-      a2a_yz(a, b);
-      unpack_z_pencil(b, a);
-      z_fft(a, z_inv);
-      pack_z_to_x(a, b);
-      a2a_zx(b, a);
-      unpack_x_pencil(a, b);
-      x_c2r(b, phys);
+      a2a_yz(a, b, nf);
+      unpack_z_pencil(b, a, nf);
+      z_fft(a, z_inv, nf);
+      pack_z_to_x(a, b, nf);
+      a2a_zx(b, a, nf);
+      unpack_x_pencil(a, b, nf);
+      x_c2r(b, phys, nf);
     } else {
       // P3DFFT-style: dedicated buffers per stage (3x footprint).
       cplx* c = w3.data();
-      a2a_yz(a, b);
-      unpack_z_pencil(b, c);
-      z_fft(c, z_inv);
-      pack_z_to_x(c, a);
-      a2a_zx(a, b);
-      unpack_x_pencil(b, c);
-      x_c2r(c, phys);
+      a2a_yz(a, b, nf);
+      unpack_z_pencil(b, c, nf);
+      z_fft(c, z_inv, nf);
+      pack_z_to_x(c, a, nf);
+      a2a_zx(a, b, nf);
+      unpack_x_pencil(b, c, nf);
+      x_c2r(c, phys, nf);
     }
   }
 
-  void to_spectral(const double* phys, cplx* spec) {
+  void forward_chunk(const double* const* phys, cplx* const* specs,
+                     std::size_t nf) {
+    if (comm_async && nf > 1) {
+      forward_pipelined(phys, specs, nf);
+      return;
+    }
     cplx* a = w1.data();
     cplx* b = w2.data();
     const double scale =
         1.0 / (static_cast<double>(d.nxf) * static_cast<double>(d.nzf));
-    x_r2c(phys, a);
+    x_r2c(phys, a, nf);
     if (w3.empty()) {
-      pack_x_to_z(a, b);
-      a2a_xz(b, a);
-      unpack_z_from_x(a, b);
-      z_fft(b, z_fwd);
-      pack_z_to_y(b, a, scale);
-      a2a_zy(a, b);
-      unpack_y_pencil(b, spec);
+      pack_x_to_z(a, b, nf);
+      a2a_xz(b, a, nf);
+      unpack_z_from_x(a, b, nf);
+      z_fft(b, z_fwd, nf);
+      pack_z_to_y(b, a, scale, nf);
+      a2a_zy(a, b, nf);
+      unpack_y_pencil(b, specs, nf);
     } else {
       cplx* c = w3.data();
-      pack_x_to_z(a, b);
-      a2a_xz(b, c);
-      unpack_z_from_x(c, a);
-      z_fft(a, z_fwd);
-      pack_z_to_y(a, b, scale);
-      a2a_zy(b, c);
-      unpack_y_pencil(c, spec);
+      pack_x_to_z(a, b, nf);
+      a2a_xz(b, c, nf);
+      unpack_z_from_x(c, a, nf);
+      z_fft(a, z_fwd, nf);
+      pack_z_to_y(a, b, scale, nf);
+      a2a_zy(b, c, nf);
+      unpack_y_pencil(c, specs, nf);
     }
+  }
+
+  // --- pipelined drivers ---------------------------------------------------
+  //
+  // The chunk's nf fields are split into G = min(pipeline_depth, nf)
+  // balanced groups. Group g owns the disjoint workspace slice
+  // [first(g)*wstride, (first(g)+count(g))*wstride) of each of w1/w2/w3,
+  // so its in-flight exchange never touches buffers another group is
+  // computing on. Every transform is (pre) pack, (x1) first exchange,
+  // (c1) unpack + z-FFT + pack, (x2) second exchange, (c2) unpack + x-FFT;
+  // x1/x2 run on the comm thread, everything else on the caller.
+  //
+  // Schedule (software pipeline over groups k):
+  //
+  //   pre(0); start x1(0)
+  //   for k = 0..G-1:
+  //     pre(k+1)                    // overlaps x1(k)
+  //     wait x2(k-1); c2(k-1)       // overlaps x1(k) (FIFO: x2(k-1) first)
+  //     wait x1(k);  c1(k)
+  //     start x2(k); start x1(k+1)
+  //   wait x2(G-1); c2(G-1)
+  //
+  // Every rank starts the same sequence x1(0), x2(0), x1(1), ... on its
+  // single-threaded async_proxy, so the bulk-synchronous collectives
+  // rendezvous in matching order across ranks — no tags needed.
+
+  template <class Pre, class X1, class C1, class X2, class C2>
+  void run_pipeline(std::size_t groups, Pre pre, X1 x1, C1 c1, X2 x2, C2 c2) {
+    std::vector<vmpi::async_proxy::ticket> t1(groups), t2(groups);
+    try {
+      pre(0);
+      t1[0] = comm_async->start([&x1] { x1(0); });
+      for (std::size_t k = 0; k < groups; ++k) {
+        if (k + 1 < groups) pre(k + 1);
+        if (k > 0) {
+          comm_async->wait(t2[k - 1]);
+          c2(k - 1);
+        }
+        comm_async->wait(t1[k]);
+        c1(k);
+        t2[k] = comm_async->start([&x2, k] { x2(k); });
+        if (k + 1 < groups)
+          t1[k + 1] = comm_async->start([&x1, k] { x1(k + 1); });
+      }
+      comm_async->wait(t2[groups - 1]);
+      c2(groups - 1);
+    } catch (...) {
+      // Drain in-flight exchanges before unwinding so the comm thread is
+      // not left inside a collective whose buffers are being torn down.
+      // After a world abort every drained operation throws immediately.
+      try {
+        comm_async->wait_all();
+      } catch (...) {
+      }
+      throw;
+    }
+  }
+
+  void inverse_pipelined(const cplx* const* specs, double* const* phys,
+                         std::size_t nf) {
+    const auto G = static_cast<int>(
+        std::min<std::size_t>(static_cast<std::size_t>(cfg.pipeline_depth),
+                              nf));
+    const bool p3d = !w3.empty();
+    auto grp = [&](std::size_t g) {
+      return block_range(nf, G, static_cast<int>(g));
+    };
+    auto at = [&](aligned_buffer<cplx>& w, std::size_t g) {
+      return w.data() + grp(g).offset * wstride;
+    };
+    run_pipeline(
+        static_cast<std::size_t>(G),
+        [&](std::size_t g) {
+          const block fb = grp(g);
+          pack_y_to_z(specs + fb.offset, at(w1, g), fb.count);
+        },
+        [&](std::size_t g) { a2a_yz(at(w1, g), at(w2, g), grp(g).count); },
+        [&](std::size_t g) {
+          const std::size_t fc = grp(g).count;
+          cplx* z = p3d ? at(w3, g) : at(w1, g);
+          unpack_z_pencil(at(w2, g), z, fc);
+          z_fft(z, z_inv, fc);
+          pack_z_to_x(z, p3d ? at(w1, g) : at(w2, g), fc);
+        },
+        [&](std::size_t g) {
+          if (p3d)
+            a2a_zx(at(w1, g), at(w2, g), grp(g).count);
+          else
+            a2a_zx(at(w2, g), at(w1, g), grp(g).count);
+        },
+        [&](std::size_t g) {
+          const block fb = grp(g);
+          cplx* in = p3d ? at(w2, g) : at(w1, g);
+          cplx* x = p3d ? at(w3, g) : at(w2, g);
+          unpack_x_pencil(in, x, fb.count);
+          x_c2r(x, phys + fb.offset, fb.count);
+        });
+  }
+
+  void forward_pipelined(const double* const* phys, cplx* const* specs,
+                         std::size_t nf) {
+    const auto G = static_cast<int>(
+        std::min<std::size_t>(static_cast<std::size_t>(cfg.pipeline_depth),
+                              nf));
+    const bool p3d = !w3.empty();
+    const double scale =
+        1.0 / (static_cast<double>(d.nxf) * static_cast<double>(d.nzf));
+    auto grp = [&](std::size_t g) {
+      return block_range(nf, G, static_cast<int>(g));
+    };
+    auto at = [&](aligned_buffer<cplx>& w, std::size_t g) {
+      return w.data() + grp(g).offset * wstride;
+    };
+    run_pipeline(
+        static_cast<std::size_t>(G),
+        [&](std::size_t g) {
+          const block fb = grp(g);
+          x_r2c(phys + fb.offset, at(w1, g), fb.count);
+          pack_x_to_z(at(w1, g), at(w2, g), fb.count);
+        },
+        [&](std::size_t g) {
+          if (p3d)
+            a2a_xz(at(w2, g), at(w3, g), grp(g).count);
+          else
+            a2a_xz(at(w2, g), at(w1, g), grp(g).count);
+        },
+        [&](std::size_t g) {
+          const std::size_t fc = grp(g).count;
+          cplx* in = p3d ? at(w3, g) : at(w1, g);
+          cplx* z = p3d ? at(w1, g) : at(w2, g);
+          unpack_z_from_x(in, z, fc);
+          z_fft(z, z_fwd, fc);
+          pack_z_to_y(z, p3d ? at(w2, g) : at(w1, g), scale, fc);
+        },
+        [&](std::size_t g) {
+          if (p3d)
+            a2a_zy(at(w2, g), at(w3, g), grp(g).count);
+          else
+            a2a_zy(at(w1, g), at(w2, g), grp(g).count);
+        },
+        [&](std::size_t g) {
+          const block fb = grp(g);
+          unpack_y_pencil(p3d ? at(w3, g) : at(w2, g), specs + fb.offset,
+                          fb.count);
+        });
   }
 };
 
@@ -507,10 +806,35 @@ const decomp& parallel_fft::dec() const { return impl_->d; }
 const kernel_config& parallel_fft::config() const { return impl_->cfg; }
 
 void parallel_fft::to_physical(const cplx* spec, double* phys) {
-  impl_->to_physical(spec, phys);
+  const cplx* specs[1] = {spec};
+  double* physv[1] = {phys};
+  impl_->to_physical_batch(specs, physv, 1);
 }
 void parallel_fft::to_spectral(const double* phys, cplx* spec) {
-  impl_->to_spectral(phys, spec);
+  const double* physv[1] = {phys};
+  cplx* specs[1] = {spec};
+  impl_->to_spectral_batch(physv, specs, 1);
+}
+
+void parallel_fft::to_physical_batch(const cplx* const* specs,
+                                     double* const* phys,
+                                     std::size_t nfields) {
+  impl_->to_physical_batch(specs, phys, nfields);
+}
+void parallel_fft::to_spectral_batch(const double* const* phys,
+                                     cplx* const* specs,
+                                     std::size_t nfields) {
+  impl_->to_spectral_batch(phys, specs, nfields);
+}
+
+batch_stats parallel_fft::batching() const {
+  batch_stats s;
+  s.transforms = impl_->transforms_;
+  s.fields = impl_->fields_;
+  s.exchanges = impl_->exchanges_;
+  s.reorder_calls = impl_->reorder_calls_;
+  s.reorder_fields = impl_->reorder_fields_;
+  return s;
 }
 
 std::size_t parallel_fft::workspace_bytes() const {

@@ -18,6 +18,7 @@
 
 #include <complex>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 
 #include "fft/fft.hpp"
@@ -68,10 +69,27 @@ struct kernel_config {
   int fft_threads = 1;        // threads for FFT + pad/truncate blocks
   int reorder_threads = 1;    // threads for pack/unpack (on-node reorder)
   exchange_strategy strategy = exchange_strategy::alltoall;
+  // Fields aggregated into one exchange by the *_batch entry points; the
+  // ping-pong workspaces grow by this factor. 1 keeps the seed footprint.
+  int max_batch = 1;
+  // > 1 splits each batch into up to this many field groups and overlaps
+  // the exchange of group k with the FFT/reorder of its neighbours on a
+  // dedicated comm thread (vmpi::async_proxy). 1 = fully synchronous.
+  int pipeline_depth = 1;
 
   static kernel_config p3dfft_mode() {
     return kernel_config{false, false, 1, 1, exchange_strategy::alltoall};
   }
+};
+
+/// Cumulative counters for the batched transform path of one parallel_fft
+/// instance (single-field calls count as batches of 1).
+struct batch_stats {
+  std::uint64_t transforms = 0;      // batch API entries
+  std::uint64_t fields = 0;          // fields across those entries
+  std::uint64_t exchanges = 0;       // aggregated transpose exchanges issued
+  std::uint64_t reorder_calls = 0;   // fused pack/unpack kernel invocations
+  std::uint64_t reorder_fields = 0;  // fields across those invocations
 };
 
 /// Per-rank decomposition bookkeeping.
@@ -126,6 +144,22 @@ class parallel_fft {
   /// Physical -> spectral, normalized so that a to_physical/to_spectral
   /// round trip is the identity.
   void to_spectral(const double* phys, cplx* spec);
+
+  /// Batched transforms: move `nfields` independent fields through the
+  /// pipeline together so every transpose stage runs ONE aggregated
+  /// exchange carrying all fields (field-strided sub-blocks inside each
+  /// per-rank segment) instead of one exchange per field. Fields beyond
+  /// config().max_batch are processed in chunks of max_batch. With
+  /// pipeline_depth > 1 the chunk is further split into field groups whose
+  /// exchanges overlap neighbouring groups' FFT/reorder work. Results are
+  /// bit-identical to nfields single-field calls in every mode.
+  void to_physical_batch(const cplx* const* specs, double* const* phys,
+                         std::size_t nfields);
+  void to_spectral_batch(const double* const* phys, cplx* const* specs,
+                         std::size_t nfields);
+
+  /// Counters for the batched path (exchange aggregation, batch widths).
+  [[nodiscard]] batch_stats batching() const;
 
   /// Internal workspace allocated (for the paper's 1x-vs-3x buffer claim).
   [[nodiscard]] std::size_t workspace_bytes() const;

@@ -32,25 +32,41 @@ void thread_pool::chunk(std::size_t n, int tid, std::size_t& begin,
 void thread_pool::worker_loop(int id) {
   std::uint64_t seen = 0;
   for (;;) {
-    const std::function<void(std::size_t, std::size_t)>* rfn;
-    const std::function<void(int)>* tfn;
-    std::size_t n;
+    const std::function<void(std::size_t, std::size_t)>* rfn = nullptr;
+    const std::function<void(int)>* tfn = nullptr;
+    std::function<void()> task;
+    std::size_t n = 0;
+    bool fork_join = false;
     {
       std::unique_lock<std::mutex> lk(mutex_);
-      cv_start_.wait(lk, [&] { return shutdown_ || generation_ != seen; });
-      if (shutdown_) return;
-      seen = generation_;
-      rfn = range_fn_;
-      tfn = thread_fn_;
-      n = task_n_;
+      cv_start_.wait(lk, [&] {
+        return shutdown_ || generation_ != seen || !async_queue_.empty();
+      });
+      if (generation_ != seen) {
+        // A fork-join dispatch takes priority so run() latency stays low.
+        fork_join = true;
+        seen = generation_;
+        rfn = range_fn_;
+        tfn = thread_fn_;
+        n = task_n_;
+      } else if (!async_queue_.empty()) {
+        task = std::move(async_queue_.front());
+        async_queue_.pop_front();
+      } else {
+        return;  // shutdown with a drained queue
+      }
     }
     try {
-      if (rfn != nullptr) {
-        std::size_t b, e;
-        chunk(n, id, b, e);
-        if (b < e) (*rfn)(b, e);
-      } else if (tfn != nullptr) {
-        (*tfn)(id);
+      if (fork_join) {
+        if (rfn != nullptr) {
+          std::size_t b, e;
+          chunk(n, id, b, e);
+          if (b < e) (*rfn)(b, e);
+        } else if (tfn != nullptr) {
+          (*tfn)(id);
+        }
+      } else {
+        task();
       }
     } catch (...) {
       // An exception escaping a worker thread would std::terminate the
@@ -60,7 +76,12 @@ void thread_pool::worker_loop(int id) {
     }
     {
       std::lock_guard<std::mutex> lk(mutex_);
-      if (--pending_ == 0) cv_done_.notify_one();
+      if (fork_join) {
+        if (--pending_ == 0) cv_done_.notify_all();
+      } else {
+        ++async_completed_;
+        cv_done_.notify_all();
+      }
     }
   }
 }
@@ -108,6 +129,55 @@ void thread_pool::run(std::size_t n,
   }
   cv_start_.notify_all();
   dispatch_and_wait();
+}
+
+thread_pool::ticket thread_pool::submit(std::function<void()> fn) {
+  if (num_threads_ == 1) {
+    // Serial fallback: run inline so a 1-thread pool needs no workers, with
+    // the same deferred-exception contract as the queued path.
+    ticket t;
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      t = ++async_submitted_;
+    }
+    try {
+      fn();
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lk(mutex_);
+    ++async_completed_;
+    return t;
+  }
+  ticket t;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    async_queue_.push_back(std::move(fn));
+    t = ++async_submitted_;
+  }
+  cv_start_.notify_all();
+  return t;
+}
+
+void thread_pool::wait_submitted(ticket t) {
+  std::unique_lock<std::mutex> lk(mutex_);
+  cv_done_.wait(lk, [&] { return async_completed_ >= t; });
+  if (error_) {
+    auto err = error_;
+    error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+void thread_pool::wait_submitted() {
+  std::unique_lock<std::mutex> lk(mutex_);
+  cv_done_.wait(lk, [&] { return async_completed_ >= async_submitted_; });
+  if (error_) {
+    auto err = error_;
+    error_ = nullptr;
+    std::rethrow_exception(err);
+  }
 }
 
 void thread_pool::run_per_thread(const std::function<void(int)>& fn) {

@@ -9,6 +9,8 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -43,6 +45,28 @@ class thread_pool {
   /// Same exception contract as run().
   void run_per_thread(const std::function<void(int)>& fn);
 
+  /// Ticket identifying a task handed to submit(); strictly increasing in
+  /// submission order.
+  using ticket = std::uint64_t;
+
+  /// Enqueue fn for execution on a pool worker and return immediately
+  /// (submit-without-join) — the caller keeps computing while the task
+  /// runs. Tasks start in FIFO order; with exactly one worker (a pool of
+  /// two threads) they also *complete* in FIFO order, which is what the
+  /// comm/compute pipelining in the pencil kernel relies on. On a
+  /// single-thread pool the task runs inline (serial fallback). A task
+  /// exception is captured and rethrown by the next wait_submitted().
+  ticket submit(std::function<void()> fn);
+
+  /// Block until the task with the given ticket has finished (exact under
+  /// FIFO completion, i.e. at most one worker; otherwise it waits until
+  /// `t` tasks have completed). Rethrows the first captured task exception.
+  void wait_submitted(ticket t);
+
+  /// Block until every submitted task has finished; same exception
+  /// contract.
+  void wait_submitted();
+
  private:
   void worker_loop(int id);
 
@@ -60,6 +84,11 @@ class thread_pool {
   int pending_ = 0;
   bool shutdown_ = false;
   std::exception_ptr error_;  // first exception thrown by any chunk
+  // Submit-without-join queue, guarded by mutex_. Workers drain it between
+  // fork-join generations (and before exiting on shutdown).
+  std::deque<std::function<void()>> async_queue_;
+  std::uint64_t async_submitted_ = 0;
+  std::uint64_t async_completed_ = 0;
 
   void chunk(std::size_t n, int tid, std::size_t& begin, std::size_t& end) const;
   void dispatch_and_wait();

@@ -147,4 +147,85 @@ TEST(ThreadPool, FirstExceptionWinsWhenSeveralChunksThrow) {
 INSTANTIATE_TEST_SUITE_P(Widths, ThreadPoolExceptionP,
                          ::testing::Values(1, 2, 4));
 
+// --- submit-without-join (the facility behind the pencil comm pipeline) ---
+
+TEST(ThreadPoolSubmit, TasksRunFifoWithOneWorker) {
+  thread_pool pool(2);  // caller + exactly one worker => FIFO completion
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i)
+    pool.submit([&order, i] { order.push_back(i); });
+  pool.wait_submitted();
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ThreadPoolSubmit, WaitOnTicketSeesThatTasksEffect) {
+  thread_pool pool(2);
+  std::atomic<int> stage{0};
+  const auto t1 = pool.submit([&] { stage.store(1); });
+  const auto t2 = pool.submit([&] { stage.store(2); });
+  pool.wait_submitted(t1);
+  EXPECT_GE(stage.load(), 1);
+  pool.wait_submitted(t2);
+  EXPECT_EQ(stage.load(), 2);
+}
+
+TEST(ThreadPoolSubmit, SingleThreadPoolRunsInline) {
+  thread_pool pool(1);
+  int x = 0;
+  const auto t = pool.submit([&] { x = 42; });
+  EXPECT_EQ(x, 42);  // executed before submit returned
+  pool.wait_submitted(t);
+  EXPECT_EQ(x, 42);
+}
+
+TEST(ThreadPoolSubmit, CallerComputesWhileTaskRuns) {
+  thread_pool pool(2);
+  std::atomic<bool> task_done{false};
+  const auto t = pool.submit([&] { task_done.store(true); });
+  long sum = 0;  // caller-side "compute" overlapping the task
+  for (long i = 0; i < 1000; ++i) sum += i;
+  pool.wait_submitted(t);
+  EXPECT_TRUE(task_done.load());
+  EXPECT_EQ(sum, 999L * 1000 / 2);
+}
+
+TEST(ThreadPoolSubmit, ExceptionRethrownAtWaitAndPoolStaysUsable) {
+  for (int threads : {1, 2}) {
+    thread_pool pool(threads);
+    const auto t =
+        pool.submit([] { throw std::runtime_error("task failed"); });
+    EXPECT_THROW(pool.wait_submitted(t), std::runtime_error);
+    std::atomic<int> ran{0};
+    pool.submit([&] { ran.fetch_add(1); });
+    pool.wait_submitted();
+    EXPECT_EQ(ran.load(), 1);
+  }
+}
+
+TEST(ThreadPoolSubmit, MixesWithForkJoinDispatch) {
+  thread_pool pool(4);
+  std::atomic<int> async_hits{0};
+  for (int round = 0; round < 5; ++round) {
+    const auto t = pool.submit([&] { async_hits.fetch_add(1); });
+    std::vector<std::atomic<int>> hit(64);
+    pool.run(hit.size(), [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) hit[i].fetch_add(1);
+    });
+    for (auto& h : hit) EXPECT_EQ(h.load(), 1);
+    pool.wait_submitted(t);
+  }
+  EXPECT_EQ(async_hits.load(), 5);
+}
+
+TEST(ThreadPoolSubmit, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    thread_pool pool(2);
+    for (int i = 0; i < 8; ++i) pool.submit([&ran] { ran.fetch_add(1); });
+    // No wait: destruction must still execute everything queued.
+  }
+  EXPECT_EQ(ran.load(), 8);
+}
+
 }  // namespace
