@@ -26,6 +26,30 @@ namespace pcf::banded {
 
 using cplx = std::complex<double>;
 
+/// Non-owning view of *factored* compact-band storage. The solver arena
+/// keeps many factored bands in one contiguous slab and solves through
+/// views; a view never checks or tracks factorization state, so the owner
+/// must only hand out views of factored storage.
+class banded_view {
+ public:
+  banded_view() = default;
+  banded_view(const double* a, int n, int h) : a_(a), n_(n), h_(h) {}
+
+  [[nodiscard]] int n() const { return n_; }
+  [[nodiscard]] int half_bandwidth() const { return h_; }
+
+  template <class S>
+  void solve(S* x) const;
+
+  /// Blocked multi-RHS solve; RHS r starts at x + r*stride (stride >= n).
+  template <class S>
+  void solve_many(S* x, int nrhs, std::size_t stride) const;
+
+ private:
+  const double* a_ = nullptr;
+  int n_ = 0, h_ = 0;
+};
+
 class compact_banded {
  public:
   /// n x n matrix, half-bandwidth h (stored bandwidth 2h+1); needs n >= 2h+1.
@@ -79,9 +103,35 @@ class compact_banded {
   template <class S>
   void solve(S* x) const;
 
-  /// Solve nrhs systems; RHS r starts at x + r*stride.
+  /// Solve nrhs systems; RHS r starts at x + r*stride (stride >= n when
+  /// nrhs > 1). Blocked: the factored band is streamed once per block of
+  /// up to 8 real lanes instead of once per RHS, with each complex RHS
+  /// occupying two real lanes (so the common 2-complex-RHS case fills a
+  /// 4-wide register). A single trailing RHS takes the scalar kernel and
+  /// is bit-identical to solve().
   template <class S>
   void solve_many(S* x, int nrhs, std::size_t stride) const;
+
+  /// Reference multi-RHS path: one full band pass per RHS (the seed
+  /// behavior, kept for benchmarking the blocked kernel against).
+  template <class S>
+  void solve_many_scalar(S* x, int nrhs, std::size_t stride) const;
+
+  /// Blocked but with the runtime-lane kernel only (no fixed-lane
+  /// vectorized instantiations) — isolates blocking from vectorization in
+  /// bench_table1_banded.
+  template <class S>
+  void solve_many_blocked_generic(S* x, int nrhs, std::size_t stride) const;
+
+  /// Raw compact-format storage: n() rows of bandwidth() doubles.
+  [[nodiscard]] const double* data() const { return a_.data(); }
+  [[nodiscard]] std::size_t band_elems() const { return a_.size(); }
+
+  /// Non-owning view of the factored band (requires factorize()).
+  [[nodiscard]] banded_view view() const {
+    PCF_REQUIRE(factorized_, "view() requires factorize() first");
+    return banded_view(a_.data(), n_, h_);
+  }
 
  private:
   double& entry(int i, int j) {
@@ -94,6 +144,10 @@ class compact_banded {
 
   template <class S>
   void solve_one(S* x) const;
+
+  template <class S>
+  void solve_many_impl(S* x, int nrhs, std::size_t stride,
+                       bool fixed_lanes) const;
 
   int n_, h_, w_;
   std::vector<double> a_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <type_traits>
+#include <vector>
 
 #include "util/counters.hpp"
 
@@ -92,10 +94,76 @@ void gb_matrix<T>::solve(S* x) const {
                       (std::is_same_v<S, cplx> ? 2 : 1));
 }
 
+template <class T>
+template <class S>
+void gb_matrix<T>::solve_many(S* x, int nrhs, std::size_t stride) const {
+  PCF_REQUIRE(factorized_, "solve_many() requires factorize() first");
+  PCF_REQUIRE(nrhs <= 1 || stride >= static_cast<std::size_t>(n_),
+              "RHS panel stride must be >= n");
+  const int n = n_, kl = kl_, ku = ku_;
+  auto e = [&](int i, int j) -> const T& {
+    return const_cast<gb_matrix*>(this)->entry(i, j);
+  };
+  constexpr int kBlock = 8;
+  thread_local std::vector<S> panel;
+  int r0 = 0;
+  while (nrhs - r0 >= 2) {
+    const int rb = std::min(nrhs - r0, kBlock);
+    panel.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(rb));
+    S* p = panel.data();
+    for (int r = 0; r < rb; ++r)
+      for (int i = 0; i < n; ++i)
+        p[static_cast<std::size_t>(i) * rb + r] =
+            x[static_cast<std::size_t>(r0 + r) * stride + i];
+    auto lane = [&](int i) {
+      return p + static_cast<std::size_t>(i) * static_cast<std::size_t>(rb);
+    };
+    // Forward: apply P and L to the whole panel per pivot column.
+    for (int j = 0; j < n - 1; ++j) {
+      const int piv = ipiv_[static_cast<std::size_t>(j)];
+      if (piv != j)
+        for (int t = 0; t < rb; ++t) std::swap(lane(j)[t], lane(piv)[t]);
+      const int km = std::min(kl, n - 1 - j);
+      const S* xj = lane(j);
+      for (int i = j + 1; i <= j + km; ++i) {
+        const T lij = e(i, j);
+        S* xi = lane(i);
+        for (int t = 0; t < rb; ++t) xi[t] -= lij * xj[t];
+      }
+    }
+    // Backward: solve U x = y with bandwidth ku + kl.
+    const int kv = ku + kl;
+    for (int j = n - 1; j >= 0; --j) {
+      const T d = e(j, j);
+      S* xj = lane(j);
+      for (int t = 0; t < rb; ++t) xj[t] /= d;
+      const int top = std::max(0, j - kv);
+      for (int i = top; i < j; ++i) {
+        const T uij = e(i, j);
+        S* xi = lane(i);
+        for (int t = 0; t < rb; ++t) xi[t] -= uij * xj[t];
+      }
+    }
+    for (int r = 0; r < rb; ++r)
+      for (int i = 0; i < n; ++i)
+        x[static_cast<std::size_t>(r0 + r) * stride + i] =
+            p[static_cast<std::size_t>(i) * rb + r];
+    counters::add_flops(static_cast<std::uint64_t>(rb) *
+                        static_cast<std::uint64_t>(n) *
+                        static_cast<std::uint64_t>(kl + kv + 2) *
+                        (std::is_same_v<S, cplx> ? 2 : 1));
+    r0 += rb;
+  }
+  for (; r0 < nrhs; ++r0) solve(x + static_cast<std::size_t>(r0) * stride);
+}
+
 template class gb_matrix<double>;
 template class gb_matrix<cplx>;
 template void gb_matrix<double>::solve(double*) const;
 template void gb_matrix<double>::solve(cplx*) const;
 template void gb_matrix<cplx>::solve(cplx*) const;
+template void gb_matrix<double>::solve_many(double*, int, std::size_t) const;
+template void gb_matrix<double>::solve_many(cplx*, int, std::size_t) const;
+template void gb_matrix<cplx>::solve_many(cplx*, int, std::size_t) const;
 
 }  // namespace pcf::banded

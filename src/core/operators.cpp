@@ -59,9 +59,18 @@ cplx wall_normal_operators::dspline_upper(const cplx* coef) const {
 
 banded::compact_banded wall_normal_operators::helmholtz(double c,
                                                         double k2) const {
+  banded::compact_banded M(basis_.size(), a0_.half_bandwidth());
+  helmholtz_into(M, c, k2);
+  return M;
+}
+
+void wall_normal_operators::helmholtz_into(banded::compact_banded& M,
+                                           double c, double k2) const {
   const int n = basis_.size();
   const int h = a0_.half_bandwidth();
-  banded::compact_banded M(n, h);
+  PCF_REQUIRE(M.n() == n && M.half_bandwidth() == h,
+              "scratch matrix shape mismatch");
+  M.clear();
   for (int i = 1; i < n - 1; ++i) {
     const int s = M.row_start(i);
     for (int j = s; j <= s + 2 * h; ++j) {
@@ -74,13 +83,21 @@ banded::compact_banded wall_normal_operators::helmholtz(double c,
   // Dirichlet rows: at clamped ends the spline value is the end coefficient.
   M.at(0, 0) = 1.0;
   M.at(n - 1, n - 1) = 1.0;
-  return M;
 }
 
 banded::compact_banded wall_normal_operators::poisson(double k2) const {
+  banded::compact_banded M(basis_.size(), a0_.half_bandwidth());
+  poisson_into(M, k2);
+  return M;
+}
+
+void wall_normal_operators::poisson_into(banded::compact_banded& M,
+                                         double k2) const {
   const int n = basis_.size();
   const int h = a0_.half_bandwidth();
-  banded::compact_banded M(n, h);
+  PCF_REQUIRE(M.n() == n && M.half_bandwidth() == h,
+              "scratch matrix shape mismatch");
+  M.clear();
   for (int i = 1; i < n - 1; ++i) {
     const int s = M.row_start(i);
     for (int j = s; j <= s + 2 * h; ++j) {
@@ -92,19 +109,24 @@ banded::compact_banded wall_normal_operators::poisson(double k2) const {
   }
   M.at(0, 0) = 1.0;
   M.at(n - 1, n - 1) = 1.0;
-  return M;
 }
 
 void wall_normal_operators::apply_rhs_operator(double c, double k2,
                                                const cplx* x, cplx* y) const {
+  std::vector<cplx> t(static_cast<std::size_t>(basis_.size()));
+  apply_rhs_operator(c, k2, x, y, t.data());
+}
+
+void wall_normal_operators::apply_rhs_operator(double c, double k2,
+                                               const cplx* x, cplx* y,
+                                               cplx* scratch) const {
   const int n = basis_.size();
-  std::vector<cplx> t(static_cast<std::size_t>(n));
   a0_.apply(x, y);
-  a2_.apply(x, t.data());
+  a2_.apply(x, scratch);
   const double c0 = 1.0 + c * (-k2);
   for (int i = 0; i < n; ++i)
-    y[static_cast<std::size_t>(i)] =
-        c0 * y[static_cast<std::size_t>(i)] + c * t[static_cast<std::size_t>(i)];
+    y[static_cast<std::size_t>(i)] = c0 * y[static_cast<std::size_t>(i)] +
+                                     c * scratch[static_cast<std::size_t>(i)];
 }
 
 }  // namespace pcf::core

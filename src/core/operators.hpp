@@ -73,8 +73,19 @@ class wall_normal_operators {
   /// paper equation (4) used to recover v from phi.
   [[nodiscard]] banded::compact_banded poisson(double k2) const;
 
+  /// Allocation-free assembly variants: M (shape n() x n(), half-bandwidth
+  /// matching A0) is cleared and refilled, so a caller building many
+  /// operators — the solver arena — can reuse one scratch matrix.
+  void helmholtz_into(banded::compact_banded& M, double c, double k2) const;
+  void poisson_into(banded::compact_banded& M, double k2) const;
+
   /// y = [A0 + c (A2 - k2 A0)] x — the explicit side of the IMEX substep.
   void apply_rhs_operator(double c, double k2, const cplx* x, cplx* y) const;
+
+  /// Same, with caller-provided scratch (length n()) so the per-mode RK3
+  /// loop does not allocate.
+  void apply_rhs_operator(double c, double k2, const cplx* x, cplx* y,
+                          cplx* scratch) const;
 
  private:
   bspline::basis basis_;

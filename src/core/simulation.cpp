@@ -78,32 +78,23 @@ struct channel_dns::impl {
   // Adaptive time stepping (optional).
   double cfl_target = 0.0, dt_min = 0.0, dt_max = 0.0;
 
-  // Per-(substep, mode) cached implicit solvers; valid while dt is fixed.
-  std::vector<std::unique_ptr<mode_solver>> solver_cache[3];
+  // Per-substep cached implicit solvers (one contiguous arena per RK
+  // substep index, since cb = beta_i dt nu differs per substep) and the
+  // factored mean-flow Helmholtz operators; valid while dt is fixed.
+  std::vector<double> k2s;  // per-mode kx^2 + kz^2, 0 marks skipped modes
+  solver_arena arena[3];
+  std::optional<banded::compact_banded> mean_helm[3];
+  double mean_helm_c[3] = {0.0, 0.0, 0.0};
+
+  // Per-thread substep scratch (3n complex: 2n RHS panel + n operator
+  // scratch) so the mode loop never allocates.
+  std::vector<std::vector<cplx>> adv_scratch;
 
   profile_accumulator stats_acc;
 
   void invalidate_solvers() {
-    for (auto& v : solver_cache) {
-      v.clear();
-      v.resize(nmodes);
-    }
-  }
-
-  /// Solver for substep i, mode m — cached when the configuration asks.
-  const mode_solver& solver_for(int i, std::size_t m, double cb) {
-    if (!cfg.cache_solvers) {
-      // Thread-local scratch so the per-mode loop can stay parallel.
-      static thread_local std::unique_ptr<mode_solver> scratch;
-      scratch = std::make_unique<mode_solver>(
-          ops, cb, kx[m] * kx[m] + kz[m] * kz[m]);
-      return *scratch;
-    }
-    auto& slot = solver_cache[i][m];
-    if (!slot)
-      slot = std::make_unique<mode_solver>(ops, cb,
-                                           kx[m] * kx[m] + kz[m] * kz[m]);
-    return *slot;
+    for (auto& a : arena) a.clear();
+    for (auto& m : mean_helm) m.reset();
   }
 
   impl(const channel_config& c, vmpi::communicator& w)
@@ -142,6 +133,12 @@ struct channel_dns::impl {
         }
       }
     }
+    k2s.resize(nmodes);
+    for (std::size_t m = 0; m < nmodes; ++m)
+      k2s[m] = skip[m] ? 0.0 : kx[m] * kx[m] + kz[m] * kz[m];
+    adv_scratch.resize(static_cast<std::size_t>(adv_pool.num_threads()));
+    for (auto& v : adv_scratch)
+      v.resize(3 * static_cast<std::size_t>(c.ny));
 
     const std::size_t sz = nmodes * n;
     c_v.reset(sz);
@@ -375,8 +372,20 @@ struct channel_dns::impl {
     const double g = kGamma[i] * cfg.dt;
     const double z = kZeta[i] * cfg.dt;
 
+    // (Re)build the substep's solver arena if dt changed or it was never
+    // built; assembly and factorization are parallel on the advance pool.
+    if (cfg.cache_solvers && (!arena[i].built() || arena[i].coeff() != cb))
+      arena[i].build(ops, cb, k2s, adv_pool);
+
+    std::atomic<int> tid_counter{0};
     adv_pool.run(nmodes, [&](std::size_t mb, std::size_t me) {
-      std::vector<cplx> rhs(n);
+      // Per-thread scratch: 2n-entry RHS panel (omega then phi) plus n for
+      // the RHS-operator apply — no allocation inside the substep loop.
+      const auto tid =
+          static_cast<std::size_t>(tid_counter.fetch_add(1));
+      cplx* panel = adv_scratch[tid].data();
+      cplx* tmp = panel + 2 * n;
+      static thread_local std::unique_ptr<mode_solver> uncached;
       for (std::size_t m = mb; m < me; ++m) {
         if (skip[m]) {
           if (!(has_mean && m == mean_idx)) {
@@ -387,21 +396,29 @@ struct channel_dns::impl {
           }
           continue;
         }
-        const double k2 = kx[m] * kx[m] + kz[m] * kz[m];
-        const mode_solver& solver = solver_for(i, m, cb);
-        // omega_y.
-        ops.apply_rhs_operator(ca, k2, line(c_om, m), rhs.data());
+        const double k2 = k2s[m];
+        // Assemble both right-hand sides of the fused solve: omega in
+        // panel rows [0, n), phi in rows [n, 2n).
+        ops.apply_rhs_operator(ca, k2, line(c_om, m), panel, tmp);
         const cplx* hgm = line(hg, m);
         cplx* hgp = line(hg_prev, m);
-        for (std::size_t j = 0; j < n; ++j) rhs[j] += g * hgm[j] + z * hgp[j];
-        solver.solve_dirichlet(rhs.data());
-        std::copy_n(rhs.data(), n, line(c_om, m));
-        // phi and v.
-        ops.apply_rhs_operator(ca, k2, line(c_phi, m), rhs.data());
+        for (std::size_t j = 0; j < n; ++j)
+          panel[j] += g * hgm[j] + z * hgp[j];
+        ops.apply_rhs_operator(ca, k2, line(c_phi, m), panel + n, tmp);
         const cplx* hvm = line(hv, m);
         cplx* hvp = line(hv_prev, m);
-        for (std::size_t j = 0; j < n; ++j) rhs[j] += g * hvm[j] + z * hvp[j];
-        solver.solve_phi_v(rhs.data(), line(c_phi, m), line(c_v, m));
+        for (std::size_t j = 0; j < n; ++j)
+          panel[n + j] += g * hvm[j] + z * hvp[j];
+        // One blocked 2-RHS Helmholtz solve covers omega and phi, then the
+        // Poisson recovery of v with the influence correction.
+        if (cfg.cache_solvers) {
+          arena[i].solve_block(static_cast<int>(m), panel, line(c_om, m),
+                               line(c_phi, m), line(c_v, m));
+        } else {
+          uncached = std::make_unique<mode_solver>(ops, cb, k2);
+          uncached->solve_block(panel, line(c_om, m), line(c_phi, m),
+                                line(c_v, m));
+        }
         // Save nonlinear history for the next substep.
         std::copy_n(hgm, n, hgp);
         std::copy_n(hvm, n, hvp);
@@ -413,6 +430,22 @@ struct channel_dns::impl {
     // with the nonlinear weights since gamma_i + zeta_i sums to 1 over a
     // step.
     if (has_mean) {
+      // Factored mean-flow operator is cached per substep index (it only
+      // depends on cb); invalidate_solvers() drops it alongside the arena.
+      const banded::compact_banded* mean_op = nullptr;
+      std::optional<banded::compact_banded> mean_scratch;
+      if (cfg.cache_solvers) {
+        if (!mean_helm[i] || mean_helm_c[i] != cb) {
+          mean_helm[i].emplace(ops.helmholtz(cb, 0.0));
+          mean_helm[i]->factorize();
+          mean_helm_c[i] = cb;
+        }
+        mean_op = &*mean_helm[i];
+      } else {
+        mean_scratch.emplace(ops.helmholtz(cb, 0.0));
+        mean_scratch->factorize();
+        mean_op = &*mean_scratch;
+      }
       auto advance_mean = [&](std::vector<double>& c, std::vector<double>& h,
                               std::vector<double>& h_prev, double force) {
         std::vector<double> rhs(n), t(n);
@@ -422,9 +455,7 @@ struct channel_dns::impl {
           rhs[j] += ca * t[j] + g * (h[j] + force) + z * (h_prev[j] + force);
         rhs[0] = 0.0;
         rhs[n - 1] = 0.0;
-        auto M = ops.helmholtz(cb, 0.0);
-        M.factorize();
-        M.solve(rhs.data());
+        mean_op->solve(rhs.data());
         std::copy_n(rhs.data(), n, c.data());
         h_prev = h;
       };

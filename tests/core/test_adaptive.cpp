@@ -85,6 +85,54 @@ TEST(AdaptiveDt, SetDtTakesEffectAndStaysCorrect) {
   });
 }
 
+TEST(SolverCache, CachedAndUncachedAgreeAcrossDtChange) {
+  // set_dt must invalidate the solver arena AND the factored mean-flow
+  // operator cache; a stale mean operator would make the cached run drift
+  // from the uncached one.
+  std::vector<double> cached, uncached;
+  for (bool cache : {true, false}) {
+    auto cfg = cfg_small();
+    cfg.cache_solvers = cache;
+    run_world(1, [&](communicator& world) {
+      channel_dns dns(cfg, world);
+      dns.initialize(0.1, 5);
+      for (int s = 0; s < 2; ++s) dns.step();
+      dns.set_dt(7e-5);
+      for (int s = 0; s < 2; ++s) dns.step();
+      auto& out = cache ? cached : uncached;
+      out = dns.mean_profile();
+      out.push_back(dns.kinetic_energy());
+    });
+  }
+  ASSERT_EQ(cached.size(), uncached.size());
+  for (std::size_t i = 0; i < cached.size(); ++i)
+    EXPECT_DOUBLE_EQ(cached[i], uncached[i]);
+}
+
+TEST(SolverCache, CflControllerRebuildsMatchUncached) {
+  // With the CFL controller changing dt mid-run, the cached arenas are
+  // rebuilt; the trajectory must match an uncached run exactly.
+  std::vector<double> cached, uncached;
+  for (bool cache : {true, false}) {
+    auto cfg = cfg_small();
+    cfg.cache_solvers = cache;
+    cfg.dt = 2e-5;
+    run_world(1, [&](communicator& world) {
+      channel_dns dns(cfg, world);
+      dns.initialize(0.1, 3);
+      dns.set_cfl_target(0.4, 1e-6, 5e-3);
+      for (int s = 0; s < 8; ++s) dns.step();
+      auto& out = cache ? cached : uncached;
+      out = dns.mean_profile();
+      out.push_back(dns.kinetic_energy());
+      out.push_back(dns.dt());
+    });
+  }
+  ASSERT_EQ(cached.size(), uncached.size());
+  for (std::size_t i = 0; i < cached.size(); ++i)
+    EXPECT_DOUBLE_EQ(cached[i], uncached[i]);
+}
+
 TEST(AdaptiveDt, ControllerDrivesCflTowardTarget) {
   run_world(1, [&](communicator& world) {
     auto cfg = cfg_small();

@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 #include <vector>
 
 #include "core/mode_solver.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -121,6 +123,131 @@ TEST(ModeSolver, LinearInRhs) {
 TEST(ModeSolver, RejectsZeroWavenumber) {
   wall_normal_operators ops(33, 7, 2.0);
   EXPECT_THROW(mode_solver(ops, 0.01, 0.0), pcf::precondition_error);
+}
+
+TEST(ModeSolver, FusedSolveBitIdenticalToSeparateSolves) {
+  // solve_block fuses the omega and phi Helmholtz solves into one blocked
+  // 2-RHS pass; results must be BIT-identical to the sequential path.
+  wall_normal_operators ops(49, 7, 1.5);
+  const double c = 0.008, k2 = 7.0;
+  mode_solver ms(ops, c, k2);
+  const std::size_t n = static_cast<std::size_t>(ops.n());
+  std::vector<cplx> r_om(n), r_phi(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    r_om[i] = cplx{std::sin(0.17 * i), std::cos(0.23 * i + 1.0)};
+    r_phi[i] = cplx{std::cos(0.31 * i), std::sin(0.12 * i - 0.5)};
+  }
+  // Sequential path.
+  std::vector<cplx> om_a(r_om), rhs_a(r_phi), phi_a(n), v_a(n);
+  ms.solve_dirichlet(om_a.data());
+  ms.solve_phi_v(rhs_a.data(), phi_a.data(), v_a.data());
+  // Fused path.
+  std::vector<cplx> panel(2 * n), om_b(n), phi_b(n), v_b(n);
+  std::copy(r_om.begin(), r_om.end(), panel.begin());
+  std::copy(r_phi.begin(), r_phi.end(),
+            panel.begin() + static_cast<std::ptrdiff_t>(n));
+  ms.solve_block(panel.data(), om_b.data(), phi_b.data(), v_b.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(om_a[i].real(), om_b[i].real()) << i;
+    EXPECT_EQ(om_a[i].imag(), om_b[i].imag()) << i;
+    EXPECT_EQ(phi_a[i].real(), phi_b[i].real()) << i;
+    EXPECT_EQ(phi_a[i].imag(), phi_b[i].imag()) << i;
+    EXPECT_EQ(v_a[i].real(), v_b[i].real()) << i;
+    EXPECT_EQ(v_a[i].imag(), v_b[i].imag()) << i;
+  }
+}
+
+TEST(SolverArena, MatchesStandaloneModeSolvers) {
+  wall_normal_operators ops(40, 7, 2.0);
+  const double c = 0.012;
+  const std::vector<double> k2s = {0.0, 4.0, 9.0, 0.0, 25.0};
+  pcf::thread_pool pool(2);
+  pcf::core::solver_arena arena;
+  arena.build(ops, c, k2s, pool);
+  EXPECT_TRUE(arena.built());
+  EXPECT_EQ(arena.coeff(), c);
+  EXPECT_EQ(arena.modes(), 5);
+  EXPECT_FALSE(arena.active(0));
+  EXPECT_FALSE(arena.active(3));
+  EXPECT_GT(arena.storage_bytes(), 0u);
+
+  const std::size_t n = static_cast<std::size_t>(ops.n());
+  for (int m : {1, 2, 4}) {
+    ASSERT_TRUE(arena.active(m));
+    mode_solver ms(ops, c, k2s[static_cast<std::size_t>(m)]);
+    std::vector<cplx> panel(2 * n);
+    for (std::size_t i = 0; i < 2 * n; ++i)
+      panel[i] = cplx{std::sin(0.1 * i + m), std::cos(0.07 * i)};
+    auto panel2 = panel;
+    std::vector<cplx> om_a(n), phi_a(n), v_a(n), om_b(n), phi_b(n), v_b(n);
+    ms.solve_block(panel.data(), om_a.data(), phi_a.data(), v_a.data());
+    arena.solve_block(m, panel2.data(), om_b.data(), phi_b.data(),
+                      v_b.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(om_a[i].real(), om_b[i].real()) << m << " " << i;
+      EXPECT_EQ(om_a[i].imag(), om_b[i].imag()) << m << " " << i;
+      EXPECT_EQ(phi_a[i].real(), phi_b[i].real()) << m << " " << i;
+      EXPECT_EQ(phi_a[i].imag(), phi_b[i].imag()) << m << " " << i;
+      EXPECT_EQ(v_a[i].real(), v_b[i].real()) << m << " " << i;
+      EXPECT_EQ(v_a[i].imag(), v_b[i].imag()) << m << " " << i;
+    }
+  }
+}
+
+TEST(SolverArena, InactiveOrUnbuiltSlotThrows) {
+  wall_normal_operators ops(33, 7, 2.0);
+  pcf::thread_pool pool(1);
+  pcf::core::solver_arena arena;
+  const std::size_t n = static_cast<std::size_t>(ops.n());
+  std::vector<cplx> panel(2 * n), om(n), phi(n), v(n);
+  EXPECT_THROW(
+      arena.solve_block(0, panel.data(), om.data(), phi.data(), v.data()),
+      pcf::precondition_error);
+  arena.build(ops, 0.01, {0.0, 4.0}, pool);
+  EXPECT_THROW(
+      arena.solve_block(0, panel.data(), om.data(), phi.data(), v.data()),
+      pcf::precondition_error);
+  EXPECT_THROW(
+      arena.solve_block(7, panel.data(), om.data(), phi.data(), v.data()),
+      pcf::precondition_error);
+  EXPECT_NO_THROW(
+      arena.solve_block(1, panel.data(), om.data(), phi.data(), v.data()));
+  arena.clear();
+  EXPECT_FALSE(arena.built());
+  EXPECT_THROW(
+      arena.solve_block(1, panel.data(), om.data(), phi.data(), v.data()),
+      pcf::precondition_error);
+}
+
+TEST(SolverArena, RebuildAfterCoeffChangeMatchesColdConstruction) {
+  // A dt change rebuilds arena contents in place; results must be
+  // bit-identical to a freshly constructed arena at the new coefficient.
+  wall_normal_operators ops(33, 7, 2.0);
+  pcf::thread_pool pool(2);
+  const std::vector<double> k2s = {0.0, 2.0, 8.0};
+  pcf::core::solver_arena warm, cold;
+  warm.build(ops, 0.02, k2s, pool);  // old dt
+  warm.build(ops, 0.01, k2s, pool);  // rebuild at the new dt
+  cold.build(ops, 0.01, k2s, pool);
+  const std::size_t n = static_cast<std::size_t>(ops.n());
+  for (int m : {1, 2}) {
+    std::vector<cplx> panel(2 * n);
+    for (std::size_t i = 0; i < 2 * n; ++i)
+      panel[i] = cplx{std::cos(0.09 * i), std::sin(0.21 * i + m)};
+    auto panel2 = panel;
+    std::vector<cplx> om_a(n), phi_a(n), v_a(n), om_b(n), phi_b(n), v_b(n);
+    warm.solve_block(m, panel.data(), om_a.data(), phi_a.data(), v_a.data());
+    cold.solve_block(m, panel2.data(), om_b.data(), phi_b.data(),
+                     v_b.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(om_a[i].real(), om_b[i].real());
+      EXPECT_EQ(om_a[i].imag(), om_b[i].imag());
+      EXPECT_EQ(phi_a[i].real(), phi_b[i].real());
+      EXPECT_EQ(phi_a[i].imag(), phi_b[i].imag());
+      EXPECT_EQ(v_a[i].real(), v_b[i].real());
+      EXPECT_EQ(v_a[i].imag(), v_b[i].imag());
+    }
+  }
 }
 
 }  // namespace
