@@ -14,6 +14,7 @@
 #include "bench_common.hpp"
 #include "core/mode_solver.hpp"
 #include "core/operators.hpp"
+#include "core/simulation.hpp"
 #include "netsim/roofline.hpp"
 #include "util/counters.hpp"
 
@@ -93,5 +94,38 @@ int main() {
               "intensity (%.2f F/B) puts the\nBG/Q core at ~9%% of peak "
               "flops with DDR traffic near its 18 B/cycle ceiling.\n",
               flops / bytes);
+
+  // Where the time goes inside a full RK3 step: run a small single-rank DNS
+  // (op tracking stays on at world size 1) and report the hierarchical
+  // per-stage phase breakdown with the counted flops and memory traffic.
+  const long dns_steps = pcf::bench::env_long("PCF_BENCH_DNS_STEPS", 20);
+  pcf::core::channel_config cfg;
+  cfg.nx = 32;
+  cfg.nz = 32;
+  cfg.ny = 65;
+  cfg.re_tau = 180.0;
+  cfg.dt = 1e-4;
+  pcf::vmpi::run_world(1, [&](pcf::vmpi::communicator& world) {
+    pcf::core::channel_dns dns(cfg, world);
+    dns.initialize(0.1);
+    dns.step();  // warm-up: build solver arenas outside the measured window
+    dns.reset_timings();
+    for (long s = 0; s < dns_steps; ++s) dns.step();
+    const auto tt = dns.timings();
+
+    std::printf("\nper-stage breakdown of the RK3 step (%zux%dx%zu, %ld "
+                "steps; parents include children):\n",
+                cfg.nx, cfg.ny, cfg.nz, dns_steps);
+    pcf::text_table st({"Stage", "Seconds", "Calls", "GFlop", "GB moved"});
+    for (const auto& p : tt.phases) {
+      std::string name(static_cast<std::size_t>(2 * p.depth), ' ');
+      name += p.name;
+      st.add_row({name, pcf::text_table::fmt(p.seconds, 3),
+                  std::to_string(p.calls),
+                  pcf::text_table::fmt(static_cast<double>(p.flops) / 1e9, 3),
+                  pcf::text_table::fmt(static_cast<double>(p.bytes) / 1e9, 3)});
+    }
+    std::fputs(st.str().c_str(), stdout);
+  });
   return 0;
 }

@@ -40,6 +40,18 @@ int main(int argc, char** argv) {
     plan.max_blowup_retries = 2;    // restore + halve dt, at most twice
     plan.retry_dt_factor = 0.5;
 
+    // Rolling per-stage timing windows: every 250 steps print the
+    // hierarchical phase breakdown accumulated since the previous window.
+    plan.timings_every = 250;
+    plan.on_timings = [&](const pcf::core::step_timings& t) {
+      if (world.rank() != 0) return;
+      std::printf("  -- stage timings (last %ld steps) --\n",
+                  plan.timings_every);
+      for (const auto& p : t.phases)
+        std::printf("     %*s%-12s %9.3fs  %8ld calls\n", 2 * p.depth, "",
+                    p.name.c_str(), p.seconds, p.calls);
+    };
+
     // Resume from the newest good checkpoint generation if a previous
     // (possibly killed) campaign left one behind; otherwise start fresh.
     const long resumed = pcf::core::resume_or_initialize(

@@ -41,6 +41,10 @@ int main(int argc, char** argv) {
     std::printf("\nper-section time: transpose %.3fs, FFT %.3fs, "
                 "N-S advance %.3fs, total %.3fs\n",
                 t.transpose, t.fft, t.advance, t.total);
+    std::printf("\nper-stage breakdown (parents include children):\n");
+    for (const auto& p : t.phases)
+      std::printf("  %*s%-12s %9.3fs  %8ld calls\n", 2 * p.depth, "",
+                  p.name.c_str(), p.seconds, p.calls);
   });
   return 0;
 }

@@ -1,0 +1,484 @@
+// channel_dns checkpointing: per-rank, gathered-global and parallel
+// single-file formats (v2 sectioned layout with per-array CRC-32; v1
+// accepted on load). The byte layout is frozen — tests hash checkpoint
+// files to pin bit-identity of the time advance across refactors.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+
+#include "core/simulation.hpp"
+#include "core/simulation_impl.hpp"
+#include "io/atomic_file.hpp"
+#include "util/crc.hpp"
+
+namespace pcf::core {
+
+namespace {
+
+// Checkpoint format magics. v1 ("PCFDNS01") wrote raw arrays with no
+// integrity metadata; it is still accepted on load. v2 ("PCFDNS02") writes
+// through the atomic temp+rename writer and wraps every array in a named
+// section with a CRC-32, so corruption is detected per array with a
+// precise error instead of silently seeding a bogus restart. The +1/+2
+// offsets distinguish the global and parallel single-file layouts, as in
+// v1.
+constexpr std::uint64_t kCheckpointMagicV1 = 0x50434644'4e533031ull;
+constexpr std::uint64_t kCheckpointMagic = 0x50434644'4e533032ull;
+
+struct section_header {
+  char name[8];           // zero-padded section name
+  std::uint64_t bytes;    // payload size
+  std::uint32_t crc;      // CRC-32 of the payload
+  std::uint32_t reserved; // zero
+};
+static_assert(sizeof(section_header) == 24, "section header must be packed");
+
+section_header make_section_header(const char* name, std::uint64_t bytes,
+                                   std::uint32_t crc) {
+  section_header h{};
+  std::snprintf(h.name, sizeof(h.name), "%s", name);
+  h.bytes = bytes;
+  h.crc = crc;
+  return h;
+}
+
+std::string section_name(const section_header& h) {
+  return std::string(h.name, strnlen(h.name, sizeof(h.name)));
+}
+
+void write_section(io::atomic_file_writer& os, const char* name,
+                   const void* data, std::size_t bytes) {
+  const section_header h =
+      make_section_header(name, bytes, crc32(data, bytes));
+  os.write(&h, sizeof(h));
+  os.write(data, bytes);
+}
+
+/// Read and verify one v2 section into `data`; every failure mode names
+/// the section so a restart script can tell *which* array is damaged.
+void read_section(std::istream& is, const char* name, void* data,
+                  std::size_t bytes) {
+  section_header h{};
+  is.read(reinterpret_cast<char*>(&h), sizeof(h));
+  PCF_REQUIRE(!is.fail() && is.gcount() == sizeof(h),
+              std::string("checkpoint section '") + name +
+                  "' header truncated");
+  PCF_REQUIRE(section_name(h) == name,
+              "checkpoint section '" + section_name(h) +
+                  "' unexpected (expected '" + name + "')");
+  PCF_REQUIRE(h.bytes == bytes, std::string("checkpoint section '") + name +
+                                    "' has wrong size");
+  is.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+  PCF_REQUIRE(!is.fail() &&
+                  is.gcount() == static_cast<std::streamsize>(bytes),
+              std::string("checkpoint section '") + name + "' truncated");
+  PCF_REQUIRE(crc32(data, bytes) == h.crc,
+              std::string("checkpoint section '") + name + "' CRC mismatch");
+}
+
+/// A well-formed checkpoint ends exactly at its last section: trailing
+/// bytes mean a concatenated/overlong file and are rejected.
+void require_eof(std::istream& is) {
+  PCF_REQUIRE(is.peek() == std::char_traits<char>::eof(),
+              "trailing garbage after checkpoint payload");
+}
+
+}  // namespace
+
+void channel_dns::save_checkpoint(const std::string& path) const {
+  auto& s = *impl_;
+  auto& st = s.state;
+  io::atomic_file_writer os(path);
+  os.write(&kCheckpointMagic, sizeof(kCheckpointMagic));
+  const std::uint64_t dims[5] = {s.cfg.nx, static_cast<std::uint64_t>(s.cfg.ny),
+                                 s.cfg.nz, static_cast<std::uint64_t>(s.d.pa),
+                                 static_cast<std::uint64_t>(s.d.pb)};
+  os.write(dims, sizeof(dims));
+  os.write(&s.time, sizeof(s.time));
+  os.write(&s.steps, sizeof(s.steps));
+  const std::uint32_t meta[2] = {5, 0};  // section count, reserved
+  os.write(meta, sizeof(meta));
+  write_section(os, "c_v", st.c_v.data(), st.c_v.size() * sizeof(cplx));
+  write_section(os, "c_om", st.c_om.data(), st.c_om.size() * sizeof(cplx));
+  write_section(os, "c_phi", st.c_phi.data(), st.c_phi.size() * sizeof(cplx));
+  write_section(os, "c_U", st.c_U.data(), st.c_U.size() * sizeof(double));
+  write_section(os, "c_W", st.c_W.data(), st.c_W.size() * sizeof(double));
+  os.commit();
+}
+
+void channel_dns::load_checkpoint(const std::string& path) {
+  auto& s = *impl_;
+  auto& st = s.state;
+  std::ifstream is(path, std::ios::binary);
+  PCF_REQUIRE(is.good(), "cannot open checkpoint file for reading: " + path);
+  auto get = [&](void* p, std::size_t bytes) {
+    is.read(static_cast<char*>(p), static_cast<std::streamsize>(bytes));
+  };
+  std::uint64_t magic = 0;
+  get(&magic, sizeof(magic));
+  PCF_REQUIRE(magic == kCheckpointMagic || magic == kCheckpointMagicV1,
+              "not a checkpoint file");
+  std::uint64_t dims[5];
+  get(dims, sizeof(dims));
+  PCF_REQUIRE(!is.fail(), "checkpoint header truncated");
+  PCF_REQUIRE(dims[0] == s.cfg.nx &&
+                  dims[1] == static_cast<std::uint64_t>(s.cfg.ny) &&
+                  dims[2] == s.cfg.nz &&
+                  dims[3] == static_cast<std::uint64_t>(s.d.pa) &&
+                  dims[4] == static_cast<std::uint64_t>(s.d.pb),
+              "checkpoint grid/decomposition mismatch");
+  get(&s.time, sizeof(s.time));
+  get(&s.steps, sizeof(s.steps));
+  if (magic == kCheckpointMagicV1) {
+    get(st.c_v.data(), st.c_v.size() * sizeof(cplx));
+    get(st.c_om.data(), st.c_om.size() * sizeof(cplx));
+    get(st.c_phi.data(), st.c_phi.size() * sizeof(cplx));
+    get(st.c_U.data(), st.c_U.size() * sizeof(double));
+    get(st.c_W.data(), st.c_W.size() * sizeof(double));
+    PCF_REQUIRE(is.good(), "checkpoint read failed");
+  } else {
+    std::uint32_t meta[2] = {0, 0};
+    get(meta, sizeof(meta));
+    PCF_REQUIRE(!is.fail() && meta[0] == 5,
+                "checkpoint section count mismatch");
+    read_section(is, "c_v", st.c_v.data(), st.c_v.size() * sizeof(cplx));
+    read_section(is, "c_om", st.c_om.data(), st.c_om.size() * sizeof(cplx));
+    read_section(is, "c_phi", st.c_phi.data(),
+                 st.c_phi.size() * sizeof(cplx));
+    read_section(is, "c_U", st.c_U.data(), st.c_U.size() * sizeof(double));
+    read_section(is, "c_W", st.c_W.data(), st.c_W.size() * sizeof(double));
+  }
+  require_eof(is);
+  st.hv_prev.fill(cplx{0, 0});
+  st.hg_prev.fill(cplx{0, 0});
+  std::fill(st.hU_prev.begin(), st.hU_prev.end(), 0.0);
+  std::fill(st.hW_prev.begin(), st.hW_prev.end(), 0.0);
+}
+
+void channel_dns::save_checkpoint_global(const std::string& path) {
+  auto& s = *impl_;
+  auto& st = s.state;
+  const std::size_t n = s.modes.n;
+  const std::size_t modes_g = s.cfg.nx / 2 * s.cfg.nz;
+  const std::size_t per = modes_g * n;
+  std::vector<cplx> local(3 * per, cplx{0, 0}), global(3 * per);
+  for (std::size_t m = 0; m < s.modes.nmodes; ++m) {
+    const std::size_t jx = s.d.xs.offset + m / s.d.zs.count;
+    const std::size_t jz = s.d.zs.offset + m % s.d.zs.count;
+    const std::size_t g = (jx * s.cfg.nz + jz) * n;
+    std::copy_n(s.line(st.c_v, m), n, local.data() + g);
+    std::copy_n(s.line(st.c_om, m), n, local.data() + per + g);
+    std::copy_n(s.line(st.c_phi, m), n, local.data() + 2 * per + g);
+  }
+  s.world.allreduce_sum(local.data(), global.data(), local.size());
+  std::vector<double> mean_l(2 * n, 0.0), mean_g(2 * n);
+  if (s.modes.has_mean) {
+    std::copy(st.c_U.begin(), st.c_U.end(), mean_l.begin());
+    std::copy(st.c_W.begin(), st.c_W.end(),
+              mean_l.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+  s.world.allreduce_sum(mean_l.data(), mean_g.data(), mean_l.size());
+  if (s.world.rank() == 0) {
+    io::atomic_file_writer os(path);
+    const std::uint64_t magic = kCheckpointMagic + 1;
+    const std::uint64_t dims[3] = {
+        s.cfg.nx, static_cast<std::uint64_t>(s.cfg.ny), s.cfg.nz};
+    os.write(&magic, sizeof(magic));
+    os.write(dims, sizeof(dims));
+    os.write(&s.time, sizeof(s.time));
+    os.write(&s.steps, sizeof(s.steps));
+    const std::uint32_t meta[2] = {4, 0};
+    os.write(meta, sizeof(meta));
+    write_section(os, "c_v", global.data(), per * sizeof(cplx));
+    write_section(os, "c_om", global.data() + per, per * sizeof(cplx));
+    write_section(os, "c_phi", global.data() + 2 * per, per * sizeof(cplx));
+    write_section(os, "mean", mean_g.data(), mean_g.size() * sizeof(double));
+    os.commit();
+  }
+  s.world.barrier();
+}
+
+void channel_dns::load_checkpoint_global(const std::string& path) {
+  auto& s = *impl_;
+  auto& st = s.state;
+  const std::size_t n = s.modes.n;
+  const std::size_t modes_g = s.cfg.nx / 2 * s.cfg.nz;
+  const std::size_t per = modes_g * n;
+  std::vector<cplx> global(3 * per);
+  std::vector<double> mean_g(2 * n);
+  // Rank 0 reads and verifies; success is agreed on *before* any payload
+  // broadcast so a corrupt file makes every rank throw instead of leaving
+  // ranks 1..P-1 blocked in a collective.
+  int ok = 1;
+  std::string err;
+  if (s.world.rank() == 0) {
+    try {
+      std::ifstream is(path, std::ios::binary);
+      PCF_REQUIRE(is.good(),
+                  "cannot open global checkpoint for reading: " + path);
+      std::uint64_t magic = 0, dims[3];
+      is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+      PCF_REQUIRE(magic == kCheckpointMagic + 1 ||
+                      magic == kCheckpointMagicV1 + 1,
+                  "not a global checkpoint");
+      is.read(reinterpret_cast<char*>(dims), sizeof(dims));
+      PCF_REQUIRE(!is.fail(), "global checkpoint header truncated");
+      PCF_REQUIRE(dims[0] == s.cfg.nx &&
+                      dims[1] == static_cast<std::uint64_t>(s.cfg.ny) &&
+                      dims[2] == s.cfg.nz,
+                  "global checkpoint grid mismatch");
+      is.read(reinterpret_cast<char*>(&s.time), sizeof(s.time));
+      is.read(reinterpret_cast<char*>(&s.steps), sizeof(s.steps));
+      if (magic == kCheckpointMagicV1 + 1) {
+        is.read(reinterpret_cast<char*>(global.data()),
+                static_cast<std::streamsize>(global.size() * sizeof(cplx)));
+        is.read(reinterpret_cast<char*>(mean_g.data()),
+                static_cast<std::streamsize>(mean_g.size() * sizeof(double)));
+        PCF_REQUIRE(is.good(), "global checkpoint read failed");
+      } else {
+        std::uint32_t meta[2] = {0, 0};
+        is.read(reinterpret_cast<char*>(meta), sizeof(meta));
+        PCF_REQUIRE(!is.fail() && meta[0] == 4,
+                    "global checkpoint section count mismatch");
+        read_section(is, "c_v", global.data(), per * sizeof(cplx));
+        read_section(is, "c_om", global.data() + per, per * sizeof(cplx));
+        read_section(is, "c_phi", global.data() + 2 * per,
+                     per * sizeof(cplx));
+        read_section(is, "mean", mean_g.data(),
+                     mean_g.size() * sizeof(double));
+      }
+      require_eof(is);
+    } catch (const std::exception& e) {
+      ok = 0;
+      err = e.what();
+    }
+  }
+  s.world.bcast(&ok, 1, 0);
+  if (!ok) {
+    std::uint64_t len = err.size();
+    s.world.bcast(&len, 1, 0);
+    err.resize(len);
+    if (len > 0) s.world.bcast(err.data(), len, 0);
+    throw precondition_error("global checkpoint load failed: " + err);
+  }
+  s.world.bcast(&s.time, 1, 0);
+  s.world.bcast(&s.steps, 1, 0);
+  s.world.bcast(global.data(), global.size(), 0);
+  s.world.bcast(mean_g.data(), mean_g.size(), 0);
+  for (std::size_t m = 0; m < s.modes.nmodes; ++m) {
+    const std::size_t jx = s.d.xs.offset + m / s.d.zs.count;
+    const std::size_t jz = s.d.zs.offset + m % s.d.zs.count;
+    const std::size_t g = (jx * s.cfg.nz + jz) * n;
+    std::copy_n(global.data() + g, n, s.line(st.c_v, m));
+    std::copy_n(global.data() + per + g, n, s.line(st.c_om, m));
+    std::copy_n(global.data() + 2 * per + g, n, s.line(st.c_phi, m));
+  }
+  if (s.modes.has_mean) {
+    std::copy_n(mean_g.data(), n, st.c_U.begin());
+    std::copy_n(mean_g.data() + n, n, st.c_W.begin());
+  }
+  st.hv_prev.fill(cplx{0, 0});
+  st.hg_prev.fill(cplx{0, 0});
+  std::fill(st.hU_prev.begin(), st.hU_prev.end(), 0.0);
+  std::fill(st.hW_prev.begin(), st.hW_prev.end(), 0.0);
+}
+
+namespace {
+
+// Parallel single-file v2 layout: fixed header, a 4-entry section table
+// (c_v, c_om, c_phi, mean), then the payloads at fixed offsets so every
+// rank can write its modes in place, MPI-IO style.
+constexpr std::size_t kParallelV1Header =
+    sizeof(std::uint64_t) * 4 + sizeof(double) + sizeof(long);
+constexpr std::size_t kParallelV2Header =
+    kParallelV1Header + 2 * sizeof(std::uint32_t);
+constexpr std::size_t kParallelV2Payload =
+    kParallelV2Header + 4 * sizeof(section_header);
+
+}  // namespace
+
+void channel_dns::save_checkpoint_parallel(const std::string& path) {
+  auto& s = *impl_;
+  auto& st = s.state;
+  const std::size_t n = s.modes.n;
+  const std::size_t modes_g = s.cfg.nx / 2 * s.cfg.nz;
+  const std::size_t per = modes_g * n;  // elements per field section
+  const std::size_t line_bytes = n * sizeof(cplx);
+  std::vector<double> mean_l(2 * n, 0.0), mean_g(2 * n);
+  if (s.modes.has_mean) {
+    std::copy(st.c_U.begin(), st.c_U.end(), mean_l.begin());
+    std::copy(st.c_W.begin(), st.c_W.end(),
+              mean_l.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+  s.world.allreduce_sum(mean_l.data(), mean_g.data(), mean_l.size());
+  // Section CRCs must come from the in-memory state (reading the file back
+  // would checksum whatever a fault left there). Each rank checksums its
+  // own mode lines; rank 0 stitches them together in global offset order
+  // with crc32_combine. The u32 values ride in doubles through the
+  // existing sum reduction — each line has exactly one owner.
+  const aligned_buffer<cplx>* fields[3] = {&st.c_v, &st.c_om, &st.c_phi};
+  std::vector<double> crc_l(3 * modes_g, 0.0), crc_g(3 * modes_g);
+  for (std::size_t m = 0; m < s.modes.nmodes; ++m) {
+    const std::size_t jx = s.d.xs.offset + m / s.d.zs.count;
+    const std::size_t jz = s.d.zs.offset + m % s.d.zs.count;
+    const std::size_t line = jx * s.cfg.nz + jz;
+    for (int f = 0; f < 3; ++f)
+      crc_l[static_cast<std::size_t>(f) * modes_g + line] = static_cast<double>(
+          crc32(fields[f]->data() + m * n, line_bytes));
+  }
+  s.world.allreduce_sum(crc_l.data(), crc_g.data(), crc_l.size());
+
+  std::optional<io::atomic_file_writer> owner;
+  if (s.world.rank() == 0) {
+    owner.emplace(path);
+    const std::uint64_t magic = kCheckpointMagic + 2;
+    const std::uint64_t dims[3] = {
+        s.cfg.nx, static_cast<std::uint64_t>(s.cfg.ny), s.cfg.nz};
+    owner->write(&magic, sizeof(magic));
+    owner->write(dims, sizeof(dims));
+    owner->write(&s.time, sizeof(s.time));
+    owner->write(&s.steps, sizeof(s.steps));
+    const std::uint32_t meta[2] = {4, 0};
+    owner->write(meta, sizeof(meta));
+    const char* names[3] = {"c_v", "c_om", "c_phi"};
+    for (int f = 0; f < 3; ++f) {
+      std::uint32_t crc = 0;  // crc32 of the empty prefix
+      for (std::size_t line = 0; line < modes_g; ++line)
+        crc = crc32_combine(
+            crc,
+            static_cast<std::uint32_t>(
+                crc_g[static_cast<std::size_t>(f) * modes_g + line]),
+            line_bytes);
+      const section_header h =
+          make_section_header(names[f], per * sizeof(cplx), crc);
+      owner->write(&h, sizeof(h));
+    }
+    const section_header hm = make_section_header(
+        "mean", mean_g.size() * sizeof(double),
+        crc32(mean_g.data(), mean_g.size() * sizeof(double)));
+    owner->write(&hm, sizeof(hm));
+    // The means live at the tail; writing them first also sizes the file.
+    owner->write_at(kParallelV2Payload + 3 * per * sizeof(cplx),
+                    mean_g.data(), mean_g.size() * sizeof(double));
+    owner->flush();
+  }
+  s.world.barrier();
+  {
+    std::optional<io::atomic_file_writer> joiner;
+    io::atomic_file_writer& os =
+        s.world.rank() == 0 ? *owner
+                            : joiner.emplace(io::atomic_file_writer::join(path));
+    for (std::size_t m = 0; m < s.modes.nmodes; ++m) {
+      const std::size_t jx = s.d.xs.offset + m / s.d.zs.count;
+      const std::size_t jz = s.d.zs.offset + m % s.d.zs.count;
+      const std::size_t g = (jx * s.cfg.nz + jz) * n;
+      for (int f = 0; f < 3; ++f)
+        os.write_at(kParallelV2Payload +
+                        (static_cast<std::size_t>(f) * per + g) * sizeof(cplx),
+                    fields[f]->data() + m * n, line_bytes);
+    }
+    if (joiner) joiner->close();
+  }
+  s.world.barrier();
+  if (owner) owner->commit();
+  s.world.barrier();
+}
+
+void channel_dns::load_checkpoint_parallel(const std::string& path) {
+  auto& s = *impl_;
+  auto& st = s.state;
+  const std::size_t n = s.modes.n;
+  const std::size_t modes_g = s.cfg.nx / 2 * s.cfg.nz;
+  const std::size_t per = modes_g * n;
+  std::ifstream is(path, std::ios::binary);
+  PCF_REQUIRE(is.good(),
+              "cannot open parallel checkpoint for reading: " + path);
+  std::uint64_t magic = 0, dims[3];
+  is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  PCF_REQUIRE(magic == kCheckpointMagic + 2 ||
+                  magic == kCheckpointMagicV1 + 2,
+              "not a parallel checkpoint");
+  is.read(reinterpret_cast<char*>(dims), sizeof(dims));
+  PCF_REQUIRE(!is.fail(), "parallel checkpoint header truncated");
+  PCF_REQUIRE(dims[0] == s.cfg.nx &&
+                  dims[1] == static_cast<std::uint64_t>(s.cfg.ny) &&
+                  dims[2] == s.cfg.nz,
+              "parallel checkpoint grid mismatch");
+  is.read(reinterpret_cast<char*>(&s.time), sizeof(s.time));
+  is.read(reinterpret_cast<char*>(&s.steps), sizeof(s.steps));
+  const bool v1 = magic == kCheckpointMagicV1 + 2;
+  const std::size_t payload = v1 ? kParallelV1Header : kParallelV2Payload;
+  const std::size_t mean_bytes = 2 * n * sizeof(double);
+  const auto expected_size = static_cast<std::streamoff>(
+      payload + 3 * per * sizeof(cplx) + mean_bytes);
+  // Every rank runs the identical verification on the shared file, so all
+  // ranks reach the same accept/reject decision without extra collectives.
+  is.seekg(0, std::ios::end);
+  PCF_REQUIRE(is.tellg() == expected_size,
+              is.tellg() < expected_size
+                  ? "parallel checkpoint truncated"
+                  : "trailing garbage after checkpoint payload");
+  section_header table[4];
+  if (!v1) {
+    std::uint32_t meta[2] = {0, 0};
+    is.seekg(static_cast<std::streamoff>(kParallelV1Header));
+    is.read(reinterpret_cast<char*>(meta), sizeof(meta));
+    PCF_REQUIRE(!is.fail() && meta[0] == 4,
+                "parallel checkpoint section count mismatch");
+    is.read(reinterpret_cast<char*>(table), sizeof(table));
+    PCF_REQUIRE(!is.fail(), "parallel checkpoint section table truncated");
+    const char* names[4] = {"c_v", "c_om", "c_phi", "mean"};
+    const std::size_t sizes[4] = {per * sizeof(cplx), per * sizeof(cplx),
+                                  per * sizeof(cplx), mean_bytes};
+    std::vector<char> buf(1 << 20);
+    for (int t = 0; t < 4; ++t) {
+      PCF_REQUIRE(section_name(table[t]) == names[t] &&
+                      table[t].bytes == sizes[t],
+                  "checkpoint section '" + section_name(table[t]) +
+                      "' unexpected (expected '" + names[t] + "')");
+      std::uint32_t crc = crc32_init();
+      std::size_t left = sizes[t];
+      while (left > 0) {
+        const std::size_t chunk = std::min(left, buf.size());
+        is.read(buf.data(), static_cast<std::streamsize>(chunk));
+        PCF_REQUIRE(!is.fail(), std::string("checkpoint section '") +
+                                    names[t] + "' truncated");
+        crc = crc32_update(crc, buf.data(), chunk);
+        left -= chunk;
+      }
+      PCF_REQUIRE(crc32_final(crc) == table[t].crc,
+                  std::string("checkpoint section '") + names[t] +
+                      "' CRC mismatch");
+    }
+  }
+  for (std::size_t m = 0; m < s.modes.nmodes; ++m) {
+    const std::size_t jx = s.d.xs.offset + m / s.d.zs.count;
+    const std::size_t jz = s.d.zs.offset + m % s.d.zs.count;
+    const std::size_t g = (jx * s.cfg.nz + jz) * n;
+    aligned_buffer<cplx>* fields[3] = {&st.c_v, &st.c_om, &st.c_phi};
+    for (int f = 0; f < 3; ++f) {
+      is.seekg(static_cast<std::streamoff>(
+          payload + (static_cast<std::size_t>(f) * per + g) * sizeof(cplx)));
+      is.read(reinterpret_cast<char*>(fields[f]->data() + m * n),
+              static_cast<std::streamsize>(n * sizeof(cplx)));
+    }
+  }
+  std::vector<double> mean_g(2 * n);
+  is.seekg(static_cast<std::streamoff>(payload + 3 * per * sizeof(cplx)));
+  is.read(reinterpret_cast<char*>(mean_g.data()),
+          static_cast<std::streamsize>(mean_bytes));
+  PCF_REQUIRE(is.good(), "parallel checkpoint read failed");
+  if (s.modes.has_mean) {
+    std::copy_n(mean_g.data(), n, st.c_U.begin());
+    std::copy_n(mean_g.data() + n, n, st.c_W.begin());
+  }
+  st.hv_prev.fill(cplx{0, 0});
+  st.hg_prev.fill(cplx{0, 0});
+  std::fill(st.hU_prev.begin(), st.hU_prev.end(), 0.0);
+  std::fill(st.hW_prev.begin(), st.hW_prev.end(), 0.0);
+  s.world.barrier();
+}
+
+}  // namespace pcf::core

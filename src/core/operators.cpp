@@ -15,7 +15,7 @@ wall_normal_operators::wall_normal_operators(int ny, int degree,
   // Wall-derivative weight rows: N_j'(-1) is nonzero only for the first
   // degree+1 basis functions (clamped knots), N_j'(+1) for the last ones.
   const int p = basis_.degree();
-  const int n = basis_.size();
+  [[maybe_unused]] const int n = basis_.size();
   std::vector<double> ders(2 * static_cast<std::size_t>(p + 1));
   dw_lo_.assign(static_cast<std::size_t>(p + 1), 0.0);
   dw_hi_.assign(static_cast<std::size_t>(p + 1), 0.0);

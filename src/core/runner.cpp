@@ -20,7 +20,9 @@ double flow_through_time(channel_dns& dns) {
 namespace {
 
 std::string rank_suffix(const vmpi::communicator& world) {
-  return "." + std::to_string(world.rank());
+  std::string s = ".";
+  s += std::to_string(world.rank());
+  return s;
 }
 
 // Append one blow-up entry to the report file (rank 0 only; append mode so
@@ -184,6 +186,11 @@ run_report run_campaign(channel_dns& dns, vmpi::communicator& world,
         rep.went_nonfinite = true;
         break;
       }
+    }
+    if (plan.timings_every > 0 &&
+        dns.step_count() % plan.timings_every == 0) {
+      if (plan.on_timings) plan.on_timings(dns.timings());
+      dns.reset_timings();
     }
     if (plan.checkpoint_every > 0 &&
         dns.step_count() % plan.checkpoint_every == 0) {

@@ -43,6 +43,14 @@ struct run_plan {
   int max_blowup_retries = 0;
   double retry_dt_factor = 0.5;  // dt multiplier applied on each retry
   std::string report_path;  // blow-up report ("" -> <checkpoint_path>.blowup.txt)
+
+  // Per-stage timing windows: every `timings_every` steps (0 = never) the
+  // runner hands the step_timings accumulated over the window (including
+  // the hierarchical phase rows) to `on_timings` and resets the timers, so
+  // long campaigns get a rolling per-stage breakdown instead of one
+  // end-of-run aggregate.
+  long timings_every = 0;
+  std::function<void(const step_timings&)> on_timings;
 };
 
 /// One row of the diagnostics time series.

@@ -1,490 +1,17 @@
+// channel_dns lifecycle and stepping: construction/wiring (via
+// channel_dns::impl in simulation_impl.hpp), initial conditions, the step
+// entry points and the timing report. Observables live in observables.cpp,
+// checkpointing in checkpoint.cpp.
 #include "core/simulation.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
-#include <cstdio>
-#include <cstring>
-#include <fstream>
-#include <numbers>
-#include <optional>
+#include <utility>
 
-#include "core/mode_solver.hpp"
-#include "io/atomic_file.hpp"
-#include "util/aligned.hpp"
-#include "util/crc.hpp"
+#include "core/simulation_impl.hpp"
 #include "util/rng.hpp"
-#include "util/thread_pool.hpp"
-#include "util/timer.hpp"
 
 namespace pcf::core {
-
-namespace {
-
-// Spalart-Moser-Rogers (1991) low-storage RK3 IMEX coefficients.
-// Substep i: [I - beta_i dt nu L] x = [I + alpha_i dt nu L] x + dt (gamma_i
-// N + zeta_i N_prev), L = D^2 - k^2. zeta_1 = 0, so no nonlinear history is
-// carried across full steps.
-constexpr double kAlpha[3] = {29.0 / 96.0, -3.0 / 40.0, 1.0 / 6.0};
-constexpr double kBeta[3] = {37.0 / 160.0, 5.0 / 24.0, 1.0 / 6.0};
-constexpr double kGamma[3] = {8.0 / 15.0, 5.0 / 12.0, 3.0 / 4.0};
-constexpr double kZeta[3] = {0.0, -17.0 / 60.0, -5.0 / 12.0};
-
-/// Pencil-kernel configuration for the DNS: batch wide enough for the five
-/// nonlinear products of an RK3 substep to ride one aggregated exchange
-/// per transpose stage, with pipelining taken from the run configuration.
-pencil::kernel_config dns_kernel_config(const channel_config& c) {
-  pencil::kernel_config k{true, true, c.fft_threads, c.reorder_threads};
-  k.max_batch = 5;
-  k.pipeline_depth = c.pipeline_depth;
-  return k;
-}
-
-}  // namespace
-
-struct channel_dns::impl {
-  channel_config cfg;
-  vmpi::communicator world;
-  vmpi::cart2d cart;
-  pencil::parallel_fft pf;
-  pencil::decomp d;
-  wall_normal_operators ops;
-  thread_pool adv_pool;
-
-  std::size_t n;       // wall-normal points
-  std::size_t nmodes;  // local (kx, kz) pairs
-  bool has_mean;       // this rank owns the (0, 0) mode
-  std::size_t mean_idx = 0;
-
-  std::vector<double> kx, kz;  // local wavenumber values
-  std::vector<bool> skip;      // mean mode + spanwise Nyquist modes
-
-  // Evolved state (spline coefficients, one length-n line per local mode).
-  aligned_buffer<cplx> c_v, c_om, c_phi;
-  aligned_buffer<cplx> hv_prev, hg_prev;
-  std::vector<double> c_U, c_W, hU_prev, hW_prev;
-
-  // Work arrays.
-  aligned_buffer<cplx> u_s, v_s, w_s;          // spectral velocities (points)
-  aligned_buffer<cplx> q1, q2, q3, q4, q5;     // spectral products (points)
-  aligned_buffer<double> u_p, v_p, w_p;        // physical velocities
-  aligned_buffer<double> f1, f2, f3, f4, f5;   // physical products
-
-  section_timer advance_t, total_t;
-  double time = 0.0;
-  long steps = 0;
-  double cfl_local = 0.0, cfl_global = 0.0;
-
-  // Adaptive time stepping (optional).
-  double cfl_target = 0.0, dt_min = 0.0, dt_max = 0.0;
-
-  // Per-substep cached implicit solvers (one contiguous arena per RK
-  // substep index, since cb = beta_i dt nu differs per substep) and the
-  // factored mean-flow Helmholtz operators; valid while dt is fixed.
-  std::vector<double> k2s;  // per-mode kx^2 + kz^2, 0 marks skipped modes
-  solver_arena arena[3];
-  std::optional<banded::compact_banded> mean_helm[3];
-  double mean_helm_c[3] = {0.0, 0.0, 0.0};
-
-  // Per-thread substep scratch (3n complex: 2n RHS panel + n operator
-  // scratch) so the mode loop never allocates.
-  std::vector<std::vector<cplx>> adv_scratch;
-
-  profile_accumulator stats_acc;
-
-  void invalidate_solvers() {
-    for (auto& a : arena) a.clear();
-    for (auto& m : mean_helm) m.reset();
-  }
-
-  impl(const channel_config& c, vmpi::communicator& w)
-      : cfg(c),
-        world(w),
-        cart(w, c.pa, c.pb),
-        pf(pencil::grid{c.nx, static_cast<std::size_t>(c.ny), c.nz}, cart,
-           dns_kernel_config(c)),
-        d(pf.dec()),
-        ops(c.ny, c.degree, c.stretch),
-        adv_pool(std::max(1, c.advance_threads)),
-        n(static_cast<std::size_t>(c.ny)),
-        nmodes(d.xs.count * d.zs.count),
-        stats_acc(d.yb.count, d.yb.offset, n) {
-    const double ax = 2.0 * std::numbers::pi / cfg.lx;
-    const double az = 2.0 * std::numbers::pi / cfg.lz;
-    kx.resize(nmodes);
-    kz.resize(nmodes);
-    skip.assign(nmodes, false);
-    has_mean = false;
-    for (std::size_t x = 0; x < d.xs.count; ++x) {
-      for (std::size_t z = 0; z < d.zs.count; ++z) {
-        const std::size_t m = x * d.zs.count + z;
-        const std::size_t jx = d.xs.offset + x;
-        const std::size_t jz = d.zs.offset + z;
-        kx[m] = ax * static_cast<double>(jx);
-        const long mz = jz < cfg.nz / 2 ? static_cast<long>(jz)
-                                        : static_cast<long>(jz) -
-                                              static_cast<long>(cfg.nz);
-        kz[m] = az * static_cast<double>(mz);
-        if (jz == cfg.nz / 2) skip[m] = true;  // spanwise Nyquist
-        if (jx == 0 && jz == 0) {
-          skip[m] = true;  // mean mode handled separately
-          has_mean = true;
-          mean_idx = m;
-        }
-      }
-    }
-    k2s.resize(nmodes);
-    for (std::size_t m = 0; m < nmodes; ++m)
-      k2s[m] = skip[m] ? 0.0 : kx[m] * kx[m] + kz[m] * kz[m];
-    adv_scratch.resize(static_cast<std::size_t>(adv_pool.num_threads()));
-    for (auto& v : adv_scratch)
-      v.resize(3 * static_cast<std::size_t>(c.ny));
-
-    const std::size_t sz = nmodes * n;
-    c_v.reset(sz);
-    c_om.reset(sz);
-    c_phi.reset(sz);
-    hv_prev.reset(sz);
-    hg_prev.reset(sz);
-    u_s.reset(sz);
-    v_s.reset(sz);
-    w_s.reset(sz);
-    q1.reset(sz);
-    q2.reset(sz);
-    q3.reset(sz);
-    q4.reset(sz);
-    q5.reset(sz);
-    const std::size_t ps = d.x_pencil_real_elems();
-    u_p.reset(ps);
-    v_p.reset(ps);
-    w_p.reset(ps);
-    f1.reset(ps);
-    f2.reset(ps);
-    f3.reset(ps);
-    f4.reset(ps);
-    f5.reset(ps);
-    c_U.assign(n, 0.0);
-    c_W.assign(n, 0.0);
-    hU_prev.assign(n, 0.0);
-    hW_prev.assign(n, 0.0);
-    invalidate_solvers();
-    zero_state();
-  }
-
-  void zero_state() {
-    c_v.fill(cplx{0, 0});
-    c_om.fill(cplx{0, 0});
-    c_phi.fill(cplx{0, 0});
-    hv_prev.fill(cplx{0, 0});
-    hg_prev.fill(cplx{0, 0});
-    std::fill(c_U.begin(), c_U.end(), 0.0);
-    std::fill(c_W.begin(), c_W.end(), 0.0);
-    // The mean-mode histories must be cleared too: the RK3 zeta weight is
-    // zero on the first substep, but 0 * NaN from a contaminated previous
-    // state would still poison the restored run.
-    std::fill(hU_prev.begin(), hU_prev.end(), 0.0);
-    std::fill(hW_prev.begin(), hW_prev.end(), 0.0);
-  }
-
-  [[nodiscard]] cplx* line(aligned_buffer<cplx>& b, std::size_t m) {
-    return b.data() + m * n;
-  }
-  [[nodiscard]] const cplx* line(const aligned_buffer<cplx>& b,
-                                 std::size_t m) const {
-    return b.data() + m * n;
-  }
-
-  /// Spectral velocities at the collocation points from the evolved state:
-  /// u = (i kx v' - i kz omega) / k2,  w = (i kz v' + i kx omega) / k2.
-  void compute_velocities() {
-    advance_t.start();
-    adv_pool.run(nmodes, [&](std::size_t mb, std::size_t me) {
-      std::vector<cplx> dv(n), om(n);
-      for (std::size_t m = mb; m < me; ++m) {
-        cplx* us = line(u_s, m);
-        cplx* vs = line(v_s, m);
-        cplx* ws = line(w_s, m);
-        if (skip[m]) {
-          std::fill_n(us, n, cplx{0, 0});
-          std::fill_n(vs, n, cplx{0, 0});
-          std::fill_n(ws, n, cplx{0, 0});
-          if (has_mean && m == mean_idx) {
-            std::vector<double> pts(n);
-            ops.to_points(c_U.data(), pts.data());
-            for (std::size_t i = 0; i < n; ++i) us[i] = pts[i];
-            ops.to_points(c_W.data(), pts.data());
-            for (std::size_t i = 0; i < n; ++i) ws[i] = pts[i];
-          }
-          continue;
-        }
-        const double k2 = kx[m] * kx[m] + kz[m] * kz[m];
-        ops.deriv1_points(line(c_v, m), dv.data());
-        ops.to_points(line(c_om, m), om.data());
-        ops.to_points(line(c_v, m), vs);
-        const cplx ikx{0.0, kx[m] / k2};
-        const cplx ikz{0.0, kz[m] / k2};
-        for (std::size_t i = 0; i < n; ++i) {
-          us[i] = ikx * dv[i] - ikz * om[i];
-          ws[i] = ikz * dv[i] + ikx * om[i];
-        }
-      }
-    });
-    advance_t.stop();
-  }
-
-  /// Pointwise quadratic products on the dealiased physical grid, plus the
-  /// convective CFL estimate.
-  void compute_products() {
-    advance_t.start();
-    const std::size_t ps = d.x_pencil_real_elems();
-    const double dx = cfg.lx / static_cast<double>(d.nxf);
-    const double dz = cfg.lz / static_cast<double>(d.nzf);
-    double dy_min = 2.0;
-    const auto& pts = ops.points();
-    for (std::size_t i = 1; i < pts.size(); ++i)
-      dy_min = std::min(dy_min, pts[i] - pts[i - 1]);
-    std::vector<double> maxes(adv_pool.num_threads(), 0.0);
-    std::atomic<int> tid_counter{0};
-    adv_pool.run(ps, [&](std::size_t b, std::size_t e) {
-      const int tid = tid_counter.fetch_add(1);
-      double mx = 0.0;
-      for (std::size_t i = b; i < e; ++i) {
-        const double u = u_p[i], v = v_p[i], w = w_p[i];
-        f1[i] = u * u - v * v;
-        f2[i] = u * v;
-        f3[i] = u * w;
-        f4[i] = v * w;
-        f5[i] = w * w - v * v;
-        mx = std::max(mx, std::abs(u) / dx + std::abs(v) / dy_min +
-                              std::abs(w) / dz);
-      }
-      maxes[static_cast<std::size_t>(tid)] = mx;
-    });
-    cfl_local = 0.0;
-    for (double m : maxes) cfl_local = std::max(cfl_local, m * cfg.dt);
-    advance_t.stop();
-  }
-
-  /// Assemble the KMM nonlinear right-hand sides h_v and h_g at the
-  /// collocation points from the transformed products (into q-buffer
-  /// space: q1 <- h_v, q2 <- h_g; mean forcing into hU/hW histories' slot
-  /// arguments).
-  void assemble_nonlinear(aligned_buffer<cplx>& hv, aligned_buffer<cplx>& hg,
-                          std::vector<double>& hU, std::vector<double>& hW) {
-    advance_t.start();
-    adv_pool.run(nmodes, [&](std::size_t mb, std::size_t me) {
-      std::vector<cplx> c1(n), c2(n), c3(n), c4(n), c5(n);
-      std::vector<cplx> d1(n), d2a(n), d3(n), d4a(n), d5(n), d2b(n), d4b(n);
-      for (std::size_t m = mb; m < me; ++m) {
-        cplx* hvm = line(hv, m);
-        cplx* hgm = line(hg, m);
-        if (skip[m]) {
-          std::fill_n(hvm, n, cplx{0, 0});
-          std::fill_n(hgm, n, cplx{0, 0});
-          if (has_mean && m == mean_idx) {
-            // <H1> = -d<uv>/dy, <H3> = -d<vw>/dy (real parts of mode 0).
-            std::copy_n(line(q2, m), n, c2.data());
-            std::copy_n(line(q4, m), n, c4.data());
-            ops.to_coefficients(c2.data());
-            ops.to_coefficients(c4.data());
-            ops.deriv1_points(c2.data(), d2a.data());
-            ops.deriv1_points(c4.data(), d4a.data());
-            for (std::size_t i = 0; i < n; ++i) {
-              hU[i] = -d2a[i].real();
-              hW[i] = -d4a[i].real();
-            }
-          }
-          continue;
-        }
-        const double kxm = kx[m], kzm = kz[m];
-        const double k2 = kxm * kxm + kzm * kzm;
-        std::copy_n(line(q1, m), n, c1.data());
-        std::copy_n(line(q2, m), n, c2.data());
-        std::copy_n(line(q3, m), n, c3.data());
-        std::copy_n(line(q4, m), n, c4.data());
-        std::copy_n(line(q5, m), n, c5.data());
-        ops.to_coefficients(c1.data());
-        ops.to_coefficients(c2.data());
-        ops.to_coefficients(c3.data());
-        ops.to_coefficients(c4.data());
-        ops.to_coefficients(c5.data());
-        ops.deriv1_points(c1.data(), d1.data());
-        ops.deriv1_points(c2.data(), d2a.data());
-        ops.deriv1_points(c3.data(), d3.data());
-        ops.deriv1_points(c4.data(), d4a.data());
-        ops.deriv1_points(c5.data(), d5.data());
-        ops.deriv2_points(c2.data(), d2b.data());
-        ops.deriv2_points(c4.data(), d4b.data());
-        const cplx i_unit{0.0, 1.0};
-        const cplx* p1 = line(q1, m);
-        const cplx* p2 = line(q2, m);
-        const cplx* p3 = line(q3, m);
-        const cplx* p4 = line(q4, m);
-        const cplx* p5 = line(q5, m);
-        for (std::size_t i = 0; i < n; ++i) {
-          // h_g = kx kz (f1 - f5) + (kz^2 - kx^2) f3
-          //       - i kz d(f2)/dy + i kx d(f4)/dy
-          hgm[i] = kxm * kzm * (p1[i] - p5[i]) +
-                   (kzm * kzm - kxm * kxm) * p3[i] -
-                   i_unit * kzm * d2a[i] + i_unit * kxm * d4a[i];
-          // h_v = i k2 (kx f2 + kz f4) - d/dy [ kx^2 f1 + 2 kx kz f3
-          //       + kz^2 f5 - i kx d(f2)/dy - i kz d(f4)/dy ]
-          hvm[i] = i_unit * k2 * (kxm * p2[i] + kzm * p4[i]) -
-                   (kxm * kxm * d1[i] + 2.0 * kxm * kzm * d3[i] +
-                    kzm * kzm * d5[i] - i_unit * kxm * d2b[i] -
-                    i_unit * kzm * d4b[i]);
-        }
-      }
-    });
-    advance_t.stop();
-  }
-
-  /// All three velocity components spectral -> physical through ONE
-  /// batched transform (one aggregated exchange per transpose stage
-  /// instead of three).
-  void velocities_to_physical() {
-    const cplx* specs[3] = {u_s.data(), v_s.data(), w_s.data()};
-    double* phys[3] = {u_p.data(), v_p.data(), w_p.data()};
-    pf.to_physical_batch(specs, phys, 3);
-  }
-
-  /// One RK3 substep: nonlinear terms from the current state, then the
-  /// implicit solves per wavenumber (paper steps (a)-(j)).
-  void substep(int i) {
-    compute_velocities();
-    velocities_to_physical();
-    compute_products();
-    const double* prods[5] = {f1.data(), f2.data(), f3.data(), f4.data(),
-                              f5.data()};
-    cplx* specs[5] = {q1.data(), q2.data(), q3.data(), q4.data(), q5.data()};
-    pf.to_spectral_batch(prods, specs, 5);
-
-    // Assemble h_v/h_g into the velocity work buffers (free at this point).
-    std::vector<double> hU(n, 0.0), hW(n, 0.0);
-    assemble_nonlinear(u_s, v_s, hU, hW);
-    aligned_buffer<cplx>& hv = u_s;
-    aligned_buffer<cplx>& hg = v_s;
-
-    advance_t.start();
-    const double nu = 1.0 / cfg.re_tau;
-    const double ca = kAlpha[i] * cfg.dt * nu;
-    const double cb = kBeta[i] * cfg.dt * nu;
-    const double g = kGamma[i] * cfg.dt;
-    const double z = kZeta[i] * cfg.dt;
-
-    // (Re)build the substep's solver arena if dt changed or it was never
-    // built; assembly and factorization are parallel on the advance pool.
-    if (cfg.cache_solvers && (!arena[i].built() || arena[i].coeff() != cb))
-      arena[i].build(ops, cb, k2s, adv_pool);
-
-    std::atomic<int> tid_counter{0};
-    adv_pool.run(nmodes, [&](std::size_t mb, std::size_t me) {
-      // Per-thread scratch: 2n-entry RHS panel (omega then phi) plus n for
-      // the RHS-operator apply — no allocation inside the substep loop.
-      const auto tid =
-          static_cast<std::size_t>(tid_counter.fetch_add(1));
-      cplx* panel = adv_scratch[tid].data();
-      cplx* tmp = panel + 2 * n;
-      static thread_local std::unique_ptr<mode_solver> uncached;
-      for (std::size_t m = mb; m < me; ++m) {
-        if (skip[m]) {
-          if (!(has_mean && m == mean_idx)) {
-            // Spanwise Nyquist modes are held at zero.
-            std::fill_n(line(c_v, m), n, cplx{0, 0});
-            std::fill_n(line(c_om, m), n, cplx{0, 0});
-            std::fill_n(line(c_phi, m), n, cplx{0, 0});
-          }
-          continue;
-        }
-        const double k2 = k2s[m];
-        // Assemble both right-hand sides of the fused solve: omega in
-        // panel rows [0, n), phi in rows [n, 2n).
-        ops.apply_rhs_operator(ca, k2, line(c_om, m), panel, tmp);
-        const cplx* hgm = line(hg, m);
-        cplx* hgp = line(hg_prev, m);
-        for (std::size_t j = 0; j < n; ++j)
-          panel[j] += g * hgm[j] + z * hgp[j];
-        ops.apply_rhs_operator(ca, k2, line(c_phi, m), panel + n, tmp);
-        const cplx* hvm = line(hv, m);
-        cplx* hvp = line(hv_prev, m);
-        for (std::size_t j = 0; j < n; ++j)
-          panel[n + j] += g * hvm[j] + z * hvp[j];
-        // One blocked 2-RHS Helmholtz solve covers omega and phi, then the
-        // Poisson recovery of v with the influence correction.
-        if (cfg.cache_solvers) {
-          arena[i].solve_block(static_cast<int>(m), panel, line(c_om, m),
-                               line(c_phi, m), line(c_v, m));
-        } else {
-          uncached = std::make_unique<mode_solver>(ops, cb, k2);
-          uncached->solve_block(panel, line(c_om, m), line(c_phi, m),
-                                line(c_v, m));
-        }
-        // Save nonlinear history for the next substep.
-        std::copy_n(hgm, n, hgp);
-        std::copy_n(hvm, n, hvp);
-      }
-    });
-
-    // Mean flow: [A0 - cb nu' A2] c = [A0 + ca nu' A2] c + dt (g (h + F)
-    // + z (h_prev + F)); the constant pressure-gradient forcing F rides
-    // with the nonlinear weights since gamma_i + zeta_i sums to 1 over a
-    // step.
-    if (has_mean) {
-      // Factored mean-flow operator is cached per substep index (it only
-      // depends on cb); invalidate_solvers() drops it alongside the arena.
-      const banded::compact_banded* mean_op = nullptr;
-      std::optional<banded::compact_banded> mean_scratch;
-      if (cfg.cache_solvers) {
-        if (!mean_helm[i] || mean_helm_c[i] != cb) {
-          mean_helm[i].emplace(ops.helmholtz(cb, 0.0));
-          mean_helm[i]->factorize();
-          mean_helm_c[i] = cb;
-        }
-        mean_op = &*mean_helm[i];
-      } else {
-        mean_scratch.emplace(ops.helmholtz(cb, 0.0));
-        mean_scratch->factorize();
-        mean_op = &*mean_scratch;
-      }
-      auto advance_mean = [&](std::vector<double>& c, std::vector<double>& h,
-                              std::vector<double>& h_prev, double force) {
-        std::vector<double> rhs(n), t(n);
-        ops.A0().apply(c.data(), rhs.data());
-        ops.A2().apply(c.data(), t.data());
-        for (std::size_t j = 0; j < n; ++j)
-          rhs[j] += ca * t[j] + g * (h[j] + force) + z * (h_prev[j] + force);
-        rhs[0] = 0.0;
-        rhs[n - 1] = 0.0;
-        mean_op->solve(rhs.data());
-        std::copy_n(rhs.data(), n, c.data());
-        h_prev = h;
-      };
-      advance_mean(c_U, hU, hU_prev, cfg.forcing);
-      advance_mean(c_W, hW, hW_prev, 0.0);
-    }
-    advance_t.stop();
-  }
-
-  void step() {
-    total_t.start();
-    for (int i = 0; i < 3; ++i) substep(i);
-    world.allreduce_max(&cfl_local, &cfl_global, 1);
-    time += cfg.dt;
-    ++steps;
-    if (cfl_target > 0.0 && cfl_global > 0.0) {
-      // Proportional controller with damping: scale dt toward the target
-      // CFL; identical on every rank since cfl_global is reduced.
-      const double want = cfg.dt * cfl_target / cfl_global;
-      double next = cfg.dt + 0.5 * (want - cfg.dt);
-      next = std::clamp(next, dt_min, dt_max);
-      if (next != cfg.dt) {
-        cfg.dt = next;
-        invalidate_solvers();
-      }
-    }
-    total_t.stop();
-  }
-};
 
 channel_dns::channel_dns(const channel_config& cfg, vmpi::communicator& world)
     : impl_(new impl(cfg, world)) {}
@@ -498,17 +25,18 @@ const pencil::decomp& channel_dns::dec() const { return impl_->d; }
 
 void channel_dns::initialize(double perturbation, std::uint64_t seed) {
   auto& s = *impl_;
-  s.zero_state();
-  const std::size_t n = s.n;
+  const auto& mt = s.modes;
+  s.state.zero();
+  const std::size_t n = mt.n;
   const auto& pts = s.ops.points();
 
-  if (s.has_mean) {
+  if (mt.has_mean) {
     if (perturbation <= 0.0) {
       // Laminar Poiseuille: U = Re_tau (1 - y^2) / 2 for unit pressure
       // gradient (scaled by the configured forcing) — the exact steady
       // state of the unperturbed discrete system.
       for (std::size_t i = 0; i < n; ++i)
-        s.c_U[i] =
+        s.state.c_U[i] =
             s.cfg.forcing * s.cfg.re_tau * 0.5 * (1.0 - pts[i] * pts[i]);
     } else {
       // Perturbed start: a turbulent mean estimate (Reichardt's profile in
@@ -518,13 +46,13 @@ void channel_dns::initialize(double perturbation, std::uint64_t seed) {
       const double kappa = 0.41;
       for (std::size_t i = 0; i < n; ++i) {
         const double yp = (1.0 - std::abs(pts[i])) * s.cfg.re_tau;
-        s.c_U[i] = s.cfg.forcing *
-                   (std::log(1.0 + kappa * yp) / kappa +
-                    7.8 * (1.0 - std::exp(-yp / 11.0) -
-                           (yp / 11.0) * std::exp(-yp / 3.0)));
+        s.state.c_U[i] = s.cfg.forcing *
+                         (std::log(1.0 + kappa * yp) / kappa +
+                          7.8 * (1.0 - std::exp(-yp / 11.0) -
+                                 (yp / 11.0) * std::exp(-yp / 3.0)));
       }
     }
-    s.ops.to_coefficients(s.c_U.data());
+    s.ops.to_coefficients(s.state.c_U.data());
   }
 
   if (perturbation > 0.0) {
@@ -552,9 +80,13 @@ void channel_dns::initialize(double perturbation, std::uint64_t seed) {
       }
       return std::pair<cplx, cplx>{a, b};
     };
-    std::vector<cplx> vpts(n), ompts(n), phipts(n);
-    for (std::size_t m = 0; m < s.nmodes; ++m) {
-      if (s.skip[m]) continue;
+    workspace_lane::scope scratch(s.ws.shared());
+    cplx* vpts = s.ws.shared().alloc<cplx>(n);
+    cplx* ompts = s.ws.shared().alloc<cplx>(n);
+    cplx* phipts = s.ws.shared().alloc<cplx>(n);
+    cplx* v0 = s.ws.shared().alloc<cplx>(n);
+    for (std::size_t m = 0; m < mt.nmodes; ++m) {
+      if (mt.skip[m]) continue;
       const std::size_t jx = s.d.xs.offset + m / s.d.zs.count;
       const std::size_t jz = s.d.zs.offset + m % s.d.zs.count;
       const long mz = jz < s.cfg.nz / 2
@@ -562,7 +94,7 @@ void channel_dns::initialize(double perturbation, std::uint64_t seed) {
                           : static_cast<long>(jz) - static_cast<long>(s.cfg.nz);
       if (jx > 2 || std::abs(mz) > 2) continue;
       auto [a, b] = coeffs(jx, jz);
-      const double k2 = s.kx[m] * s.kx[m] + s.kz[m] * s.kz[m];
+      const double k2 = mt.kx[m] * mt.kx[m] + mt.kz[m] * mt.kz[m];
       for (std::size_t i = 0; i < n; ++i) {
         const double y = pts[i];
         const double sv = (1.0 - y * y) * (1.0 - y * y);
@@ -570,19 +102,18 @@ void channel_dns::initialize(double perturbation, std::uint64_t seed) {
         vpts[i] = amp * a * sv;
         ompts[i] = amp * b * so;
       }
-      cplx* cv = s.line(s.c_v, m);
-      cplx* co = s.line(s.c_om, m);
-      cplx* cp = s.line(s.c_phi, m);
-      std::copy_n(vpts.data(), n, cv);
-      std::copy_n(ompts.data(), n, co);
+      cplx* cv = s.line(s.state.c_v, m);
+      cplx* co = s.line(s.state.c_om, m);
+      cplx* cp = s.line(s.state.c_phi, m);
+      std::copy_n(vpts, n, cv);
+      std::copy_n(ompts, n, co);
       s.ops.to_coefficients(cv);
       s.ops.to_coefficients(co);
       // phi = (D^2 - k^2) v at the points, then back to coefficients.
-      s.ops.deriv2_points(cv, phipts.data());
-      std::vector<cplx> v0(n);
-      s.ops.to_points(cv, v0.data());
+      s.ops.deriv2_points(cv, phipts);
+      s.ops.to_points(cv, v0);
       for (std::size_t i = 0; i < n; ++i) phipts[i] -= k2 * v0[i];
-      std::copy_n(phipts.data(), n, cp);
+      std::copy_n(phipts, n, cp);
       s.ops.to_coefficients(cp);
     }
   }
@@ -602,740 +133,19 @@ void channel_dns::set_cfl_target(double target, double dt_min,
                                  double dt_max) {
   PCF_REQUIRE(target <= 0.0 || (dt_min > 0.0 && dt_max >= dt_min),
               "need 0 < dt_min <= dt_max for an active CFL target");
-  impl_->cfl_target = target;
-  impl_->dt_min = dt_min;
-  impl_->dt_max = dt_max;
+  impl_->diagnostics.set_cfl_target(target, dt_min, dt_max);
 }
 
 double channel_dns::time() const { return impl_->time; }
 long channel_dns::step_count() const { return impl_->steps; }
 double channel_dns::dt() const { return impl_->cfg.dt; }
-double channel_dns::cfl() const { return impl_->cfl_global; }
+double channel_dns::cfl() const { return impl_->state.cfl_global; }
 
-double channel_dns::bulk_velocity() {
-  auto& s = *impl_;
-  double local = 0.0;
-  if (s.has_mean) local = s.ops.b().integrate(s.c_U.data()) / 2.0;
-  double global = 0.0;
-  s.world.allreduce_sum(&local, &global, 1);
-  return global;
-}
-
-double channel_dns::wall_shear_stress() {
-  auto& s = *impl_;
-  double local = 0.0;
-  if (s.has_mean)
-    local = s.ops.dspline_lower(s.c_U.data()) / s.cfg.re_tau;
-  double global = 0.0;
-  s.world.allreduce_sum(&local, &global, 1);
-  return global;
-}
-
-double channel_dns::kinetic_energy() {
-  auto& s = *impl_;
-  s.compute_velocities();
-  s.velocities_to_physical();
-  // Trapezoid weights in y over the Greville points, uniform in x and z.
-  const auto& pts = s.ops.points();
-  std::vector<double> wy(s.n, 0.0);
-  for (std::size_t i = 0; i + 1 < s.n; ++i) {
-    const double h = pts[i + 1] - pts[i];
-    wy[i] += 0.5 * h;
-    wy[i + 1] += 0.5 * h;
-  }
-  double local = 0.0;
-  for (std::size_t z = 0; z < s.d.zp.count; ++z)
-    for (std::size_t y = 0; y < s.d.yb.count; ++y) {
-      const std::size_t base = (z * s.d.yb.count + y) * s.d.nxf;
-      double acc = 0.0;
-      for (std::size_t x = 0; x < s.d.nxf; ++x) {
-        const double u = s.u_p[base + x], v = s.v_p[base + x],
-                     w = s.w_p[base + x];
-        acc += u * u + v * v + w * w;
-      }
-      local += acc * wy[s.d.yb.offset + y];
-    }
-  double global = 0.0;
-  s.world.allreduce_sum(&local, &global, 1);
-  const double npts = static_cast<double>(s.d.nxf) *
-                      static_cast<double>(s.d.nzf);
-  return 0.5 * global / npts / 2.0;  // volume average (y measure = 2)
-}
-
-double channel_dns::dissipation() {
-  auto& s = *impl_;
-  s.compute_velocities();
-  // Trapezoid quadrature weights over the Greville points.
-  const auto& pts = s.ops.points();
-  std::vector<double> wy(s.n, 0.0);
-  for (std::size_t i = 0; i + 1 < s.n; ++i) {
-    const double h = pts[i + 1] - pts[i];
-    wy[i] += 0.5 * h;
-    wy[i + 1] += 0.5 * h;
-  }
-  double local = 0.0;
-  std::vector<cplx> cu(s.n), cw(s.n), du(s.n), dv(s.n), dw(s.n);
-  for (std::size_t m = 0; m < s.nmodes; ++m) {
-    const bool is_mean = s.has_mean && m == s.mean_idx;
-    if (s.skip[m] && !is_mean) continue;
-    // y-derivatives at the points: u and w need an interpolation solve,
-    // v's spline coefficients are state.
-    std::copy_n(s.line(s.u_s, m), s.n, cu.data());
-    std::copy_n(s.line(s.w_s, m), s.n, cw.data());
-    s.ops.to_coefficients(cu.data());
-    s.ops.to_coefficients(cw.data());
-    s.ops.deriv1_points(cu.data(), du.data());
-    s.ops.deriv1_points(cw.data(), dw.data());
-    if (is_mean) {
-      std::fill(dv.begin(), dv.end(), cplx{0, 0});
-    } else {
-      s.ops.deriv1_points(s.line(s.c_v, m), dv.data());
-    }
-    const double k2 = s.kx[m] * s.kx[m] + s.kz[m] * s.kz[m];
-    const double weight = (s.d.xs.offset + m / s.d.zs.count) == 0 ? 1.0 : 2.0;
-    const cplx* us = s.line(s.u_s, m);
-    const cplx* vs = s.line(s.v_s, m);
-    const cplx* ws = s.line(s.w_s, m);
-    double acc = 0.0;
-    for (std::size_t i = 0; i < s.n; ++i) {
-      const double grad2 =
-          k2 * (std::norm(us[i]) + std::norm(vs[i]) + std::norm(ws[i])) +
-          std::norm(du[i]) + std::norm(dv[i]) + std::norm(dw[i]);
-      acc += wy[i] * grad2;
-    }
-    local += weight * acc;
-  }
-  double global = 0.0;
-  s.world.allreduce_sum(&local, &global, 1);
-  return global / s.cfg.re_tau / 2.0;  // nu * integral / (y measure 2)
-}
-
-double channel_dns::max_divergence() {
-  auto& s = *impl_;
-  double local = 0.0;
-  std::vector<cplx> dv(s.n), om(s.n);
-  for (std::size_t m = 0; m < s.nmodes; ++m) {
-    if (s.skip[m]) continue;
-    const double k2 = s.kx[m] * s.kx[m] + s.kz[m] * s.kz[m];
-    s.ops.deriv1_points(s.line(s.c_v, m), dv.data());
-    s.ops.to_points(s.line(s.c_om, m), om.data());
-    const cplx ikx{0.0, s.kx[m]};
-    const cplx ikz{0.0, s.kz[m]};
-    for (std::size_t i = 0; i < s.n; ++i) {
-      const cplx us = (cplx{0.0, s.kx[m] / k2} * dv[i] -
-                       cplx{0.0, s.kz[m] / k2} * om[i]);
-      const cplx ws = (cplx{0.0, s.kz[m] / k2} * dv[i] +
-                       cplx{0.0, s.kx[m] / k2} * om[i]);
-      const cplx dval = ikx * us + dv[i] + ikz * ws;
-      local = std::max(local, std::abs(dval));
-    }
-  }
-  double global = 0.0;
-  s.world.allreduce_max(&local, &global, 1);
-  return global;
-}
-
-void channel_dns::accumulate_stats() {
-  auto& s = *impl_;
-  s.compute_velocities();
-  s.velocities_to_physical();
-  s.stats_acc.add_sample(s.u_p.data(), s.v_p.data(), s.w_p.data(),
-                         s.d.zp.count, s.d.yb.count, s.d.nxf);
-}
-
-profile_data channel_dns::stats() {
-  auto& s = *impl_;
-  return s.stats_acc.finalize(s.world, s.ops.points(),
-                              s.d.nxf * s.d.nzf);
-}
-
-void channel_dns::reset_stats() { impl_->stats_acc.reset(); }
-
-void channel_dns::physical_velocity(std::vector<double>& u,
-                                    std::vector<double>& v,
-                                    std::vector<double>& w) {
-  auto& s = *impl_;
-  s.compute_velocities();
-  s.velocities_to_physical();
-  u.assign(s.u_p.begin(), s.u_p.end());
-  v.assign(s.v_p.begin(), s.v_p.end());
-  w.assign(s.w_p.begin(), s.w_p.end());
-}
-
-std::vector<double> channel_dns::mean_profile() {
-  auto& s = *impl_;
-  std::vector<double> local(s.n, 0.0), global(s.n, 0.0);
-  if (s.has_mean) s.ops.to_points(s.c_U.data(), local.data());
-  s.world.allreduce_sum(local.data(), global.data(), s.n);
-  return global;
-}
-
-void channel_dns::set_mean_profile(const std::vector<double>& values) {
-  auto& s = *impl_;
-  PCF_REQUIRE(values.size() == s.n, "profile size mismatch");
-  if (!s.has_mean) return;
-  std::copy(values.begin(), values.end(), s.c_U.begin());
-  s.ops.to_coefficients(s.c_U.data());
-}
-
-std::vector<cplx> channel_dns::mode_v(std::size_t jx, std::size_t jz) {
-  auto& s = *impl_;
-  if (jx < s.d.xs.offset || jx >= s.d.xs.offset + s.d.xs.count ||
-      jz < s.d.zs.offset || jz >= s.d.zs.offset + s.d.zs.count)
-    return {};
-  const std::size_t m =
-      (jx - s.d.xs.offset) * s.d.zs.count + (jz - s.d.zs.offset);
-  return std::vector<cplx>(s.line(s.c_v, m), s.line(s.c_v, m) + s.n);
-}
-
-std::vector<cplx> channel_dns::mode_omega(std::size_t jx, std::size_t jz) {
-  auto& s = *impl_;
-  if (jx < s.d.xs.offset || jx >= s.d.xs.offset + s.d.xs.count ||
-      jz < s.d.zs.offset || jz >= s.d.zs.offset + s.d.zs.count)
-    return {};
-  const std::size_t m =
-      (jx - s.d.xs.offset) * s.d.zs.count + (jz - s.d.zs.offset);
-  return std::vector<cplx>(s.line(s.c_om, m), s.line(s.c_om, m) + s.n);
-}
-
-spectrum_data channel_dns::streamwise_spectra(int y_index) {
-  auto& s = *impl_;
-  PCF_REQUIRE(y_index >= 0 && y_index < static_cast<int>(s.n),
-              "y index out of range");
-  s.compute_velocities();
-  const std::size_t nbins = s.cfg.nx / 2;
-  std::vector<double> local(3 * nbins, 0.0), global(3 * nbins, 0.0);
-  for (std::size_t m = 0; m < s.nmodes; ++m) {
-    if (s.skip[m]) continue;
-    const std::size_t jx = s.d.xs.offset + m / s.d.zs.count;
-    const double w = jx == 0 ? 1.0 : 2.0;  // conjugate (negative-kx) half
-    const auto yi = static_cast<std::size_t>(y_index);
-    local[0 * nbins + jx] += w * std::norm(s.line(s.u_s, m)[yi]);
-    local[1 * nbins + jx] += w * std::norm(s.line(s.v_s, m)[yi]);
-    local[2 * nbins + jx] += w * std::norm(s.line(s.w_s, m)[yi]);
-  }
-  s.world.allreduce_sum(local.data(), global.data(), local.size());
-  spectrum_data out;
-  out.euu.assign(global.begin(), global.begin() + nbins);
-  out.evv.assign(global.begin() + nbins, global.begin() + 2 * nbins);
-  out.eww.assign(global.begin() + 2 * nbins, global.end());
-  return out;
-}
-
-spectrum_data channel_dns::spanwise_spectra(int y_index) {
-  auto& s = *impl_;
-  PCF_REQUIRE(y_index >= 0 && y_index < static_cast<int>(s.n),
-              "y index out of range");
-  s.compute_velocities();
-  const std::size_t nbins = s.cfg.nz / 2 + 1;
-  std::vector<double> local(3 * nbins, 0.0), global(3 * nbins, 0.0);
-  for (std::size_t m = 0; m < s.nmodes; ++m) {
-    if (s.skip[m]) continue;
-    const std::size_t jx = s.d.xs.offset + m / s.d.zs.count;
-    const std::size_t jz = s.d.zs.offset + m % s.d.zs.count;
-    const std::size_t mz = jz < s.cfg.nz / 2 ? jz : s.cfg.nz - jz;
-    const double w = jx == 0 ? 1.0 : 2.0;
-    const auto yi = static_cast<std::size_t>(y_index);
-    local[0 * nbins + mz] += w * std::norm(s.line(s.u_s, m)[yi]);
-    local[1 * nbins + mz] += w * std::norm(s.line(s.v_s, m)[yi]);
-    local[2 * nbins + mz] += w * std::norm(s.line(s.w_s, m)[yi]);
-  }
-  s.world.allreduce_sum(local.data(), global.data(), local.size());
-  spectrum_data out;
-  out.euu.assign(global.begin(), global.begin() + nbins);
-  out.evv.assign(global.begin() + nbins, global.begin() + 2 * nbins);
-  out.eww.assign(global.begin() + 2 * nbins, global.end());
-  return out;
-}
-
-void channel_dns::physical_vorticity_z(std::vector<double>& wz) {
-  auto& s = *impl_;
-  s.compute_velocities();
-  // omega_z hat = i kx v hat - d(u hat)/dy at the collocation points; u at
-  // points must be interpolated to spline coefficients first.
-  std::vector<cplx> cu(s.n), du(s.n);
-  for (std::size_t m = 0; m < s.nmodes; ++m) {
-    cplx* out = s.line(s.q1, m);
-    std::copy_n(s.line(s.u_s, m), s.n, cu.data());
-    s.ops.to_coefficients(cu.data());
-    s.ops.deriv1_points(cu.data(), du.data());
-    const cplx ikx{0.0, s.kx[m]};
-    const cplx* vs = s.line(s.v_s, m);
-    for (std::size_t i = 0; i < s.n; ++i) out[i] = ikx * vs[i] - du[i];
-  }
-  s.pf.to_physical(s.q1.data(), s.f1.data());
-  wz.assign(s.f1.begin(), s.f1.end());
-}
-
-namespace {
-
-// Checkpoint format magics. v1 ("PCFDNS01") wrote raw arrays with no
-// integrity metadata; it is still accepted on load. v2 ("PCFDNS02") writes
-// through the atomic temp+rename writer and wraps every array in a named
-// section with a CRC-32, so corruption is detected per array with a
-// precise error instead of silently seeding a bogus restart. The +1/+2
-// offsets distinguish the global and parallel single-file layouts, as in
-// v1.
-constexpr std::uint64_t kCheckpointMagicV1 = 0x50434644'4e533031ull;
-constexpr std::uint64_t kCheckpointMagic = 0x50434644'4e533032ull;
-
-struct section_header {
-  char name[8];           // zero-padded section name
-  std::uint64_t bytes;    // payload size
-  std::uint32_t crc;      // CRC-32 of the payload
-  std::uint32_t reserved; // zero
-};
-static_assert(sizeof(section_header) == 24, "section header must be packed");
-
-section_header make_section_header(const char* name, std::uint64_t bytes,
-                                   std::uint32_t crc) {
-  section_header h{};
-  std::snprintf(h.name, sizeof(h.name), "%s", name);
-  h.bytes = bytes;
-  h.crc = crc;
-  return h;
-}
-
-std::string section_name(const section_header& h) {
-  return std::string(h.name, strnlen(h.name, sizeof(h.name)));
-}
-
-void write_section(io::atomic_file_writer& os, const char* name,
-                   const void* data, std::size_t bytes) {
-  const section_header h =
-      make_section_header(name, bytes, crc32(data, bytes));
-  os.write(&h, sizeof(h));
-  os.write(data, bytes);
-}
-
-/// Read and verify one v2 section into `data`; every failure mode names
-/// the section so a restart script can tell *which* array is damaged.
-void read_section(std::istream& is, const char* name, void* data,
-                  std::size_t bytes) {
-  section_header h{};
-  is.read(reinterpret_cast<char*>(&h), sizeof(h));
-  PCF_REQUIRE(!is.fail() && is.gcount() == sizeof(h),
-              std::string("checkpoint section '") + name +
-                  "' header truncated");
-  PCF_REQUIRE(section_name(h) == name,
-              "checkpoint section '" + section_name(h) +
-                  "' unexpected (expected '" + name + "')");
-  PCF_REQUIRE(h.bytes == bytes, std::string("checkpoint section '") + name +
-                                    "' has wrong size");
-  is.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
-  PCF_REQUIRE(!is.fail() &&
-                  is.gcount() == static_cast<std::streamsize>(bytes),
-              std::string("checkpoint section '") + name + "' truncated");
-  PCF_REQUIRE(crc32(data, bytes) == h.crc,
-              std::string("checkpoint section '") + name + "' CRC mismatch");
-}
-
-/// A well-formed checkpoint ends exactly at its last section: trailing
-/// bytes mean a concatenated/overlong file and are rejected.
-void require_eof(std::istream& is) {
-  PCF_REQUIRE(is.peek() == std::char_traits<char>::eof(),
-              "trailing garbage after checkpoint payload");
-}
-
-}  // namespace
-
-void channel_dns::save_checkpoint(const std::string& path) const {
-  auto& s = *impl_;
-  io::atomic_file_writer os(path);
-  os.write(&kCheckpointMagic, sizeof(kCheckpointMagic));
-  const std::uint64_t dims[5] = {s.cfg.nx, static_cast<std::uint64_t>(s.cfg.ny),
-                                 s.cfg.nz, static_cast<std::uint64_t>(s.d.pa),
-                                 static_cast<std::uint64_t>(s.d.pb)};
-  os.write(dims, sizeof(dims));
-  os.write(&s.time, sizeof(s.time));
-  os.write(&s.steps, sizeof(s.steps));
-  const std::uint32_t meta[2] = {5, 0};  // section count, reserved
-  os.write(meta, sizeof(meta));
-  write_section(os, "c_v", s.c_v.data(), s.c_v.size() * sizeof(cplx));
-  write_section(os, "c_om", s.c_om.data(), s.c_om.size() * sizeof(cplx));
-  write_section(os, "c_phi", s.c_phi.data(), s.c_phi.size() * sizeof(cplx));
-  write_section(os, "c_U", s.c_U.data(), s.c_U.size() * sizeof(double));
-  write_section(os, "c_W", s.c_W.data(), s.c_W.size() * sizeof(double));
-  os.commit();
-}
-
-void channel_dns::load_checkpoint(const std::string& path) {
-  auto& s = *impl_;
-  std::ifstream is(path, std::ios::binary);
-  PCF_REQUIRE(is.good(), "cannot open checkpoint file for reading: " + path);
-  auto get = [&](void* p, std::size_t bytes) {
-    is.read(static_cast<char*>(p), static_cast<std::streamsize>(bytes));
-  };
-  std::uint64_t magic = 0;
-  get(&magic, sizeof(magic));
-  PCF_REQUIRE(magic == kCheckpointMagic || magic == kCheckpointMagicV1,
-              "not a checkpoint file");
-  std::uint64_t dims[5];
-  get(dims, sizeof(dims));
-  PCF_REQUIRE(!is.fail(), "checkpoint header truncated");
-  PCF_REQUIRE(dims[0] == s.cfg.nx &&
-                  dims[1] == static_cast<std::uint64_t>(s.cfg.ny) &&
-                  dims[2] == s.cfg.nz &&
-                  dims[3] == static_cast<std::uint64_t>(s.d.pa) &&
-                  dims[4] == static_cast<std::uint64_t>(s.d.pb),
-              "checkpoint grid/decomposition mismatch");
-  get(&s.time, sizeof(s.time));
-  get(&s.steps, sizeof(s.steps));
-  if (magic == kCheckpointMagicV1) {
-    get(s.c_v.data(), s.c_v.size() * sizeof(cplx));
-    get(s.c_om.data(), s.c_om.size() * sizeof(cplx));
-    get(s.c_phi.data(), s.c_phi.size() * sizeof(cplx));
-    get(s.c_U.data(), s.c_U.size() * sizeof(double));
-    get(s.c_W.data(), s.c_W.size() * sizeof(double));
-    PCF_REQUIRE(is.good(), "checkpoint read failed");
-  } else {
-    std::uint32_t meta[2] = {0, 0};
-    get(meta, sizeof(meta));
-    PCF_REQUIRE(!is.fail() && meta[0] == 5, "checkpoint section count mismatch");
-    read_section(is, "c_v", s.c_v.data(), s.c_v.size() * sizeof(cplx));
-    read_section(is, "c_om", s.c_om.data(), s.c_om.size() * sizeof(cplx));
-    read_section(is, "c_phi", s.c_phi.data(),
-                 s.c_phi.size() * sizeof(cplx));
-    read_section(is, "c_U", s.c_U.data(), s.c_U.size() * sizeof(double));
-    read_section(is, "c_W", s.c_W.data(), s.c_W.size() * sizeof(double));
-  }
-  require_eof(is);
-  s.hv_prev.fill(cplx{0, 0});
-  s.hg_prev.fill(cplx{0, 0});
-  std::fill(s.hU_prev.begin(), s.hU_prev.end(), 0.0);
-  std::fill(s.hW_prev.begin(), s.hW_prev.end(), 0.0);
-}
-
-void channel_dns::save_checkpoint_global(const std::string& path) {
-  auto& s = *impl_;
-  const std::size_t modes_g = s.cfg.nx / 2 * s.cfg.nz;
-  const std::size_t per = modes_g * s.n;
-  std::vector<cplx> local(3 * per, cplx{0, 0}), global(3 * per);
-  for (std::size_t m = 0; m < s.nmodes; ++m) {
-    const std::size_t jx = s.d.xs.offset + m / s.d.zs.count;
-    const std::size_t jz = s.d.zs.offset + m % s.d.zs.count;
-    const std::size_t g = (jx * s.cfg.nz + jz) * s.n;
-    std::copy_n(s.line(s.c_v, m), s.n, local.data() + g);
-    std::copy_n(s.line(s.c_om, m), s.n, local.data() + per + g);
-    std::copy_n(s.line(s.c_phi, m), s.n, local.data() + 2 * per + g);
-  }
-  s.world.allreduce_sum(local.data(), global.data(), local.size());
-  std::vector<double> mean_l(2 * s.n, 0.0), mean_g(2 * s.n);
-  if (s.has_mean) {
-    std::copy(s.c_U.begin(), s.c_U.end(), mean_l.begin());
-    std::copy(s.c_W.begin(), s.c_W.end(),
-              mean_l.begin() + static_cast<std::ptrdiff_t>(s.n));
-  }
-  s.world.allreduce_sum(mean_l.data(), mean_g.data(), mean_l.size());
-  if (s.world.rank() == 0) {
-    io::atomic_file_writer os(path);
-    const std::uint64_t magic = kCheckpointMagic + 1;
-    const std::uint64_t dims[3] = {
-        s.cfg.nx, static_cast<std::uint64_t>(s.cfg.ny), s.cfg.nz};
-    os.write(&magic, sizeof(magic));
-    os.write(dims, sizeof(dims));
-    os.write(&s.time, sizeof(s.time));
-    os.write(&s.steps, sizeof(s.steps));
-    const std::uint32_t meta[2] = {4, 0};
-    os.write(meta, sizeof(meta));
-    write_section(os, "c_v", global.data(), per * sizeof(cplx));
-    write_section(os, "c_om", global.data() + per, per * sizeof(cplx));
-    write_section(os, "c_phi", global.data() + 2 * per, per * sizeof(cplx));
-    write_section(os, "mean", mean_g.data(), mean_g.size() * sizeof(double));
-    os.commit();
-  }
-  s.world.barrier();
-}
-
-void channel_dns::load_checkpoint_global(const std::string& path) {
-  auto& s = *impl_;
-  const std::size_t modes_g = s.cfg.nx / 2 * s.cfg.nz;
-  const std::size_t per = modes_g * s.n;
-  std::vector<cplx> global(3 * per);
-  std::vector<double> mean_g(2 * s.n);
-  // Rank 0 reads and verifies; success is agreed on *before* any payload
-  // broadcast so a corrupt file makes every rank throw instead of leaving
-  // ranks 1..P-1 blocked in a collective.
-  int ok = 1;
-  std::string err;
-  if (s.world.rank() == 0) {
-    try {
-      std::ifstream is(path, std::ios::binary);
-      PCF_REQUIRE(is.good(),
-                  "cannot open global checkpoint for reading: " + path);
-      std::uint64_t magic = 0, dims[3];
-      is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-      PCF_REQUIRE(magic == kCheckpointMagic + 1 ||
-                      magic == kCheckpointMagicV1 + 1,
-                  "not a global checkpoint");
-      is.read(reinterpret_cast<char*>(dims), sizeof(dims));
-      PCF_REQUIRE(!is.fail(), "global checkpoint header truncated");
-      PCF_REQUIRE(dims[0] == s.cfg.nx &&
-                      dims[1] == static_cast<std::uint64_t>(s.cfg.ny) &&
-                      dims[2] == s.cfg.nz,
-                  "global checkpoint grid mismatch");
-      is.read(reinterpret_cast<char*>(&s.time), sizeof(s.time));
-      is.read(reinterpret_cast<char*>(&s.steps), sizeof(s.steps));
-      if (magic == kCheckpointMagicV1 + 1) {
-        is.read(reinterpret_cast<char*>(global.data()),
-                static_cast<std::streamsize>(global.size() * sizeof(cplx)));
-        is.read(reinterpret_cast<char*>(mean_g.data()),
-                static_cast<std::streamsize>(mean_g.size() * sizeof(double)));
-        PCF_REQUIRE(is.good(), "global checkpoint read failed");
-      } else {
-        std::uint32_t meta[2] = {0, 0};
-        is.read(reinterpret_cast<char*>(meta), sizeof(meta));
-        PCF_REQUIRE(!is.fail() && meta[0] == 4,
-                    "global checkpoint section count mismatch");
-        read_section(is, "c_v", global.data(), per * sizeof(cplx));
-        read_section(is, "c_om", global.data() + per, per * sizeof(cplx));
-        read_section(is, "c_phi", global.data() + 2 * per,
-                     per * sizeof(cplx));
-        read_section(is, "mean", mean_g.data(),
-                     mean_g.size() * sizeof(double));
-      }
-      require_eof(is);
-    } catch (const std::exception& e) {
-      ok = 0;
-      err = e.what();
-    }
-  }
-  s.world.bcast(&ok, 1, 0);
-  if (!ok) {
-    std::uint64_t len = err.size();
-    s.world.bcast(&len, 1, 0);
-    err.resize(len);
-    if (len > 0) s.world.bcast(err.data(), len, 0);
-    throw precondition_error("global checkpoint load failed: " + err);
-  }
-  s.world.bcast(&s.time, 1, 0);
-  s.world.bcast(&s.steps, 1, 0);
-  s.world.bcast(global.data(), global.size(), 0);
-  s.world.bcast(mean_g.data(), mean_g.size(), 0);
-  for (std::size_t m = 0; m < s.nmodes; ++m) {
-    const std::size_t jx = s.d.xs.offset + m / s.d.zs.count;
-    const std::size_t jz = s.d.zs.offset + m % s.d.zs.count;
-    const std::size_t g = (jx * s.cfg.nz + jz) * s.n;
-    std::copy_n(global.data() + g, s.n, s.line(s.c_v, m));
-    std::copy_n(global.data() + per + g, s.n, s.line(s.c_om, m));
-    std::copy_n(global.data() + 2 * per + g, s.n, s.line(s.c_phi, m));
-  }
-  if (s.has_mean) {
-    std::copy_n(mean_g.data(), s.n, s.c_U.begin());
-    std::copy_n(mean_g.data() + s.n, s.n, s.c_W.begin());
-  }
-  s.hv_prev.fill(cplx{0, 0});
-  s.hg_prev.fill(cplx{0, 0});
-  std::fill(s.hU_prev.begin(), s.hU_prev.end(), 0.0);
-  std::fill(s.hW_prev.begin(), s.hW_prev.end(), 0.0);
-}
-
-namespace {
-
-// Parallel single-file v2 layout: fixed header, a 4-entry section table
-// (c_v, c_om, c_phi, mean), then the payloads at fixed offsets so every
-// rank can write its modes in place, MPI-IO style.
-constexpr std::size_t kParallelV1Header =
-    sizeof(std::uint64_t) * 4 + sizeof(double) + sizeof(long);
-constexpr std::size_t kParallelV2Header =
-    kParallelV1Header + 2 * sizeof(std::uint32_t);
-constexpr std::size_t kParallelV2Payload =
-    kParallelV2Header + 4 * sizeof(section_header);
-
-}  // namespace
-
-void channel_dns::save_checkpoint_parallel(const std::string& path) {
-  auto& s = *impl_;
-  const std::size_t modes_g = s.cfg.nx / 2 * s.cfg.nz;
-  const std::size_t per = modes_g * s.n;  // elements per field section
-  const std::size_t line_bytes = s.n * sizeof(cplx);
-  std::vector<double> mean_l(2 * s.n, 0.0), mean_g(2 * s.n);
-  if (s.has_mean) {
-    std::copy(s.c_U.begin(), s.c_U.end(), mean_l.begin());
-    std::copy(s.c_W.begin(), s.c_W.end(),
-              mean_l.begin() + static_cast<std::ptrdiff_t>(s.n));
-  }
-  s.world.allreduce_sum(mean_l.data(), mean_g.data(), mean_l.size());
-  // Section CRCs must come from the in-memory state (reading the file back
-  // would checksum whatever a fault left there). Each rank checksums its
-  // own mode lines; rank 0 stitches them together in global offset order
-  // with crc32_combine. The u32 values ride in doubles through the
-  // existing sum reduction — each line has exactly one owner.
-  const aligned_buffer<cplx>* fields[3] = {&s.c_v, &s.c_om, &s.c_phi};
-  std::vector<double> crc_l(3 * modes_g, 0.0), crc_g(3 * modes_g);
-  for (std::size_t m = 0; m < s.nmodes; ++m) {
-    const std::size_t jx = s.d.xs.offset + m / s.d.zs.count;
-    const std::size_t jz = s.d.zs.offset + m % s.d.zs.count;
-    const std::size_t line = jx * s.cfg.nz + jz;
-    for (int f = 0; f < 3; ++f)
-      crc_l[static_cast<std::size_t>(f) * modes_g + line] = static_cast<double>(
-          crc32(fields[f]->data() + m * s.n, line_bytes));
-  }
-  s.world.allreduce_sum(crc_l.data(), crc_g.data(), crc_l.size());
-
-  std::optional<io::atomic_file_writer> owner;
-  if (s.world.rank() == 0) {
-    owner.emplace(path);
-    const std::uint64_t magic = kCheckpointMagic + 2;
-    const std::uint64_t dims[3] = {
-        s.cfg.nx, static_cast<std::uint64_t>(s.cfg.ny), s.cfg.nz};
-    owner->write(&magic, sizeof(magic));
-    owner->write(dims, sizeof(dims));
-    owner->write(&s.time, sizeof(s.time));
-    owner->write(&s.steps, sizeof(s.steps));
-    const std::uint32_t meta[2] = {4, 0};
-    owner->write(meta, sizeof(meta));
-    const char* names[3] = {"c_v", "c_om", "c_phi"};
-    for (int f = 0; f < 3; ++f) {
-      std::uint32_t crc = 0;  // crc32 of the empty prefix
-      for (std::size_t line = 0; line < modes_g; ++line)
-        crc = crc32_combine(
-            crc,
-            static_cast<std::uint32_t>(
-                crc_g[static_cast<std::size_t>(f) * modes_g + line]),
-            line_bytes);
-      const section_header h =
-          make_section_header(names[f], per * sizeof(cplx), crc);
-      owner->write(&h, sizeof(h));
-    }
-    const section_header hm = make_section_header(
-        "mean", mean_g.size() * sizeof(double),
-        crc32(mean_g.data(), mean_g.size() * sizeof(double)));
-    owner->write(&hm, sizeof(hm));
-    // The means live at the tail; writing them first also sizes the file.
-    owner->write_at(kParallelV2Payload + 3 * per * sizeof(cplx),
-                    mean_g.data(), mean_g.size() * sizeof(double));
-    owner->flush();
-  }
-  s.world.barrier();
-  {
-    std::optional<io::atomic_file_writer> joiner;
-    io::atomic_file_writer& os =
-        s.world.rank() == 0 ? *owner
-                            : joiner.emplace(io::atomic_file_writer::join(path));
-    for (std::size_t m = 0; m < s.nmodes; ++m) {
-      const std::size_t jx = s.d.xs.offset + m / s.d.zs.count;
-      const std::size_t jz = s.d.zs.offset + m % s.d.zs.count;
-      const std::size_t g = (jx * s.cfg.nz + jz) * s.n;
-      for (int f = 0; f < 3; ++f)
-        os.write_at(kParallelV2Payload +
-                        (static_cast<std::size_t>(f) * per + g) * sizeof(cplx),
-                    fields[f]->data() + m * s.n, line_bytes);
-    }
-    if (joiner) joiner->close();
-  }
-  s.world.barrier();
-  if (owner) owner->commit();
-  s.world.barrier();
-}
-
-void channel_dns::load_checkpoint_parallel(const std::string& path) {
-  auto& s = *impl_;
-  const std::size_t modes_g = s.cfg.nx / 2 * s.cfg.nz;
-  const std::size_t per = modes_g * s.n;
-  std::ifstream is(path, std::ios::binary);
-  PCF_REQUIRE(is.good(),
-              "cannot open parallel checkpoint for reading: " + path);
-  std::uint64_t magic = 0, dims[3];
-  is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  PCF_REQUIRE(magic == kCheckpointMagic + 2 ||
-                  magic == kCheckpointMagicV1 + 2,
-              "not a parallel checkpoint");
-  is.read(reinterpret_cast<char*>(dims), sizeof(dims));
-  PCF_REQUIRE(!is.fail(), "parallel checkpoint header truncated");
-  PCF_REQUIRE(dims[0] == s.cfg.nx &&
-                  dims[1] == static_cast<std::uint64_t>(s.cfg.ny) &&
-                  dims[2] == s.cfg.nz,
-              "parallel checkpoint grid mismatch");
-  is.read(reinterpret_cast<char*>(&s.time), sizeof(s.time));
-  is.read(reinterpret_cast<char*>(&s.steps), sizeof(s.steps));
-  const bool v1 = magic == kCheckpointMagicV1 + 2;
-  const std::size_t payload = v1 ? kParallelV1Header : kParallelV2Payload;
-  const std::size_t mean_bytes = 2 * s.n * sizeof(double);
-  const auto expected_size = static_cast<std::streamoff>(
-      payload + 3 * per * sizeof(cplx) + mean_bytes);
-  // Every rank runs the identical verification on the shared file, so all
-  // ranks reach the same accept/reject decision without extra collectives.
-  is.seekg(0, std::ios::end);
-  PCF_REQUIRE(is.tellg() == expected_size,
-              is.tellg() < expected_size
-                  ? "parallel checkpoint truncated"
-                  : "trailing garbage after checkpoint payload");
-  section_header table[4];
-  if (!v1) {
-    std::uint32_t meta[2] = {0, 0};
-    is.seekg(static_cast<std::streamoff>(kParallelV1Header));
-    is.read(reinterpret_cast<char*>(meta), sizeof(meta));
-    PCF_REQUIRE(!is.fail() && meta[0] == 4,
-                "parallel checkpoint section count mismatch");
-    is.read(reinterpret_cast<char*>(table), sizeof(table));
-    PCF_REQUIRE(!is.fail(), "parallel checkpoint section table truncated");
-    const char* names[4] = {"c_v", "c_om", "c_phi", "mean"};
-    const std::size_t sizes[4] = {per * sizeof(cplx), per * sizeof(cplx),
-                                  per * sizeof(cplx), mean_bytes};
-    std::vector<char> buf(1 << 20);
-    for (int t = 0; t < 4; ++t) {
-      PCF_REQUIRE(section_name(table[t]) == names[t] &&
-                      table[t].bytes == sizes[t],
-                  "checkpoint section '" + section_name(table[t]) +
-                      "' unexpected (expected '" + names[t] + "')");
-      std::uint32_t crc = crc32_init();
-      std::size_t left = sizes[t];
-      while (left > 0) {
-        const std::size_t chunk = std::min(left, buf.size());
-        is.read(buf.data(), static_cast<std::streamsize>(chunk));
-        PCF_REQUIRE(!is.fail(), std::string("checkpoint section '") +
-                                    names[t] + "' truncated");
-        crc = crc32_update(crc, buf.data(), chunk);
-        left -= chunk;
-      }
-      PCF_REQUIRE(crc32_final(crc) == table[t].crc,
-                  std::string("checkpoint section '") + names[t] +
-                      "' CRC mismatch");
-    }
-  }
-  for (std::size_t m = 0; m < s.nmodes; ++m) {
-    const std::size_t jx = s.d.xs.offset + m / s.d.zs.count;
-    const std::size_t jz = s.d.zs.offset + m % s.d.zs.count;
-    const std::size_t g = (jx * s.cfg.nz + jz) * s.n;
-    aligned_buffer<cplx>* fields[3] = {&s.c_v, &s.c_om, &s.c_phi};
-    for (int f = 0; f < 3; ++f) {
-      is.seekg(static_cast<std::streamoff>(
-          payload + (static_cast<std::size_t>(f) * per + g) * sizeof(cplx)));
-      is.read(reinterpret_cast<char*>(fields[f]->data() + m * s.n),
-              static_cast<std::streamsize>(s.n * sizeof(cplx)));
-    }
-  }
-  std::vector<double> mean_g(2 * s.n);
-  is.seekg(static_cast<std::streamoff>(payload + 3 * per * sizeof(cplx)));
-  is.read(reinterpret_cast<char*>(mean_g.data()),
-          static_cast<std::streamsize>(mean_bytes));
-  PCF_REQUIRE(is.good(), "parallel checkpoint read failed");
-  if (s.has_mean) {
-    std::copy_n(mean_g.data(), s.n, s.c_U.begin());
-    std::copy_n(mean_g.data() + s.n, s.n, s.c_W.begin());
-  }
-  s.hv_prev.fill(cplx{0, 0});
-  s.hg_prev.fill(cplx{0, 0});
-  std::fill(s.hU_prev.begin(), s.hU_prev.end(), 0.0);
-  std::fill(s.hW_prev.begin(), s.hW_prev.end(), 0.0);
-  s.world.barrier();
-}
-
-step_timings channel_dns::timings() const {
-  auto& s = *impl_;
-  step_timings t;
-  t.transpose = s.pf.comm_seconds() + s.pf.reorder_seconds();
-  t.fft = s.pf.fft_seconds();
-  t.advance = s.advance_t.total();
-  t.total = s.total_t.total();
-  return t;
-}
+step_timings channel_dns::timings() const { return impl_->diagnostics.report(); }
 
 void channel_dns::reset_timings() {
   impl_->pf.reset_timers();
-  impl_->advance_t.reset();
-  impl_->total_t.reset();
+  impl_->timers.reset();
 }
 
 }  // namespace pcf::core

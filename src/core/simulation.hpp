@@ -14,8 +14,11 @@
 #pragma once
 
 #include <complex>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "core/operators.hpp"
 #include "core/statistics.hpp"
@@ -66,11 +69,28 @@ struct spectrum_data {
 };
 
 /// Section timings of one or more steps (the breakdown of Tables 9-10).
+///
+/// The flat fields are the legacy view; `phases` is the hierarchical
+/// per-stage breakdown from the staged pipeline (step > nonlinear >
+/// {velocities, to_physical, products, to_spectral, assemble}, implicit >
+/// build, mean_flow, reduce). Parent rows include their children. The
+/// flop/byte attribution is populated only on single-rank runs (counter
+/// buckets are process-global and vmpi ranks share the process).
 struct step_timings {
+  struct phase_report {
+    std::string name;
+    int depth = 0;  // nesting level for display indentation
+    double seconds = 0.0;
+    long calls = 0;
+    std::uint64_t flops = 0;
+    std::uint64_t bytes = 0;  // read + written
+  };
+
   double transpose = 0.0;  // communication + on-node reorder
   double fft = 0.0;
   double advance = 0.0;    // nonlinear assembly + implicit solves
   double total = 0.0;
+  std::vector<phase_report> phases;
 };
 
 class channel_dns {

@@ -1,0 +1,112 @@
+// Internal definition of channel_dns::impl, shared by the simulation's
+// translation units (simulation.cpp: lifecycle + stepping, observables.cpp:
+// diagnostics/statistics/spectra, checkpoint.cpp: the three checkpoint
+// formats). Not installed; include only from src/core.
+//
+// The impl is a thin composition root: it owns the communicator, the
+// decomposition, the workspace arena, the pencil kernel, the operators and
+// the field state, and wires them into the four pipeline stages through one
+// stage_context. Stepping is the stage sequence; everything else delegates.
+#pragma once
+
+#include <algorithm>
+#include <optional>
+
+#include "core/simulation.hpp"
+#include "core/stages/diagnostics_stage.hpp"
+#include "core/stages/implicit_stage.hpp"
+#include "core/stages/mean_flow_stage.hpp"
+#include "core/stages/nonlinear_stage.hpp"
+#include "core/stages/stage_context.hpp"
+#include "util/thread_pool.hpp"
+#include "util/workspace.hpp"
+
+namespace pcf::core {
+
+struct channel_dns::impl {
+  channel_config cfg;
+  vmpi::communicator world;
+  vmpi::cart2d cart;
+  pencil::decomp d;
+  // The workspace must be constructed before the pencil kernel (which
+  // permanently checks its transpose/FFT buffers out of the transform
+  // lane) and before the stages (permanent shared-/thread-lane checkouts).
+  field_workspace ws;
+  pencil::parallel_fft pf;
+  wall_normal_operators ops;
+  thread_pool adv_pool;
+  mode_tables modes;
+  field_state state;
+  profile_accumulator stats_acc;
+  // Per-stage phase tree. Op attribution only on single-rank runs: the
+  // counter buckets are process-global and vmpi ranks are threads of one
+  // process (see phase_timer's file comment).
+  phase_timer timers;
+  phase_timer::id ph_step;
+  stage_context ctx;
+  nonlinear_stage nonlinear;
+  implicit_stage implicit;
+  mean_flow_stage mean_flow;
+  diagnostics_stage diagnostics;
+
+  double time = 0.0;
+  long steps = 0;
+
+  impl(const channel_config& c, vmpi::communicator& w)
+      : cfg(c),
+        world(w),
+        cart(w, c.pa, c.pb),
+        d(pencil::grid{c.nx, static_cast<std::size_t>(c.ny), c.nz},
+          dns_kernel_config(c), cart.pa(), cart.pb(), cart.coord_a(),
+          cart.coord_b()),
+        ws(dns_workspace_sizes(c, d)),
+        pf(pencil::grid{c.nx, static_cast<std::size_t>(c.ny), c.nz}, cart,
+           dns_kernel_config(c), ws.transform()),
+        ops(c.ny, c.degree, c.stretch),
+        adv_pool(std::max(1, c.advance_threads)),
+        modes(make_mode_tables(c, d)),
+        state(modes, d.x_pencil_real_elems(), ws),
+        stats_acc(d.yb.count, d.yb.offset, modes.n),
+        timers(world.size() == 1),
+        ph_step(timers.add("step")),
+        ctx{cfg, d,     ops, pf, adv_pool, world,
+            modes, state, ws, timers},
+        nonlinear(ctx, ph_step),
+        implicit(ctx, ph_step),
+        mean_flow(ctx, ph_step),
+        diagnostics(ctx, ph_step) {}
+
+  void invalidate_solvers() {
+    implicit.invalidate();
+    mean_flow.invalidate();
+  }
+
+  /// One full RK3 time step: three substeps through the stage pipeline,
+  /// then the end-of-step diagnostics (CFL reduction + dt controller).
+  void step() {
+    phase_timer::section sec(timers, ph_step);
+    for (int i = 0; i < 3; ++i) {
+      nonlinear.run();
+      implicit.run(i);
+      mean_flow.run(i);
+    }
+    time += cfg.dt;
+    ++steps;
+    const double next = diagnostics.finish_step();
+    if (next > 0.0) {
+      cfg.dt = next;
+      invalidate_solvers();
+    }
+  }
+
+  // Convenience forwarders used across the TUs.
+  [[nodiscard]] cplx* line(aligned_buffer<cplx>& b, std::size_t m) {
+    return state.line(b, m);
+  }
+  [[nodiscard]] const cplx* line(const aligned_buffer<cplx>& b,
+                                 std::size_t m) const {
+    return state.line(b, m);
+  }
+};
+
+}  // namespace pcf::core

@@ -1,0 +1,58 @@
+#include "core/stages/diagnostics_stage.hpp"
+
+#include <algorithm>
+
+namespace pcf::core {
+
+diagnostics_stage::diagnostics_stage(stage_context& ctx,
+                                     phase_timer::id parent)
+    : ctx_(ctx), ph_reduce_(ctx.timers.add("reduce", parent)) {}
+
+void diagnostics_stage::set_cfl_target(double target, double dt_min,
+                                       double dt_max) {
+  cfl_target_ = target;
+  dt_min_ = dt_min;
+  dt_max_ = dt_max;
+}
+
+double diagnostics_stage::finish_step() {
+  phase_timer::section sec(ctx_.timers, ph_reduce_);
+  auto& st = ctx_.state;
+  ctx_.world.allreduce_max(&st.cfl_local, &st.cfl_global, 1);
+  if (cfl_target_ > 0.0 && st.cfl_global > 0.0) {
+    // Proportional controller with damping: scale dt toward the target
+    // CFL; identical on every rank since cfl_global is reduced.
+    const double want = ctx_.cfg.dt * cfl_target_ / st.cfl_global;
+    double next = ctx_.cfg.dt + 0.5 * (want - ctx_.cfg.dt);
+    next = std::clamp(next, dt_min_, dt_max_);
+    if (next != ctx_.cfg.dt) return next;
+  }
+  return 0.0;
+}
+
+step_timings diagnostics_stage::report() const {
+  step_timings t;
+  t.transpose = ctx_.pf.comm_seconds() + ctx_.pf.reorder_seconds();
+  t.fft = ctx_.pf.fft_seconds();
+  for (const auto& p : ctx_.timers.phases()) {
+    step_timings::phase_report r;
+    r.name = p.name;
+    r.depth = p.depth;
+    r.seconds = p.seconds;
+    r.calls = p.calls;
+    r.flops = p.ops.flops;
+    r.bytes = p.ops.bytes_read + p.ops.bytes_written;
+    t.phases.push_back(r);
+    if (p.name == "step") t.total = p.seconds;
+    // The compute phases; "implicit" includes its "build" child, and the
+    // batched transforms ("to_physical" / "to_spectral") are excluded,
+    // matching the original advance timer's coverage.
+    if (p.name == "velocities" || p.name == "products" ||
+        p.name == "assemble" || p.name == "implicit" ||
+        p.name == "mean_flow")
+      t.advance += p.seconds;
+  }
+  return t;
+}
+
+}  // namespace pcf::core

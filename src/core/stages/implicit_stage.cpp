@@ -1,0 +1,95 @@
+#include "core/stages/implicit_stage.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace pcf::core {
+
+implicit_stage::implicit_stage(stage_context& ctx, phase_timer::id parent)
+    : ctx_(ctx),
+      ph_run_(ctx.timers.add("implicit", parent)),
+      ph_build_(ctx.timers.add("build", ph_run_)) {
+  const std::size_t n = ctx.modes.n;
+  panels_.resize(ctx.ws.num_thread_lanes());
+  for (std::size_t t = 0; t < panels_.size(); ++t)
+    panels_[t] = ctx.ws.thread(t).alloc<cplx>(3 * n);
+}
+
+void implicit_stage::invalidate() {
+  for (auto& a : arena_) a.clear();
+}
+
+void implicit_stage::run(int i) {
+  phase_timer::section sec(ctx_.timers, ph_run_);
+  const auto& mt = ctx_.modes;
+  auto& st = ctx_.state;
+  const auto& ops = ctx_.ops;
+  const std::size_t n = mt.n;
+  aligned_buffer<cplx>& hv = st.u_s;
+  aligned_buffer<cplx>& hg = st.v_s;
+
+  const double nu = 1.0 / ctx_.cfg.re_tau;
+  const double ca = rk3::kAlpha[i] * ctx_.cfg.dt * nu;
+  const double cb = rk3::kBeta[i] * ctx_.cfg.dt * nu;
+  const double g = rk3::kGamma[i] * ctx_.cfg.dt;
+  const double z = rk3::kZeta[i] * ctx_.cfg.dt;
+
+  // (Re)build the substep's solver arena if dt changed or it was never
+  // built; assembly and factorization are parallel on the advance pool.
+  if (ctx_.cfg.cache_solvers &&
+      (!arena_[i].built() || arena_[i].coeff() != cb)) {
+    phase_timer::section build(ctx_.timers, ph_build_);
+    arena_[i].build(ops, cb, mt.k2s, ctx_.pool);
+  }
+
+  std::atomic<int> tid_counter{0};
+  ctx_.pool.run(mt.nmodes, [&](std::size_t mb, std::size_t me) {
+    // Per-thread scratch: 2n-entry RHS panel (omega then phi) plus n for
+    // the RHS-operator apply — no allocation inside the substep loop.
+    const auto tid = static_cast<std::size_t>(tid_counter.fetch_add(1));
+    cplx* panel = panels_[tid];
+    cplx* tmp = panel + 2 * n;
+    static thread_local std::unique_ptr<mode_solver> uncached;
+    for (std::size_t m = mb; m < me; ++m) {
+      if (mt.skip[m]) {
+        if (!(mt.has_mean && m == mt.mean_idx)) {
+          // Spanwise Nyquist modes are held at zero.
+          std::fill_n(st.line(st.c_v, m), n, cplx{0, 0});
+          std::fill_n(st.line(st.c_om, m), n, cplx{0, 0});
+          std::fill_n(st.line(st.c_phi, m), n, cplx{0, 0});
+        }
+        continue;
+      }
+      const double k2 = mt.k2s[m];
+      // Assemble both right-hand sides of the fused solve: omega in
+      // panel rows [0, n), phi in rows [n, 2n).
+      ops.apply_rhs_operator(ca, k2, st.line(st.c_om, m), panel, tmp);
+      const cplx* hgm = st.line(hg, m);
+      cplx* hgp = st.line(st.hg_prev, m);
+      for (std::size_t j = 0; j < n; ++j)
+        panel[j] += g * hgm[j] + z * hgp[j];
+      ops.apply_rhs_operator(ca, k2, st.line(st.c_phi, m), panel + n, tmp);
+      const cplx* hvm = st.line(hv, m);
+      cplx* hvp = st.line(st.hv_prev, m);
+      for (std::size_t j = 0; j < n; ++j)
+        panel[n + j] += g * hvm[j] + z * hvp[j];
+      // One blocked 2-RHS Helmholtz solve covers omega and phi, then the
+      // Poisson recovery of v with the influence correction.
+      if (ctx_.cfg.cache_solvers) {
+        arena_[i].solve_block(static_cast<int>(m), panel,
+                              st.line(st.c_om, m), st.line(st.c_phi, m),
+                              st.line(st.c_v, m));
+      } else {
+        uncached = std::make_unique<mode_solver>(ops, cb, k2);
+        uncached->solve_block(panel, st.line(st.c_om, m),
+                              st.line(st.c_phi, m), st.line(st.c_v, m));
+      }
+      // Save nonlinear history for the next substep.
+      std::copy_n(hgm, n, hgp);
+      std::copy_n(hvm, n, hvp);
+    }
+  });
+}
+
+}  // namespace pcf::core

@@ -1,0 +1,37 @@
+// Implicit stage of an RK3 substep (paper steps (g)-(i)): per-wavenumber
+// viscous solves for omega and phi, then the Poisson recovery of v.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "core/mode_solver.hpp"
+#include "core/stages/stage_context.hpp"
+
+namespace pcf::core {
+
+class implicit_stage {
+ public:
+  /// Registers "implicit" (with child "build") under `parent` and checks a
+  /// permanent 3n-complex solve panel (2n RHS + n operator scratch) out of
+  /// every thread lane, so the mode loop never allocates.
+  implicit_stage(stage_context& ctx, phase_timer::id parent);
+
+  /// Advance every non-mean mode through substep i. Reads h_v from
+  /// state.u_s and h_g from state.v_s (where the nonlinear stage leaves
+  /// them), updates c_om / c_phi / c_v and saves the nonlinear history.
+  void run(int i);
+
+  /// Drop the cached per-substep solver arenas (call when dt changes).
+  void invalidate();
+
+ private:
+  stage_context& ctx_;
+  // One contiguous solver arena per RK substep index, since cb = beta_i dt
+  // nu differs per substep; valid while dt is fixed.
+  solver_arena arena_[3];
+  std::vector<cplx*> panels_;  // per-thread-lane permanent solve panels
+  phase_timer::id ph_run_, ph_build_;
+};
+
+}  // namespace pcf::core

@@ -1,0 +1,64 @@
+#include "core/stages/mean_flow_stage.hpp"
+
+#include <algorithm>
+
+namespace pcf::core {
+
+mean_flow_stage::mean_flow_stage(stage_context& ctx, phase_timer::id parent)
+    : ctx_(ctx), ph_run_(ctx.timers.add("mean_flow", parent)) {}
+
+void mean_flow_stage::invalidate() {
+  for (auto& h : helm_) h.reset();
+}
+
+void mean_flow_stage::run(int i) {
+  phase_timer::section sec(ctx_.timers, ph_run_);
+  if (!ctx_.modes.has_mean) return;
+  auto& st = ctx_.state;
+  const auto& ops = ctx_.ops;
+  const std::size_t n = ctx_.modes.n;
+
+  const double nu = 1.0 / ctx_.cfg.re_tau;
+  const double ca = rk3::kAlpha[i] * ctx_.cfg.dt * nu;
+  const double cb = rk3::kBeta[i] * ctx_.cfg.dt * nu;
+  const double g = rk3::kGamma[i] * ctx_.cfg.dt;
+  const double z = rk3::kZeta[i] * ctx_.cfg.dt;
+
+  // Mean flow: [A0 - cb nu' A2] c = [A0 + ca nu' A2] c + dt (g (h + F)
+  // + z (h_prev + F)); the constant pressure-gradient forcing F rides
+  // with the nonlinear weights since gamma_i + zeta_i sums to 1 over a
+  // step.
+  const banded::compact_banded* mean_op = nullptr;
+  std::optional<banded::compact_banded> mean_scratch;
+  if (ctx_.cfg.cache_solvers) {
+    if (!helm_[i] || helm_c_[i] != cb) {
+      helm_[i].emplace(ops.helmholtz(cb, 0.0));
+      helm_[i]->factorize();
+      helm_c_[i] = cb;
+    }
+    mean_op = &*helm_[i];
+  } else {
+    mean_scratch.emplace(ops.helmholtz(cb, 0.0));
+    mean_scratch->factorize();
+    mean_op = &*mean_scratch;
+  }
+  workspace_lane::scope scratch(ctx_.ws.shared());
+  double* rhs = ctx_.ws.shared().alloc<double>(n);
+  double* t = ctx_.ws.shared().alloc<double>(n);
+  auto advance_mean = [&](std::vector<double>& c, const double* h,
+                          std::vector<double>& h_prev, double force) {
+    ops.A0().apply(c.data(), rhs);
+    ops.A2().apply(c.data(), t);
+    for (std::size_t j = 0; j < n; ++j)
+      rhs[j] += ca * t[j] + g * (h[j] + force) + z * (h_prev[j] + force);
+    rhs[0] = 0.0;
+    rhs[n - 1] = 0.0;
+    mean_op->solve(rhs);
+    std::copy_n(rhs, n, c.data());
+    std::copy_n(h, n, h_prev.begin());
+  };
+  advance_mean(st.c_U, st.hU, st.hU_prev, ctx_.cfg.forcing);
+  advance_mean(st.c_W, st.hW, st.hW_prev, 0.0);
+}
+
+}  // namespace pcf::core

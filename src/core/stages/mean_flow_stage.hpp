@@ -1,0 +1,37 @@
+// Mean-flow stage of an RK3 substep (paper step (j)): the (0, 0) mode's
+// U and W profiles advance through a real Helmholtz solve with the
+// constant pressure-gradient forcing.
+#pragma once
+
+#include <optional>
+
+#include "banded/compact.hpp"
+#include "core/stages/stage_context.hpp"
+
+namespace pcf::core {
+
+class mean_flow_stage {
+ public:
+  /// Registers "mean_flow" under `parent`. A no-op on ranks that do not
+  /// own the mean mode.
+  mean_flow_stage(stage_context& ctx, phase_timer::id parent);
+
+  /// Advance the mean profiles through substep i. Reads the forcing
+  /// state.hU / state.hW left by the nonlinear stage and updates
+  /// c_U / c_W (+ their histories). Serial (one mode), runs on the
+  /// calling thread with shared-lane scratch.
+  void run(int i);
+
+  /// Drop the cached factored mean operators (call when dt changes).
+  void invalidate();
+
+ private:
+  stage_context& ctx_;
+  // Factored mean-flow Helmholtz operator per substep index (it only
+  // depends on cb = beta_i dt nu); valid while dt is fixed.
+  std::optional<banded::compact_banded> helm_[3];
+  double helm_c_[3] = {0.0, 0.0, 0.0};
+  phase_timer::id ph_run_;
+};
+
+}  // namespace pcf::core

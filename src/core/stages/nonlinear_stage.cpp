@@ -1,0 +1,217 @@
+#include "core/stages/nonlinear_stage.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+namespace pcf::core {
+
+nonlinear_stage::nonlinear_stage(stage_context& ctx, phase_timer::id parent)
+    : ctx_(ctx),
+      cfl_maxes_(ctx.ws.shared().alloc<double>(
+          static_cast<std::size_t>(ctx.pool.num_threads()))),
+      ph_run_(ctx.timers.add("nonlinear", parent)),
+      ph_vel_(ctx.timers.add("velocities", ph_run_)),
+      ph_to_phys_(ctx.timers.add("to_physical", ph_run_)),
+      ph_prod_(ctx.timers.add("products", ph_run_)),
+      ph_to_spec_(ctx.timers.add("to_spectral", ph_run_)),
+      ph_asm_(ctx.timers.add("assemble", ph_run_)) {}
+
+void nonlinear_stage::run() {
+  phase_timer::section sec(ctx_.timers, ph_run_);
+  compute_velocities();
+  velocities_to_physical();
+  compute_products();
+  products_to_spectral();
+  assemble();
+}
+
+void nonlinear_stage::compute_velocities() {
+  phase_timer::section sec(ctx_.timers, ph_vel_);
+  const auto& mt = ctx_.modes;
+  auto& st = ctx_.state;
+  const auto& ops = ctx_.ops;
+  const std::size_t n = mt.n;
+  std::atomic<int> tid_counter{0};
+  ctx_.pool.run(mt.nmodes, [&](std::size_t mb, std::size_t me) {
+    const auto tid = static_cast<std::size_t>(tid_counter.fetch_add(1));
+    workspace_lane::scope scratch(ctx_.ws.thread(tid));
+    cplx* dv = ctx_.ws.thread(tid).alloc<cplx>(n);
+    cplx* om = ctx_.ws.thread(tid).alloc<cplx>(n);
+    double* pts = ctx_.ws.thread(tid).alloc<double>(n);
+    for (std::size_t m = mb; m < me; ++m) {
+      cplx* us = st.line(st.u_s, m);
+      cplx* vs = st.line(st.v_s, m);
+      cplx* ws = st.line(st.w_s, m);
+      if (mt.skip[m]) {
+        std::fill_n(us, n, cplx{0, 0});
+        std::fill_n(vs, n, cplx{0, 0});
+        std::fill_n(ws, n, cplx{0, 0});
+        if (mt.has_mean && m == mt.mean_idx) {
+          ops.to_points(st.c_U.data(), pts);
+          for (std::size_t i = 0; i < n; ++i) us[i] = pts[i];
+          ops.to_points(st.c_W.data(), pts);
+          for (std::size_t i = 0; i < n; ++i) ws[i] = pts[i];
+        }
+        continue;
+      }
+      const double k2 = mt.kx[m] * mt.kx[m] + mt.kz[m] * mt.kz[m];
+      ops.deriv1_points(st.line(st.c_v, m), dv);
+      ops.to_points(st.line(st.c_om, m), om);
+      ops.to_points(st.line(st.c_v, m), vs);
+      const cplx ikx{0.0, mt.kx[m] / k2};
+      const cplx ikz{0.0, mt.kz[m] / k2};
+      for (std::size_t i = 0; i < n; ++i) {
+        us[i] = ikx * dv[i] - ikz * om[i];
+        ws[i] = ikz * dv[i] + ikx * om[i];
+      }
+    }
+  });
+}
+
+void nonlinear_stage::velocities_to_physical() {
+  phase_timer::section sec(ctx_.timers, ph_to_phys_);
+  auto& st = ctx_.state;
+  const cplx* specs[3] = {st.u_s.data(), st.v_s.data(), st.w_s.data()};
+  double* phys[3] = {st.u_p.data(), st.v_p.data(), st.w_p.data()};
+  ctx_.pf.to_physical_batch(specs, phys, 3);
+}
+
+void nonlinear_stage::compute_products() {
+  phase_timer::section sec(ctx_.timers, ph_prod_);
+  auto& st = ctx_.state;
+  const auto& d = ctx_.d;
+  const std::size_t ps = d.x_pencil_real_elems();
+  const double dx = ctx_.cfg.lx / static_cast<double>(d.nxf);
+  const double dz = ctx_.cfg.lz / static_cast<double>(d.nzf);
+  double dy_min = 2.0;
+  const auto& pts = ctx_.ops.points();
+  for (std::size_t i = 1; i < pts.size(); ++i)
+    dy_min = std::min(dy_min, pts[i] - pts[i - 1]);
+  const auto nthreads = static_cast<std::size_t>(ctx_.pool.num_threads());
+  std::fill_n(cfl_maxes_, nthreads, 0.0);
+  std::atomic<int> tid_counter{0};
+  ctx_.pool.run(ps, [&](std::size_t b, std::size_t e) {
+    const int tid = tid_counter.fetch_add(1);
+    double mx = 0.0;
+    for (std::size_t i = b; i < e; ++i) {
+      const double u = st.u_p[i], v = st.v_p[i], w = st.w_p[i];
+      st.f1[i] = u * u - v * v;
+      st.f2[i] = u * v;
+      st.f3[i] = u * w;
+      st.f4[i] = v * w;
+      st.f5[i] = w * w - v * v;
+      mx = std::max(mx, std::abs(u) / dx + std::abs(v) / dy_min +
+                            std::abs(w) / dz);
+    }
+    cfl_maxes_[static_cast<std::size_t>(tid)] = mx;
+  });
+  st.cfl_local = 0.0;
+  for (std::size_t t = 0; t < nthreads; ++t)
+    st.cfl_local = std::max(st.cfl_local, cfl_maxes_[t] * ctx_.cfg.dt);
+}
+
+void nonlinear_stage::products_to_spectral() {
+  phase_timer::section sec(ctx_.timers, ph_to_spec_);
+  auto& st = ctx_.state;
+  const double* prods[5] = {st.f1.data(), st.f2.data(), st.f3.data(),
+                            st.f4.data(), st.f5.data()};
+  cplx* specs[5] = {st.q1.data(), st.q2.data(), st.q3.data(), st.q4.data(),
+                    st.q5.data()};
+  ctx_.pf.to_spectral_batch(prods, specs, 5);
+}
+
+void nonlinear_stage::assemble() {
+  phase_timer::section sec(ctx_.timers, ph_asm_);
+  const auto& mt = ctx_.modes;
+  auto& st = ctx_.state;
+  const auto& ops = ctx_.ops;
+  const std::size_t n = mt.n;
+  // h_v and h_g are assembled into the velocity work buffers (free once
+  // the products are formed); the mean forcing of this substep starts from
+  // zero every call, exactly like the zero-initialized locals it replaced.
+  aligned_buffer<cplx>& hv = st.u_s;
+  aligned_buffer<cplx>& hg = st.v_s;
+  std::fill_n(st.hU, n, 0.0);
+  std::fill_n(st.hW, n, 0.0);
+  std::atomic<int> tid_counter{0};
+  ctx_.pool.run(mt.nmodes, [&](std::size_t mb, std::size_t me) {
+    const auto tid = static_cast<std::size_t>(tid_counter.fetch_add(1));
+    workspace_lane::scope scratch(ctx_.ws.thread(tid));
+    auto& lane = ctx_.ws.thread(tid);
+    cplx* c1 = lane.alloc<cplx>(n);
+    cplx* c2 = lane.alloc<cplx>(n);
+    cplx* c3 = lane.alloc<cplx>(n);
+    cplx* c4 = lane.alloc<cplx>(n);
+    cplx* c5 = lane.alloc<cplx>(n);
+    cplx* d1 = lane.alloc<cplx>(n);
+    cplx* d2a = lane.alloc<cplx>(n);
+    cplx* d3 = lane.alloc<cplx>(n);
+    cplx* d4a = lane.alloc<cplx>(n);
+    cplx* d5 = lane.alloc<cplx>(n);
+    cplx* d2b = lane.alloc<cplx>(n);
+    cplx* d4b = lane.alloc<cplx>(n);
+    for (std::size_t m = mb; m < me; ++m) {
+      cplx* hvm = st.line(hv, m);
+      cplx* hgm = st.line(hg, m);
+      if (mt.skip[m]) {
+        std::fill_n(hvm, n, cplx{0, 0});
+        std::fill_n(hgm, n, cplx{0, 0});
+        if (mt.has_mean && m == mt.mean_idx) {
+          // <H1> = -d<uv>/dy, <H3> = -d<vw>/dy (real parts of mode 0).
+          std::copy_n(st.line(st.q2, m), n, c2);
+          std::copy_n(st.line(st.q4, m), n, c4);
+          ops.to_coefficients(c2);
+          ops.to_coefficients(c4);
+          ops.deriv1_points(c2, d2a);
+          ops.deriv1_points(c4, d4a);
+          for (std::size_t i = 0; i < n; ++i) {
+            st.hU[i] = -d2a[i].real();
+            st.hW[i] = -d4a[i].real();
+          }
+        }
+        continue;
+      }
+      const double kxm = mt.kx[m], kzm = mt.kz[m];
+      const double k2 = kxm * kxm + kzm * kzm;
+      std::copy_n(st.line(st.q1, m), n, c1);
+      std::copy_n(st.line(st.q2, m), n, c2);
+      std::copy_n(st.line(st.q3, m), n, c3);
+      std::copy_n(st.line(st.q4, m), n, c4);
+      std::copy_n(st.line(st.q5, m), n, c5);
+      ops.to_coefficients(c1);
+      ops.to_coefficients(c2);
+      ops.to_coefficients(c3);
+      ops.to_coefficients(c4);
+      ops.to_coefficients(c5);
+      ops.deriv1_points(c1, d1);
+      ops.deriv1_points(c2, d2a);
+      ops.deriv1_points(c3, d3);
+      ops.deriv1_points(c4, d4a);
+      ops.deriv1_points(c5, d5);
+      ops.deriv2_points(c2, d2b);
+      ops.deriv2_points(c4, d4b);
+      const cplx i_unit{0.0, 1.0};
+      const cplx* p1 = st.line(st.q1, m);
+      const cplx* p2 = st.line(st.q2, m);
+      const cplx* p3 = st.line(st.q3, m);
+      const cplx* p4 = st.line(st.q4, m);
+      const cplx* p5 = st.line(st.q5, m);
+      for (std::size_t i = 0; i < n; ++i) {
+        // h_g = kx kz (f1 - f5) + (kz^2 - kx^2) f3
+        //       - i kz d(f2)/dy + i kx d(f4)/dy
+        hgm[i] = kxm * kzm * (p1[i] - p5[i]) +
+                 (kzm * kzm - kxm * kxm) * p3[i] -
+                 i_unit * kzm * d2a[i] + i_unit * kxm * d4a[i];
+        // h_v = i k2 (kx f2 + kz f4) - d/dy [ kx^2 f1 + 2 kx kz f3
+        //       + kz^2 f5 - i kx d(f2)/dy - i kz d(f4)/dy ]
+        hvm[i] = i_unit * k2 * (kxm * p2[i] + kzm * p4[i]) -
+                 (kxm * kxm * d1[i] + 2.0 * kxm * kzm * d3[i] +
+                  kzm * kzm * d5[i] - i_unit * kxm * d2b[i] -
+                  i_unit * kzm * d4b[i]);
+      }
+    }
+  });
+}
+
+}  // namespace pcf::core

@@ -1,0 +1,127 @@
+#include "core/stages/stage_context.hpp"
+
+#include <algorithm>
+#include <numbers>
+
+namespace pcf::core {
+
+pencil::kernel_config dns_kernel_config(const channel_config& c) {
+  pencil::kernel_config k{true, true, c.fft_threads, c.reorder_threads};
+  k.max_batch = 5;
+  k.pipeline_depth = c.pipeline_depth;
+  return k;
+}
+
+mode_tables make_mode_tables(const channel_config& c,
+                             const pencil::decomp& d) {
+  mode_tables t;
+  t.n = static_cast<std::size_t>(c.ny);
+  t.nmodes = d.xs.count * d.zs.count;
+  const double ax = 2.0 * std::numbers::pi / c.lx;
+  const double az = 2.0 * std::numbers::pi / c.lz;
+  t.kx.resize(t.nmodes);
+  t.kz.resize(t.nmodes);
+  t.skip.assign(t.nmodes, 0);
+  t.has_mean = false;
+  for (std::size_t x = 0; x < d.xs.count; ++x) {
+    for (std::size_t z = 0; z < d.zs.count; ++z) {
+      const std::size_t m = x * d.zs.count + z;
+      const std::size_t jx = d.xs.offset + x;
+      const std::size_t jz = d.zs.offset + z;
+      t.kx[m] = ax * static_cast<double>(jx);
+      const long mz = jz < c.nz / 2
+                          ? static_cast<long>(jz)
+                          : static_cast<long>(jz) - static_cast<long>(c.nz);
+      t.kz[m] = az * static_cast<double>(mz);
+      if (jz == c.nz / 2) t.skip[m] = 1;  // spanwise Nyquist
+      if (jx == 0 && jz == 0) {
+        t.skip[m] = 1;  // mean mode handled by mean_flow_stage
+        t.has_mean = true;
+        t.mean_idx = m;
+      }
+    }
+  }
+  t.k2s.resize(t.nmodes);
+  for (std::size_t m = 0; m < t.nmodes; ++m)
+    t.k2s[m] = t.skip[m] ? 0.0 : t.kx[m] * t.kx[m] + t.kz[m] * t.kz[m];
+  return t;
+}
+
+field_state::field_state(const mode_tables& modes, std::size_t phys_elems,
+                         field_workspace& ws)
+    : n(modes.n) {
+  const std::size_t sz = modes.nmodes * n;
+  c_v.reset(sz);
+  c_om.reset(sz);
+  c_phi.reset(sz);
+  hv_prev.reset(sz);
+  hg_prev.reset(sz);
+  u_s.reset(sz);
+  v_s.reset(sz);
+  w_s.reset(sz);
+  q1.reset(sz);
+  q2.reset(sz);
+  q3.reset(sz);
+  q4.reset(sz);
+  q5.reset(sz);
+  u_p.reset(phys_elems);
+  v_p.reset(phys_elems);
+  w_p.reset(phys_elems);
+  f1.reset(phys_elems);
+  f2.reset(phys_elems);
+  f3.reset(phys_elems);
+  f4.reset(phys_elems);
+  f5.reset(phys_elems);
+  c_U.assign(n, 0.0);
+  c_W.assign(n, 0.0);
+  hU_prev.assign(n, 0.0);
+  hW_prev.assign(n, 0.0);
+  hU = ws.shared().alloc<double>(n);
+  hW = ws.shared().alloc<double>(n);
+  std::fill_n(hU, n, 0.0);
+  std::fill_n(hW, n, 0.0);
+}
+
+void field_state::zero() {
+  c_v.fill(cplx{0, 0});
+  c_om.fill(cplx{0, 0});
+  c_phi.fill(cplx{0, 0});
+  hv_prev.fill(cplx{0, 0});
+  hg_prev.fill(cplx{0, 0});
+  std::fill(c_U.begin(), c_U.end(), 0.0);
+  std::fill(c_W.begin(), c_W.end(), 0.0);
+  std::fill(hU_prev.begin(), hU_prev.end(), 0.0);
+  std::fill(hW_prev.begin(), hW_prev.end(), 0.0);
+}
+
+field_workspace::sizes dns_workspace_sizes(const channel_config& c,
+                                           const pencil::decomp& d) {
+  const std::size_t n = static_cast<std::size_t>(c.ny);
+  const int threads = std::max(1, c.advance_threads);
+  const std::size_t nbins = std::max(c.nx / 2, c.nz / 2 + 1);
+
+  field_workspace::sizes s;
+  s.num_threads = threads;
+  // Shared lane. Permanent: field_state's hU/hW (2n doubles) and the
+  // nonlinear stage's per-thread CFL maxima (threads doubles). Deepest
+  // transient scopes: dissipation (trapezoid weights + 5 complex lines =
+  // 11n doubles), initialize (4 complex lines = 8n), spectra accumulators
+  // (6 * nbins), mean profile (2n). Capacity covers permanents plus the
+  // worst scope, with per-checkout 64-byte alignment slack.
+  s.shared_bytes = (2 * n + static_cast<std::size_t>(threads)) * sizeof(double)
+                 + 16 * n * sizeof(double)
+                 + 8 * nbins * sizeof(double)
+                 + 40 * kAlignment;
+  // Thread lanes. Permanent: the implicit stage's 3n-complex solve panel.
+  // Deepest transient scope: the nonlinear assembly's 12 complex lines
+  // (c1..c5, d1, d2a, d3, d4a, d5, d2b, d4b); the velocity sub-stage needs
+  // 2 complex + 1 real line, well under that.
+  s.thread_bytes = 3 * n * sizeof(cplx)
+                 + 12 * n * sizeof(cplx)
+                 + n * sizeof(double)
+                 + 20 * kAlignment;
+  s.transform_bytes = pencil::transform_workspace_bytes(d, dns_kernel_config(c));
+  return s;
+}
+
+}  // namespace pcf::core

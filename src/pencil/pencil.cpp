@@ -53,6 +53,36 @@ decomp::decomp(const grid& gg, const kernel_config& cfg, int pa_, int pb_,
 // runs the same partition, so the single-field path is bit-identical to
 // the pre-batching kernel.
 
+namespace {
+
+/// Elements of one field's single-buffer workspace slot: the max over
+/// every intermediate layout a field occupies on its way through the
+/// pipeline.
+std::size_t slot_elems(const decomp& d) {
+  const std::size_t yz_total = d.xs.count * d.g.nz * d.yb.count;
+  const std::size_t zx_total = d.nxs * d.yb.count * d.zp.count;
+  std::size_t m = d.y_pencil_elems();
+  m = std::max(m, yz_total);
+  m = std::max(m, d.z_pencil_elems());
+  m = std::max(m, zx_total);
+  m = std::max(m, d.x_pencil_spec_elems());
+  return m;
+}
+
+std::size_t round_to_alignment(std::size_t bytes) {
+  return (bytes + kAlignment - 1) / kAlignment * kAlignment;
+}
+
+}  // namespace
+
+std::size_t transform_workspace_bytes(const decomp& d,
+                                      const kernel_config& cfg) {
+  const int nbuf = (!cfg.drop_nyquist && !cfg.dealias) ? 3 : 2;  // P3DFFT: 3x
+  const std::size_t wn =
+      slot_elems(d) * static_cast<std::size_t>(std::max(1, cfg.max_batch));
+  return static_cast<std::size_t>(nbuf) * round_to_alignment(wn * sizeof(cplx));
+}
+
 struct parallel_fft::impl {
   decomp d;
   kernel_config cfg;
@@ -67,9 +97,29 @@ struct parallel_fft::impl {
   thread_pool reorder_pool;
 
   // Workspaces. The customized kernel ping-pongs between two buffers; the
-  // P3DFFT-mode kernel allocates a third (its documented 3x footprint).
-  // Each holds max_batch single-field workspaces side by side.
-  aligned_buffer<cplx> w1, w2, w3;
+  // P3DFFT-mode kernel uses a third (its documented 3x footprint). Each
+  // holds max_batch single-field workspaces side by side. Storage is
+  // either owned here or borrowed from a caller's workspace lane (the
+  // simulation's field_workspace arena) — wbuf abstracts over both.
+  struct wbuf {
+    cplx* p = nullptr;
+    std::size_t n = 0;
+    aligned_buffer<cplx> own;
+
+    void reset_owned(std::size_t count) {
+      own.reset(count);
+      p = own.data();
+      n = count;
+    }
+    void borrow(cplx* q, std::size_t count) {
+      p = q;
+      n = count;
+    }
+    [[nodiscard]] cplx* data() { return p; }
+    [[nodiscard]] bool empty() const { return n == 0; }
+    [[nodiscard]] std::size_t size() const { return n; }
+  };
+  wbuf w1, w2, w3;
   std::size_t wstride = 0;  // elements of one field's workspace slot
 
   // alltoallv counts/displacements, in complex elements (single-field).
@@ -84,6 +134,12 @@ struct parallel_fft::impl {
   // Comm thread for pipelined mode (allocated only when pipeline_depth > 1).
   std::unique_ptr<vmpi::async_proxy> comm_async;
 
+  // Hot-path scratch, sized once at construction so transforms never
+  // allocate: batch-scaled counts/displacements for do_exchange_batch
+  // (4 * max(pa, pb)) and the pipeline's in-flight exchange tickets.
+  std::vector<std::size_t> exch_scratch_;
+  std::vector<vmpi::async_proxy::ticket> tk1_, tk2_;
+
   section_timer comm_t, reorder_t, fft_t;
 
   // Batched-path counters. Written by the rank's own threads only; reads
@@ -91,7 +147,8 @@ struct parallel_fft::impl {
   std::uint64_t transforms_ = 0, fields_ = 0, exchanges_ = 0;
   std::uint64_t reorder_calls_ = 0, reorder_fields_ = 0;
 
-  impl(const grid& g, vmpi::cart2d& cart, kernel_config c)
+  impl(const grid& g, vmpi::cart2d& cart, kernel_config c,
+       workspace_lane* ws)
       : d(g, c, cart.pa(), cart.pb(), cart.coord_a(), cart.coord_b()),
         cfg(c),
         comm_a(cart.comm_a()),
@@ -105,13 +162,27 @@ struct parallel_fft::impl {
     PCF_REQUIRE(cfg.max_batch >= 1, "max_batch must be >= 1");
     PCF_REQUIRE(cfg.pipeline_depth >= 1, "pipeline_depth must be >= 1");
     build_counts();
-    wstride = workspace_elems();
+    exch_scratch_.resize(4 *
+                         static_cast<std::size_t>(std::max(d.pa, d.pb)));
+    wstride = slot_elems(d);
     const std::size_t wn = wstride * static_cast<std::size_t>(cfg.max_batch);
-    w1.reset(wn);
-    w2.reset(wn);
-    if (!cfg.drop_nyquist && !cfg.dealias) w3.reset(wn);  // P3DFFT mode
-    if (cfg.pipeline_depth > 1)
+    const bool p3d = !cfg.drop_nyquist && !cfg.dealias;
+    if (ws != nullptr) {
+      // Permanent checkouts from the caller's arena (sized by
+      // transform_workspace_bytes).
+      w1.borrow(ws->alloc<cplx>(wn), wn);
+      w2.borrow(ws->alloc<cplx>(wn), wn);
+      if (p3d) w3.borrow(ws->alloc<cplx>(wn), wn);
+    } else {
+      w1.reset_owned(wn);
+      w2.reset_owned(wn);
+      if (p3d) w3.reset_owned(wn);
+    }
+    if (cfg.pipeline_depth > 1) {
       comm_async = std::make_unique<vmpi::async_proxy>();
+      tk1_.resize(static_cast<std::size_t>(cfg.pipeline_depth));
+      tk2_.resize(static_cast<std::size_t>(cfg.pipeline_depth));
+    }
     plan_strategies();
   }
 
@@ -139,8 +210,11 @@ struct parallel_fft::impl {
 
   /// Aggregated exchange carrying nf fields: counts and displacements are
   /// the single-field ones scaled by nf (valid because the displacements
-  /// are dense prefix sums). The scaled arrays are locals so a call running
-  /// on the comm thread shares no scratch with the main thread.
+  /// are dense prefix sums). The scaled arrays live in the preallocated
+  /// exch_scratch_, which is safe to share between the sync and pipelined
+  /// paths: a transform call is serialized per instance, and within one
+  /// call every exchange runs on a single thread (the caller, or the
+  /// async_proxy's one comm thread, whose tickets are strictly ordered).
   void do_exchange_batch(vmpi::communicator& comm, exchange_strategy strat,
                          const cplx* send, const std::size_t* sc,
                          const std::size_t* sd, cplx* recv,
@@ -152,8 +226,7 @@ struct parallel_fft::impl {
       return;
     }
     const auto p = static_cast<std::size_t>(comm.size());
-    std::vector<std::size_t> scaled(4 * p);
-    std::size_t* bsc = scaled.data();
+    std::size_t* bsc = exch_scratch_.data();
     std::size_t* bsd = bsc + p;
     std::size_t* brc = bsd + p;
     std::size_t* brd = brc + p;
@@ -198,17 +271,6 @@ struct parallel_fft::impl {
                    rd_yz.data());
     strat_a = pick(comm_a, sc_zx.data(), sd_zx.data(), rc_zx.data(),
                    rd_zx.data());
-  }
-
-  [[nodiscard]] std::size_t workspace_elems() const {
-    const std::size_t yz_total = d.xs.count * d.g.nz * d.yb.count;
-    const std::size_t zx_total = d.nxs * d.yb.count * d.zp.count;
-    std::size_t m = d.y_pencil_elems();
-    m = std::max(m, yz_total);
-    m = std::max(m, d.z_pencil_elems());
-    m = std::max(m, zx_total);
-    m = std::max(m, d.x_pencil_spec_elems());
-    return m;
   }
 
   void build_counts() {
@@ -677,7 +739,8 @@ struct parallel_fft::impl {
 
   template <class Pre, class X1, class C1, class X2, class C2>
   void run_pipeline(std::size_t groups, Pre pre, X1 x1, C1 c1, X2 x2, C2 c2) {
-    std::vector<vmpi::async_proxy::ticket> t1(groups), t2(groups);
+    // Ticket arrays are preallocated members (groups <= pipeline_depth).
+    std::vector<vmpi::async_proxy::ticket>&t1 = tk1_, &t2 = tk2_;
     try {
       pre(0);
       t1[0] = comm_async->start([&x1] { x1(0); });
@@ -716,7 +779,7 @@ struct parallel_fft::impl {
     auto grp = [&](std::size_t g) {
       return block_range(nf, G, static_cast<int>(g));
     };
-    auto at = [&](aligned_buffer<cplx>& w, std::size_t g) {
+    auto at = [&](wbuf& w, std::size_t g) {
       return w.data() + grp(g).offset * wstride;
     };
     run_pipeline(
@@ -759,7 +822,7 @@ struct parallel_fft::impl {
     auto grp = [&](std::size_t g) {
       return block_range(nf, G, static_cast<int>(g));
     };
-    auto at = [&](aligned_buffer<cplx>& w, std::size_t g) {
+    auto at = [&](wbuf& w, std::size_t g) {
       return w.data() + grp(g).offset * wstride;
     };
     run_pipeline(
@@ -799,7 +862,10 @@ struct parallel_fft::impl {
 
 parallel_fft::parallel_fft(const grid& g, vmpi::cart2d& cart,
                            kernel_config cfg)
-    : impl_(new impl(g, cart, cfg)) {}
+    : impl_(new impl(g, cart, cfg, nullptr)) {}
+parallel_fft::parallel_fft(const grid& g, vmpi::cart2d& cart,
+                           kernel_config cfg, workspace_lane& transform_ws)
+    : impl_(new impl(g, cart, cfg, &transform_ws)) {}
 parallel_fft::~parallel_fft() = default;
 
 const decomp& parallel_fft::dec() const { return impl_->d; }

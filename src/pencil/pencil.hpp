@@ -23,6 +23,7 @@
 
 #include "fft/fft.hpp"
 #include "util/timer.hpp"
+#include "util/workspace.hpp"
 #include "vmpi/vmpi.hpp"
 
 namespace pcf::pencil {
@@ -125,11 +126,24 @@ struct decomp {
   }
 };
 
+/// Bytes of ping-pong transpose/FFT workspace one parallel_fft instance
+/// needs for this decomposition and configuration (including per-buffer
+/// alignment slack) — what to reserve on a workspace lane handed to the
+/// borrowing constructor below.
+[[nodiscard]] std::size_t transform_workspace_bytes(const decomp& d,
+                                                    const kernel_config& cfg);
+
 /// The parallel FFT kernel: spectral y-pencils <-> physical x-pencils.
 /// Thread-unsafe per instance (owns buffers); each rank builds its own.
 class parallel_fft {
  public:
   parallel_fft(const grid& g, vmpi::cart2d& cart, kernel_config cfg);
+  /// Same kernel, but the transpose/FFT ping-pong buffers are checked out
+  /// of `transform_ws` (permanently, construction-time) instead of owned —
+  /// the simulation's field_workspace arena sizes them once via
+  /// transform_workspace_bytes(). The lane must outlive this instance.
+  parallel_fft(const grid& g, vmpi::cart2d& cart, kernel_config cfg,
+               workspace_lane& transform_ws);
   ~parallel_fft();
   parallel_fft(const parallel_fft&) = delete;
   parallel_fft& operator=(const parallel_fft&) = delete;

@@ -32,8 +32,9 @@ void thread_pool::chunk(std::size_t n, int tid, std::size_t& begin,
 void thread_pool::worker_loop(int id) {
   std::uint64_t seen = 0;
   for (;;) {
-    const std::function<void(std::size_t, std::size_t)>* rfn = nullptr;
-    const std::function<void(int)>* tfn = nullptr;
+    range_thunk rfn = nullptr;
+    thread_thunk tfn = nullptr;
+    void* ctx = nullptr;
     std::function<void()> task;
     std::size_t n = 0;
     bool fork_join = false;
@@ -48,6 +49,7 @@ void thread_pool::worker_loop(int id) {
         seen = generation_;
         rfn = range_fn_;
         tfn = thread_fn_;
+        ctx = task_ctx_;
         n = task_n_;
       } else if (!async_queue_.empty()) {
         task = std::move(async_queue_.front());
@@ -61,9 +63,9 @@ void thread_pool::worker_loop(int id) {
         if (rfn != nullptr) {
           std::size_t b, e;
           chunk(n, id, b, e);
-          if (b < e) (*rfn)(b, e);
+          if (b < e) rfn(ctx, b, e);
         } else if (tfn != nullptr) {
-          (*tfn)(id);
+          tfn(ctx, id);
         }
       } else {
         task();
@@ -92,9 +94,9 @@ void thread_pool::dispatch_and_wait() {
     if (range_fn_ != nullptr) {
       std::size_t b, e;
       chunk(task_n_, 0, b, e);
-      if (b < e) (*range_fn_)(b, e);
+      if (b < e) range_fn_(task_ctx_, b, e);
     } else if (thread_fn_ != nullptr) {
-      (*thread_fn_)(0);
+      thread_fn_(task_ctx_, 0);
     }
   } catch (...) {
     std::lock_guard<std::mutex> lk(mutex_);
@@ -104,6 +106,7 @@ void thread_pool::dispatch_and_wait() {
   cv_done_.wait(lk, [&] { return pending_ == 0; });
   range_fn_ = nullptr;
   thread_fn_ = nullptr;
+  task_ctx_ = nullptr;
   // Rethrow only after the barrier, when every worker is parked again and
   // the pool is reusable.
   if (error_) {
@@ -113,16 +116,12 @@ void thread_pool::dispatch_and_wait() {
   }
 }
 
-void thread_pool::run(std::size_t n,
-                      const std::function<void(std::size_t, std::size_t)>& fn) {
-  if (num_threads_ == 1 || n <= 1) {
-    if (n > 0) fn(0, n);
-    return;
-  }
+void thread_pool::run_erased(std::size_t n, range_thunk fn, void* ctx) {
   {
     std::lock_guard<std::mutex> lk(mutex_);
-    range_fn_ = &fn;
+    range_fn_ = fn;
     thread_fn_ = nullptr;
+    task_ctx_ = ctx;
     task_n_ = n;
     pending_ = num_threads_ - 1;
     ++generation_;
@@ -180,15 +179,12 @@ void thread_pool::wait_submitted() {
   }
 }
 
-void thread_pool::run_per_thread(const std::function<void(int)>& fn) {
-  if (num_threads_ == 1) {
-    fn(0);
-    return;
-  }
+void thread_pool::run_per_thread_erased(thread_thunk fn, void* ctx) {
   {
     std::lock_guard<std::mutex> lk(mutex_);
     range_fn_ = nullptr;
-    thread_fn_ = &fn;
+    thread_fn_ = fn;
+    task_ctx_ = ctx;
     task_n_ = 0;
     pending_ = num_threads_ - 1;
     ++generation_;

@@ -13,8 +13,10 @@
 #include <deque>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace pcf {
@@ -39,11 +41,39 @@ class thread_pool {
   /// and the first captured exception is rethrown on the calling thread —
   /// an exception escaping a worker thread would otherwise std::terminate
   /// the process.
-  void run(std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn);
+  ///
+  /// The callable is kept on the caller's stack and dispatched through a
+  /// function pointer + context, so run() never heap-allocates — required
+  /// by the RK3 substage's zero-allocation contract (every hot pencil /
+  /// advance loop goes through here with a capturing lambda).
+  template <class F>
+  void run(std::size_t n, F&& fn) {
+    using Fn = std::remove_reference_t<F>;
+    if (num_threads_ == 1 || n <= 1) {
+      if (n > 0) fn(0, n);
+      return;
+    }
+    run_erased(
+        n,
+        [](void* ctx, std::size_t b, std::size_t e) {
+          (*static_cast<Fn*>(ctx))(b, e);
+        },
+        const_cast<void*>(static_cast<const void*>(std::addressof(fn))));
+  }
 
   /// Execute fn(thread_id) once on every thread (for per-thread setup).
-  /// Same exception contract as run().
-  void run_per_thread(const std::function<void(int)>& fn);
+  /// Same exception contract (and zero-allocation dispatch) as run().
+  template <class F>
+  void run_per_thread(F&& fn) {
+    using Fn = std::remove_reference_t<F>;
+    if (num_threads_ == 1) {
+      fn(0);
+      return;
+    }
+    run_per_thread_erased(
+        [](void* ctx, int tid) { (*static_cast<Fn*>(ctx))(tid); },
+        const_cast<void*>(static_cast<const void*>(std::addressof(fn))));
+  }
 
   /// Ticket identifying a task handed to submit(); strictly increasing in
   /// submission order.
@@ -68,6 +98,13 @@ class thread_pool {
   void wait_submitted();
 
  private:
+  // Type-erased fork-join dispatch (the callable lives on the caller's
+  // stack for the duration of the barrier, so a raw pointer is safe).
+  using range_thunk = void (*)(void*, std::size_t, std::size_t);
+  using thread_thunk = void (*)(void*, int);
+  void run_erased(std::size_t n, range_thunk fn, void* ctx);
+  void run_per_thread_erased(thread_thunk fn, void* ctx);
+
   void worker_loop(int id);
 
   int num_threads_;
@@ -77,8 +114,9 @@ class thread_pool {
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;
   // Task state, guarded by mutex_.
-  const std::function<void(std::size_t, std::size_t)>* range_fn_ = nullptr;
-  const std::function<void(int)>* thread_fn_ = nullptr;
+  range_thunk range_fn_ = nullptr;
+  thread_thunk thread_fn_ = nullptr;
+  void* task_ctx_ = nullptr;
   std::size_t task_n_ = 0;
   std::uint64_t generation_ = 0;
   int pending_ = 0;

@@ -1,0 +1,156 @@
+// Preallocated scratch arena for the DNS hot loop.
+//
+// The RK3 substage must run without touching the heap (the paper's
+// production runs spend days inside it; an allocator call per mode per
+// substep is both a latency and a jitter hazard at 786K cores). All
+// per-substage scratch therefore comes from a `field_workspace`: a set of
+// bump-allocated lanes sized ONCE at construction. A lane hands out
+// 64-byte-aligned blocks; a `workspace_lane::scope` releases everything
+// allocated after it in LIFO order when it leaves scope.
+//
+// Lifetime rules:
+//   * Permanent blocks (alive for the simulation's lifetime) are allocated
+//     during construction, before any scope is opened.
+//   * Transient blocks are allocated under a `scope`; nesting is LIFO.
+//   * A lane is single-threaded: concurrent stages use distinct lanes
+//     (one shared lane for serial sections, one lane per pool thread).
+//   * Capacity is fixed; exceeding it throws (precondition_error) rather
+//     than growing, so sizing bugs surface immediately instead of as a
+//     silent mid-run allocation.
+// Debug builds (!NDEBUG) poison released regions with 0xAB so use-after-
+// release / overlapping-scope bugs read as NaN-like garbage instead of
+// stale-but-plausible data.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <vector>
+
+#include "util/aligned.hpp"
+#include "util/check.hpp"
+
+namespace pcf {
+
+/// One bump-allocated scratch lane over a fixed 64-byte-aligned slab.
+class workspace_lane {
+ public:
+  workspace_lane() = default;
+  workspace_lane(const workspace_lane&) = delete;
+  workspace_lane& operator=(const workspace_lane&) = delete;
+  workspace_lane(workspace_lane&&) noexcept = default;
+  workspace_lane& operator=(workspace_lane&&) noexcept = default;
+
+  /// Size the slab. Only legal while nothing is checked out (construction
+  /// time); existing contents are discarded.
+  void reserve_bytes(std::size_t bytes) {
+    PCF_REQUIRE(top_ == 0 && live_scopes_ == 0,
+                "workspace lane resized while blocks are checked out");
+    slab_.reset(bytes);
+    peak_ = 0;
+  }
+
+  /// Check out `count` objects of T (64-byte aligned, uninitialized).
+  /// The block stays valid until the enclosing scope (if any) is released;
+  /// blocks allocated outside any scope are permanent.
+  template <class T>
+  [[nodiscard]] T* alloc(std::size_t count) {
+    const std::size_t at = (top_ + kAlignment - 1) / kAlignment * kAlignment;
+    const std::size_t bytes = count * sizeof(T);
+    PCF_REQUIRE(at + bytes <= slab_.size(),
+                "workspace lane overflow: lanes are sized once at "
+                "construction; grow the capacity estimate");
+    top_ = at + bytes;
+    peak_ = std::max(peak_, top_);
+    return reinterpret_cast<T*>(slab_.data() + at);
+  }
+
+  /// RAII release point: restores the bump pointer to where it was at
+  /// construction, freeing every block allocated since. Must be destroyed
+  /// in LIFO order relative to other scopes on the same lane.
+  class scope {
+   public:
+    explicit scope(workspace_lane& lane) : lane_(&lane), saved_(lane.top_) {
+      ++lane.live_scopes_;
+    }
+    ~scope() {
+      --lane_->live_scopes_;
+#ifndef NDEBUG
+      // Poison the released region: a stage holding a pointer past its
+      // scope now reads 0xAB garbage instead of plausible stale data.
+      if (lane_->top_ > saved_)
+        std::memset(lane_->slab_.data() + saved_, 0xAB, lane_->top_ - saved_);
+#endif
+      lane_->top_ = saved_;
+    }
+    scope(const scope&) = delete;
+    scope& operator=(const scope&) = delete;
+
+   private:
+    workspace_lane* lane_;
+    std::size_t saved_;
+  };
+
+  [[nodiscard]] std::size_t capacity_bytes() const { return slab_.size(); }
+  [[nodiscard]] std::size_t used_bytes() const { return top_; }
+  /// High-water mark since reserve_bytes() — for sizing reports.
+  [[nodiscard]] std::size_t peak_bytes() const { return peak_; }
+
+ private:
+  aligned_buffer<unsigned char> slab_;
+  std::size_t top_ = 0;
+  std::size_t peak_ = 0;
+  int live_scopes_ = 0;
+};
+
+/// The unified scratch arena shared by every stage of the simulation:
+///   * shared()     — serial-section scratch (observables, mean flow,
+///                    substep-lifetime fields like hU/hW);
+///   * thread(tid)  — per-advance-pool-thread scratch (mode-loop lines);
+///   * transform()  — the pencil kernel's ping-pong transpose/FFT buffers.
+/// Capacities are fixed at construction; see workspace_lane for the
+/// checkout rules.
+class field_workspace {
+ public:
+  struct sizes {
+    std::size_t shared_bytes = 0;
+    std::size_t thread_bytes = 0;  // per thread lane
+    std::size_t transform_bytes = 0;
+    int num_threads = 1;
+  };
+
+  explicit field_workspace(const sizes& s)
+      : threads_(static_cast<std::size_t>(s.num_threads > 0 ? s.num_threads
+                                                            : 1)) {
+    shared_.reserve_bytes(s.shared_bytes);
+    transform_.reserve_bytes(s.transform_bytes);
+    for (auto& t : threads_) t.reserve_bytes(s.thread_bytes);
+  }
+
+  [[nodiscard]] workspace_lane& shared() { return shared_; }
+  [[nodiscard]] workspace_lane& transform() { return transform_; }
+  [[nodiscard]] workspace_lane& thread(std::size_t tid) {
+    return threads_[tid];
+  }
+  [[nodiscard]] std::size_t num_thread_lanes() const {
+    return threads_.size();
+  }
+
+  [[nodiscard]] std::size_t total_bytes() const {
+    std::size_t b = shared_.capacity_bytes() + transform_.capacity_bytes();
+    for (const auto& t : threads_) b += t.capacity_bytes();
+    return b;
+  }
+
+ private:
+  workspace_lane shared_;
+  workspace_lane transform_;
+  std::vector<workspace_lane> threads_;
+};
+
+namespace core {
+using pcf::field_workspace;  // the DNS names it core::field_workspace
+using pcf::workspace_lane;
+}  // namespace core
+
+}  // namespace pcf

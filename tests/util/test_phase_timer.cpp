@@ -1,0 +1,61 @@
+// Hierarchical phase timer: tree registration, call counting, parent
+// inclusion of children, op-count attribution, and reset.
+#include <gtest/gtest.h>
+
+#include "util/counters.hpp"
+#include "util/phase_timer.hpp"
+
+namespace {
+
+using pcf::phase_timer;
+
+TEST(PhaseTimer, TreeDepthsFollowRegistration) {
+  phase_timer t(false);
+  const auto root = t.add("step");
+  const auto child = t.add("nonlinear", root);
+  const auto grand = t.add("products", child);
+  const auto& p = t.phases();
+  EXPECT_EQ(p[static_cast<std::size_t>(root)].depth, 0);
+  EXPECT_EQ(p[static_cast<std::size_t>(child)].depth, 1);
+  EXPECT_EQ(p[static_cast<std::size_t>(grand)].depth, 2);
+  EXPECT_EQ(p[static_cast<std::size_t>(grand)].parent, child);
+}
+
+TEST(PhaseTimer, ParentsIncludeChildrenAndCallsCount) {
+  phase_timer t(false);
+  const auto root = t.add("outer");
+  const auto child = t.add("inner", root);
+  for (int i = 0; i < 3; ++i) {
+    phase_timer::section outer(t, root);
+    phase_timer::section inner(t, child);
+  }
+  const auto& p = t.phases();
+  EXPECT_EQ(p[static_cast<std::size_t>(root)].calls, 3);
+  EXPECT_EQ(p[static_cast<std::size_t>(child)].calls, 3);
+  // The child ran entirely inside the parent's section.
+  EXPECT_GE(p[static_cast<std::size_t>(root)].seconds,
+            p[static_cast<std::size_t>(child)].seconds);
+}
+
+TEST(PhaseTimer, AttributesOpCountsWhenTracking) {
+  phase_timer t(true);
+  const auto ph = t.add("work");
+  {
+    phase_timer::section sec(t, ph);
+    pcf::counters::add_flops(123);
+    pcf::counters::add_read(40);
+    pcf::counters::add_written(8);
+  }
+  const auto& s = t.phases()[static_cast<std::size_t>(ph)];
+  EXPECT_EQ(s.ops.flops, 123u);
+  EXPECT_EQ(s.ops.bytes_read, 40u);
+  EXPECT_EQ(s.ops.bytes_written, 8u);
+
+  t.reset();
+  const auto& r = t.phases()[static_cast<std::size_t>(ph)];
+  EXPECT_EQ(r.calls, 0);
+  EXPECT_EQ(r.seconds, 0.0);
+  EXPECT_EQ(r.ops.flops, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,87 @@
+// Workspace arena invariants: alignment, LIFO scope release, peak
+// tracking, fixed capacity (overflow throws instead of growing).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "util/check.hpp"
+#include "util/workspace.hpp"
+
+namespace {
+
+using pcf::field_workspace;
+using pcf::workspace_lane;
+
+TEST(Workspace, BlocksAre64ByteAlignedAndDisjoint) {
+  workspace_lane lane;
+  lane.reserve_bytes(4096);
+  double* a = lane.alloc<double>(10);
+  double* b = lane.alloc<double>(10);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % pcf::kAlignment, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % pcf::kAlignment, 0u);
+  EXPECT_GE(b, a + 10);  // no overlap
+}
+
+TEST(Workspace, ScopeReleasesLifo) {
+  workspace_lane lane;
+  lane.reserve_bytes(4096);
+  double* permanent = lane.alloc<double>(8);
+  const std::size_t base = lane.used_bytes();
+  double* first = nullptr;
+  {
+    workspace_lane::scope outer(lane);
+    first = lane.alloc<double>(8);
+    {
+      workspace_lane::scope inner(lane);
+      (void)lane.alloc<double>(8);
+      EXPECT_GT(lane.used_bytes(), base);
+    }
+    // Inner scope released; the next checkout reuses its space.
+    double* again = lane.alloc<double>(8);
+    EXPECT_GT(again, first);
+    (void)again;
+  }
+  EXPECT_EQ(lane.used_bytes(), base);
+  // A fresh scope starts where the permanents end.
+  workspace_lane::scope scope(lane);
+  double* reused = lane.alloc<double>(8);
+  EXPECT_EQ(reused, first);
+  EXPECT_GT(reused, permanent);
+}
+
+TEST(Workspace, PeakTracksHighWaterMark) {
+  workspace_lane lane;
+  lane.reserve_bytes(4096);
+  {
+    workspace_lane::scope scope(lane);
+    (void)lane.alloc<double>(64);
+  }
+  EXPECT_EQ(lane.used_bytes(), 0u);
+  EXPECT_GE(lane.peak_bytes(), 64 * sizeof(double));
+}
+
+TEST(Workspace, OverflowThrowsInsteadOfGrowing) {
+  workspace_lane lane;
+  lane.reserve_bytes(256);
+  EXPECT_THROW((void)lane.alloc<double>(1024), pcf::precondition_error);
+  // Lane capacity is fixed once blocks are checked out.
+  (void)lane.alloc<double>(4);
+  EXPECT_THROW(lane.reserve_bytes(8192), pcf::precondition_error);
+}
+
+TEST(Workspace, FieldWorkspaceExposesAllLanes) {
+  field_workspace::sizes s;
+  s.shared_bytes = 1024;
+  s.thread_bytes = 512;
+  s.transform_bytes = 2048;
+  s.num_threads = 3;
+  field_workspace ws(s);
+  EXPECT_EQ(ws.num_thread_lanes(), 3u);
+  EXPECT_EQ(ws.shared().capacity_bytes(), 1024u);
+  EXPECT_EQ(ws.transform().capacity_bytes(), 2048u);
+  for (std::size_t t = 0; t < 3; ++t)
+    EXPECT_EQ(ws.thread(t).capacity_bytes(), 512u);
+  EXPECT_EQ(ws.total_bytes(), 1024u + 2048u + 3u * 512u);
+}
+
+}  // namespace
