@@ -1,0 +1,215 @@
+#include "analysis/determinism.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/crc.hpp"
+
+namespace pcf::determinism {
+
+namespace {
+
+std::uint64_t bits_of(double x) {
+  std::uint64_t b = 0;
+  std::memcpy(&b, &x, sizeof(b));
+  return b;
+}
+
+// Mirror of the checkpoint writer's section header (checkpoint.cpp). The
+// v2 layout is frozen — tests hash whole checkpoint files — so reading it
+// back here cannot drift from the writer.
+struct section_header {
+  char name[8];
+  std::uint64_t bytes;
+  std::uint32_t crc;
+  std::uint32_t reserved;
+};
+static_assert(sizeof(section_header) == 24, "section header must be packed");
+
+}  // namespace
+
+std::uint32_t step_fingerprint::combined() const {
+  std::uint32_t c = crc32_init();
+  c = crc32_update(c, &step, sizeof(step));
+  c = crc32_update(c, &time_bits, sizeof(time_bits));
+  c = crc32_update(c, &dt_bits, sizeof(dt_bits));
+  c = crc32_update(c, &crc_v, sizeof(crc_v));
+  c = crc32_update(c, &crc_om, sizeof(crc_om));
+  c = crc32_update(c, &crc_phi, sizeof(crc_phi));
+  c = crc32_update(c, &crc_mean, sizeof(crc_mean));
+  return crc32_final(c);
+}
+
+step_fingerprint fingerprint(core::channel_dns& dns,
+                             const std::string& scratch_path) {
+  // The gathered-global format is the decomposition-independent view of
+  // the state: each rank's mode lines land at their global offsets through
+  // an exact single-owner sum reduction, so the section CRCs match across
+  // any pa x pb split. save_checkpoint_global barriers before returning,
+  // after which every rank may read the file.
+  dns.save_checkpoint_global(scratch_path);
+
+  step_fingerprint fp;
+  fp.step = dns.step_count();
+  fp.time_bits = bits_of(dns.time());
+  fp.dt_bits = bits_of(dns.dt());
+
+  std::ifstream is(scratch_path, std::ios::binary);
+  PCF_REQUIRE(is.good(),
+              "cannot reopen fingerprint scratch checkpoint: " + scratch_path);
+  // Header: magic u64, dims u64[3], time double, steps long, meta u32[2].
+  is.seekg(static_cast<std::streamoff>(4 * sizeof(std::uint64_t) +
+                                       sizeof(double) + sizeof(long)));
+  std::uint32_t meta[2] = {0, 0};
+  is.read(reinterpret_cast<char*>(meta), sizeof(meta));
+  PCF_REQUIRE(!is.fail() && meta[0] == 4,
+              "fingerprint scratch checkpoint has unexpected layout");
+  const char* names[4] = {"c_v", "c_om", "c_phi", "mean"};
+  std::uint32_t* out[4] = {&fp.crc_v, &fp.crc_om, &fp.crc_phi, &fp.crc_mean};
+  for (int t = 0; t < 4; ++t) {
+    section_header h{};
+    is.read(reinterpret_cast<char*>(&h), sizeof(h));
+    PCF_REQUIRE(!is.fail() &&
+                    std::string(h.name, strnlen(h.name, sizeof(h.name))) ==
+                        names[t],
+                std::string("fingerprint scratch checkpoint section '") +
+                    names[t] + "' missing");
+    *out[t] = h.crc;
+    is.seekg(static_cast<std::streamoff>(h.bytes), std::ios::cur);
+  }
+  return fp;
+}
+
+trace record_trace(core::channel_dns& dns, int nsteps,
+                   const std::string& scratch_path) {
+  trace t;
+  t.steps.reserve(static_cast<std::size_t>(nsteps) + 1);
+  t.steps.push_back(fingerprint(dns, scratch_path));
+  for (int s = 0; s < nsteps; ++s) {
+    dns.step();
+    t.steps.push_back(fingerprint(dns, scratch_path));
+  }
+  return t;
+}
+
+std::vector<divergence> compare(const trace& expected, const trace& actual) {
+  std::vector<divergence> divs;
+  if (expected.steps.size() != actual.steps.size()) {
+    divergence d;
+    d.row = std::min(expected.steps.size(), actual.steps.size());
+    d.field = "rows";
+    d.expected = expected.steps.size();
+    d.actual = actual.steps.size();
+    divs.push_back(d);
+  }
+  const std::size_t n = std::min(expected.steps.size(), actual.steps.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const step_fingerprint& e = expected.steps[i];
+    const step_fingerprint& a = actual.steps[i];
+    if (e == a) continue;
+    divergence d;
+    d.row = i;
+    d.step = e.step;
+    // Attribute the first differing field in evolution order: the step/
+    // time/dt bookkeeping first (a restart that re-counts steps differs
+    // there before any field does), then the evolved fields.
+    if (e.step != a.step) {
+      d.field = "step";
+      d.expected = static_cast<std::uint64_t>(e.step);
+      d.actual = static_cast<std::uint64_t>(a.step);
+    } else if (e.time_bits != a.time_bits) {
+      d.field = "time";
+      d.expected = e.time_bits;
+      d.actual = a.time_bits;
+    } else if (e.dt_bits != a.dt_bits) {
+      d.field = "dt";
+      d.expected = e.dt_bits;
+      d.actual = a.dt_bits;
+    } else if (e.crc_v != a.crc_v) {
+      d.field = "c_v";
+      d.expected = e.crc_v;
+      d.actual = a.crc_v;
+    } else if (e.crc_om != a.crc_om) {
+      d.field = "c_om";
+      d.expected = e.crc_om;
+      d.actual = a.crc_om;
+    } else if (e.crc_phi != a.crc_phi) {
+      d.field = "c_phi";
+      d.expected = e.crc_phi;
+      d.actual = a.crc_phi;
+    } else {
+      d.field = "mean";
+      d.expected = e.crc_mean;
+      d.actual = a.crc_mean;
+    }
+    divs.push_back(d);
+  }
+  return divs;
+}
+
+std::string describe(const std::vector<divergence>& divs) {
+  if (divs.empty()) return "traces are bit-identical";
+  std::ostringstream os;
+  os << std::hex;
+  for (const auto& d : divs)
+    os << "row " << std::dec << d.row << " (step " << d.step << "): " << d.field
+       << " expected 0x" << std::hex << d.expected << " got 0x" << d.actual
+       << "\n";
+  return os.str();
+}
+
+void write_trace_csv(const std::string& path, const trace& t) {
+  std::ofstream os(path);
+  PCF_REQUIRE(os.good(), "cannot open trace file for writing: " + path);
+  os << "step,time_bits,dt_bits,crc_v,crc_om,crc_phi,crc_mean,combined\n";
+  os << std::hex;
+  for (const auto& fp : t.steps)
+    os << std::dec << fp.step << std::hex << ',' << fp.time_bits << ','
+       << fp.dt_bits << ',' << fp.crc_v << ',' << fp.crc_om << ','
+       << fp.crc_phi << ',' << fp.crc_mean << ',' << fp.combined() << '\n';
+  PCF_REQUIRE(os.good(), "trace write failed: " + path);
+}
+
+trace read_trace_csv(const std::string& path) {
+  std::ifstream is(path);
+  PCF_REQUIRE(is.good(), "cannot open trace file for reading: " + path);
+  std::string line;
+  PCF_REQUIRE(static_cast<bool>(std::getline(is, line)) &&
+                  line ==
+                      "step,time_bits,dt_bits,crc_v,crc_om,crc_phi,crc_mean,"
+                      "combined",
+              "trace file header mismatch: " + path);
+  trace t;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    step_fingerprint fp;
+    char c = 0;
+    std::uint64_t combined = 0;
+    ls >> std::dec >> fp.step >> c >> std::hex >> fp.time_bits >> c >>
+        fp.dt_bits >> c >> fp.crc_v >> c >> fp.crc_om >> c >> fp.crc_phi >>
+        c >> fp.crc_mean >> c >> combined;
+    PCF_REQUIRE(!ls.fail(), "malformed trace row in " + path + ": " + line);
+    PCF_REQUIRE(combined == fp.combined(),
+                "trace row self-check failed in " + path + ": " + line);
+    t.steps.push_back(fp);
+  }
+  return t;
+}
+
+std::uint32_t file_crc32(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  PCF_REQUIRE(is.good(), "cannot open file for checksumming: " + path);
+  char buf[1 << 16];
+  std::uint32_t crc = crc32_init();
+  while (is) {
+    is.read(buf, sizeof(buf));
+    crc = crc32_update(crc, buf, static_cast<std::size_t>(is.gcount()));
+  }
+  PCF_REQUIRE(is.eof(), "file read failed while checksumming: " + path);
+  return crc32_final(crc);
+}
+
+}  // namespace pcf::determinism

@@ -3,6 +3,7 @@
 // accepted on load). The byte layout is frozen — tests hash checkpoint
 // files to pin bit-identity of the time advance across refactors.
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -155,6 +156,10 @@ void channel_dns::load_checkpoint(const std::string& path) {
   st.hg_prev.fill(cplx{0, 0});
   std::fill(st.hU_prev.begin(), st.hU_prev.end(), 0.0);
   std::fill(st.hW_prev.begin(), st.hW_prev.end(), 0.0);
+  // The restored run may step with a dt the caller changes before the first
+  // step (the runner's reduced-dt retry does); drop the factored bands so
+  // they are rebuilt against the dt actually in effect.
+  s.invalidate_solvers();
 }
 
 void channel_dns::save_checkpoint_global(const std::string& path) {
@@ -172,14 +177,22 @@ void channel_dns::save_checkpoint_global(const std::string& path) {
     std::copy_n(s.line(st.c_om, m), n, local.data() + per + g);
     std::copy_n(s.line(st.c_phi, m), n, local.data() + 2 * per + g);
   }
-  s.world.allreduce_sum(local.data(), global.data(), local.size());
+  // Each slot has exactly one owner, so gather by bitwise OR over the
+  // raw words: it reproduces the owner's bits exactly. A floating-point
+  // sum would turn an owned -0.0 into +0.0 whenever a non-owner's +0.0
+  // joins in, making the gathered bytes depend on the decomposition.
+  s.world.allreduce_bor(reinterpret_cast<const std::uint64_t*>(local.data()),
+                        reinterpret_cast<std::uint64_t*>(global.data()),
+                        2 * local.size());
   std::vector<double> mean_l(2 * n, 0.0), mean_g(2 * n);
   if (s.modes.has_mean) {
     std::copy(st.c_U.begin(), st.c_U.end(), mean_l.begin());
     std::copy(st.c_W.begin(), st.c_W.end(),
               mean_l.begin() + static_cast<std::ptrdiff_t>(n));
   }
-  s.world.allreduce_sum(mean_l.data(), mean_g.data(), mean_l.size());
+  s.world.allreduce_bor(reinterpret_cast<const std::uint64_t*>(mean_l.data()),
+                        reinterpret_cast<std::uint64_t*>(mean_g.data()),
+                        mean_l.size());
   if (s.world.rank() == 0) {
     io::atomic_file_writer os(path);
     const std::uint64_t magic = kCheckpointMagic + 1;
@@ -283,6 +296,7 @@ void channel_dns::load_checkpoint_global(const std::string& path) {
   st.hg_prev.fill(cplx{0, 0});
   std::fill(st.hU_prev.begin(), st.hU_prev.end(), 0.0);
   std::fill(st.hW_prev.begin(), st.hW_prev.end(), 0.0);
+  s.invalidate_solvers();
 }
 
 namespace {
@@ -312,7 +326,12 @@ void channel_dns::save_checkpoint_parallel(const std::string& path) {
     std::copy(st.c_W.begin(), st.c_W.end(),
               mean_l.begin() + static_cast<std::ptrdiff_t>(n));
   }
-  s.world.allreduce_sum(mean_l.data(), mean_g.data(), mean_l.size());
+  // Bitwise-OR gather, not a sum: the mean profile is owned by a single
+  // rank and a sum would flip any -0.0 coefficient to +0.0 (see
+  // save_checkpoint_global).
+  s.world.allreduce_bor(reinterpret_cast<const std::uint64_t*>(mean_l.data()),
+                        reinterpret_cast<std::uint64_t*>(mean_g.data()),
+                        mean_l.size());
   // Section CRCs must come from the in-memory state (reading the file back
   // would checksum whatever a fault left there). Each rank checksums its
   // own mode lines; rank 0 stitches them together in global offset order
@@ -478,6 +497,7 @@ void channel_dns::load_checkpoint_parallel(const std::string& path) {
   st.hg_prev.fill(cplx{0, 0});
   std::fill(st.hU_prev.begin(), st.hU_prev.end(), 0.0);
   std::fill(st.hW_prev.begin(), st.hW_prev.end(), 0.0);
+  s.invalidate_solvers();
   s.world.barrier();
 }
 

@@ -57,6 +57,13 @@ struct channel_config {
   // dedicated comm thread (see pencil::kernel_config::pipeline_depth).
   int pipeline_depth = 1;
 
+  // Widest multi-field batch one aggregated pencil exchange may carry
+  // (pencil::kernel_config::max_batch). 5 fits the five nonlinear products
+  // of an RK3 substep in one exchange per transpose stage; smaller values
+  // chunk the batch and are bit-identical (the determinism suite pins F in
+  // {1, 3, 5} to one CRC trace).
+  int max_batch = 5;
+
   // Cache the factored Helmholtz/Poisson systems and influence vectors per
   // (wavenumber, substep). Exact same results; trades memory for the
   // repeated factorizations (ablation: bench_ablation_solver_cache).

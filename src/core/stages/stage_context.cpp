@@ -7,7 +7,7 @@ namespace pcf::core {
 
 pencil::kernel_config dns_kernel_config(const channel_config& c) {
   pencil::kernel_config k{true, true, c.fft_threads, c.reorder_threads};
-  k.max_batch = 5;
+  k.max_batch = std::max(1, c.max_batch);
   k.pipeline_depth = c.pipeline_depth;
   return k;
 }

@@ -330,7 +330,7 @@ struct parallel_fft::impl {
   // per-field pencils still feed all reorder/fft threads.
 
   void pack_y_to_z(const cplx* const* specs, cplx* send, std::size_t nf) {
-    reorder_t.start();
+    const section_timer::section time_sec(reorder_t);
     const std::size_t zc = d.zs.count, ny = d.g.ny;
     const std::size_t* sc = sc_yz.data();
     const std::size_t* sd = sd_yz.data();
@@ -348,11 +348,10 @@ struct parallel_fft::impl {
       }
     });
     account(d.y_pencil_elems(), d.y_pencil_elems(), nf);
-    reorder_t.stop();
   }
 
   void unpack_z_pencil(const cplx* recv, cplx* zbuf, std::size_t nf) {
-    reorder_t.start();
+    const section_timer::section time_sec(reorder_t);
     const std::size_t yc = d.yb.count, nzf = d.nzf, nzg = d.g.nz;
     const bool dealias = nzf > nzg;
     const std::size_t* rc = rc_yz.data();
@@ -390,11 +389,10 @@ struct parallel_fft::impl {
       }
     });
     account(d.xs.count * nzg * yc, d.z_pencil_elems(), nf);
-    reorder_t.stop();
   }
 
   void pack_z_to_x(const cplx* zbuf, cplx* send, std::size_t nf) {
-    reorder_t.start();
+    const section_timer::section time_sec(reorder_t);
     const std::size_t yc = d.yb.count, nzf = d.nzf;
     const std::size_t* sc = sc_zx.data();
     const std::size_t* sd = sd_zx.data();
@@ -412,11 +410,10 @@ struct parallel_fft::impl {
       }
     });
     account(d.z_pencil_elems(), d.z_pencil_elems(), nf);
-    reorder_t.stop();
   }
 
   void unpack_x_pencil(const cplx* recv, cplx* xbuf, std::size_t nf) {
-    reorder_t.start();
+    const section_timer::section time_sec(reorder_t);
     const std::size_t yc = d.yb.count, zc = d.zp.count;
     const std::size_t modes = d.x_line_modes();
     const std::size_t* rc = rc_zx.data();
@@ -446,13 +443,12 @@ struct parallel_fft::impl {
       }
     });
     account(d.nxs * yc * zc, d.x_pencil_spec_elems(), nf);
-    reorder_t.stop();
   }
 
   // --- forward path (physical -> spectral) --------------------------------
 
   void pack_x_to_z(const cplx* xspec, cplx* send, std::size_t nf) {
-    reorder_t.start();
+    const section_timer::section time_sec(reorder_t);
     const std::size_t yc = d.yb.count, zc = d.zp.count;
     const std::size_t modes = d.x_line_modes();
     const std::size_t* rc = rc_zx.data();
@@ -472,11 +468,10 @@ struct parallel_fft::impl {
       }
     });
     account(d.nxs * yc * zc, d.nxs * yc * zc, nf);
-    reorder_t.stop();
   }
 
   void unpack_z_from_x(const cplx* recv, cplx* zbuf, std::size_t nf) {
-    reorder_t.start();
+    const section_timer::section time_sec(reorder_t);
     const std::size_t yc = d.yb.count, nzf = d.nzf;
     const std::size_t* sc = sc_zx.data();
     const std::size_t* sd = sd_zx.data();
@@ -494,12 +489,11 @@ struct parallel_fft::impl {
       }
     });
     account(d.z_pencil_elems(), d.z_pencil_elems(), nf);
-    reorder_t.stop();
   }
 
   void pack_z_to_y(const cplx* zbuf, cplx* send, double scale,
                    std::size_t nf) {
-    reorder_t.start();
+    const section_timer::section time_sec(reorder_t);
     const std::size_t yc = d.yb.count, nzf = d.nzf, nzg = d.g.nz;
     const std::size_t* rc = rc_yz.data();
     const std::size_t* rd = rd_yz.data();
@@ -525,11 +519,10 @@ struct parallel_fft::impl {
       }
     });
     account(d.xs.count * nzg * yc, d.xs.count * nzg * yc, nf);
-    reorder_t.stop();
   }
 
   void unpack_y_pencil(const cplx* recv, cplx* const* specs, std::size_t nf) {
-    reorder_t.start();
+    const section_timer::section time_sec(reorder_t);
     const std::size_t zc = d.zs.count, ny = d.g.ny;
     const std::size_t* sc = sc_yz.data();
     const std::size_t* sd = sd_yz.data();
@@ -547,7 +540,6 @@ struct parallel_fft::impl {
       }
     });
     account(d.y_pencil_elems(), d.y_pencil_elems(), nf);
-    reorder_t.stop();
   }
 
   // --- FFT stages ----------------------------------------------------------
@@ -556,7 +548,7 @@ struct parallel_fft::impl {
   // boundaries, so a chunk never spans two fields' workspace slots.
 
   void z_fft(cplx* zbuf, const fft::c2c_plan& plan, std::size_t nf) {
-    fft_t.start();
+    const section_timer::section time_sec(fft_t);
     const std::size_t lines = d.xs.count * d.yb.count;
     const std::size_t len = d.nzf;
     fft_pool.run(lines * nf, [&](std::size_t b, std::size_t e) {
@@ -568,11 +560,10 @@ struct parallel_fft::impl {
         b += cnt;
       }
     });
-    fft_t.stop();
   }
 
   void x_c2r(const cplx* xspec, double* const* phys, std::size_t nf) {
-    fft_t.start();
+    const section_timer::section time_sec(fft_t);
     const std::size_t lines = d.zp.count * d.yb.count;
     const std::size_t modes = d.x_line_modes();
     fft_pool.run(lines * nf, [&](std::size_t b, std::size_t e) {
@@ -584,11 +575,10 @@ struct parallel_fft::impl {
         b += cnt;
       }
     });
-    fft_t.stop();
   }
 
   void x_r2c(const double* const* phys, cplx* xspec, std::size_t nf) {
-    fft_t.start();
+    const section_timer::section time_sec(fft_t);
     const std::size_t lines = d.zp.count * d.yb.count;
     const std::size_t modes = d.x_line_modes();
     fft_pool.run(lines * nf, [&](std::size_t b, std::size_t e) {
@@ -600,34 +590,29 @@ struct parallel_fft::impl {
         b += cnt;
       }
     });
-    fft_t.stop();
   }
 
   // --- transposes (communication) ------------------------------------------
 
   void a2a_yz(const cplx* send, cplx* recv, std::size_t nf) {
-    comm_t.start();
+    const section_timer::section time_sec(comm_t);
     do_exchange_batch(comm_b, strat_b, send, sc_yz.data(), sd_yz.data(), recv,
                       rc_yz.data(), rd_yz.data(), nf);
-    comm_t.stop();
   }
   void a2a_zy(const cplx* send, cplx* recv, std::size_t nf) {
-    comm_t.start();
+    const section_timer::section time_sec(comm_t);
     do_exchange_batch(comm_b, strat_b, send, rc_yz.data(), rd_yz.data(), recv,
                       sc_yz.data(), sd_yz.data(), nf);
-    comm_t.stop();
   }
   void a2a_zx(const cplx* send, cplx* recv, std::size_t nf) {
-    comm_t.start();
+    const section_timer::section time_sec(comm_t);
     do_exchange_batch(comm_a, strat_a, send, sc_zx.data(), sd_zx.data(), recv,
                       rc_zx.data(), rd_zx.data(), nf);
-    comm_t.stop();
   }
   void a2a_xz(const cplx* send, cplx* recv, std::size_t nf) {
-    comm_t.start();
+    const section_timer::section time_sec(comm_t);
     do_exchange_batch(comm_a, strat_a, send, rc_zx.data(), rd_zx.data(), recv,
                       sc_zx.data(), sd_zx.data(), nf);
-    comm_t.stop();
   }
 
   // --- batched drivers -----------------------------------------------------
@@ -739,7 +724,12 @@ struct parallel_fft::impl {
 
   template <class Pre, class X1, class C1, class X2, class C2>
   void run_pipeline(std::size_t groups, Pre pre, X1 x1, C1 c1, X2 x2, C2 c2) {
-    // Ticket arrays are preallocated members (groups <= pipeline_depth).
+    // The callers clamp the group count to min(pipeline_depth, nf); an
+    // empty or over-deep group set would enqueue zero-field exchanges on
+    // the comm thread (whose collectives must match across ranks), so it
+    // is a hard error rather than a silent no-op.
+    PCF_REQUIRE(groups >= 1 && groups <= tk1_.size(),
+                "pipeline group count out of range");
     std::vector<vmpi::async_proxy::ticket>&t1 = tk1_, &t2 = tk2_;
     try {
       pre(0);

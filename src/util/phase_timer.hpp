@@ -19,6 +19,7 @@
 // no counters and record wall time only.
 #pragma once
 
+#include <cassert>
 #include <string>
 #include <vector>
 
@@ -62,6 +63,9 @@ class phase_timer {
   /// concurrently.
   void start(id p) {
     auto& l = live_[static_cast<std::size_t>(p)];
+    assert(!l.running && "phase started twice without an intervening stop");
+    l.running = true;
+    ++open_;
     if (track_ops_) {
       counters::drain();
       l.mark = counters::total();
@@ -73,6 +77,9 @@ class phase_timer {
   void stop(id p) {
     auto& l = live_[static_cast<std::size_t>(p)];
     auto& s = phases_[static_cast<std::size_t>(p)];
+    assert(l.running && "phase stopped without a matching start");
+    l.running = false;
+    --open_;
     s.seconds += l.t.seconds();
     if (track_ops_) {
       counters::drain();
@@ -101,8 +108,15 @@ class phase_timer {
     return phases_;
   }
 
-  /// Zero every phase's accumulation; the registered tree is kept.
+  /// Number of phases currently between start() and stop(). Zero at every
+  /// step boundary; a nonzero value there means an unbalanced start/stop
+  /// pair (the debug asserts in start()/stop() catch the usual culprits).
+  [[nodiscard]] int open_phases() const { return open_; }
+
+  /// Zero every phase's accumulation; the registered tree is kept. Resets
+  /// are step-boundary operations: no phase may still be open.
   void reset() {
+    assert(open_ == 0 && "phase timer reset with a phase still open");
     for (auto& p : phases_) {
       p.seconds = 0.0;
       p.calls = 0;
@@ -114,8 +128,10 @@ class phase_timer {
   struct live {
     wall_timer t;
     op_counts mark;
+    bool running = false;
   };
   bool track_ops_ = true;
+  int open_ = 0;
   std::vector<phase_stats> phases_;
   std::vector<live> live_;
 };

@@ -37,7 +37,23 @@ class section_timer {
   }
   [[nodiscard]] double total() const { return total_; }
   [[nodiscard]] long count() const { return count_; }
+  [[nodiscard]] bool running() const { return running_; }
   void reset() { total_ = 0.0; count_ = 0; running_ = false; }
+
+  /// RAII start/stop: the interval is charged even when the timed code
+  /// throws, so an exception (blow-up abort, workspace overflow) cannot
+  /// leave the timer running and fold the unwound frames into the next
+  /// interval's wall time.
+  class section {
+   public:
+    explicit section(section_timer& t) : t_(&t) { t.start(); }
+    ~section() { t_->stop(); }
+    section(const section&) = delete;
+    section& operator=(const section&) = delete;
+
+   private:
+    section_timer* t_;
+  };
 
  private:
   wall_timer t_;

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cassert>
 #include <cstddef>
 #include <cstring>
 #include <vector>
@@ -66,14 +67,18 @@ class workspace_lane {
   }
 
   /// RAII release point: restores the bump pointer to where it was at
-  /// construction, freeing every block allocated since. Must be destroyed
-  /// in LIFO order relative to other scopes on the same lane.
+  /// construction, freeing every block allocated since — including during
+  /// stack unwinding, so a throwing stage leaves the lane exactly as it
+  /// found it and the post-recovery step starts from a clean arena. Must
+  /// be destroyed in LIFO order relative to other scopes on the same lane
+  /// (asserted in debug builds).
   class scope {
    public:
-    explicit scope(workspace_lane& lane) : lane_(&lane), saved_(lane.top_) {
-      ++lane.live_scopes_;
-    }
+    explicit scope(workspace_lane& lane)
+        : lane_(&lane), saved_(lane.top_), depth_(++lane.live_scopes_) {}
     ~scope() {
+      assert(lane_->live_scopes_ == depth_ &&
+             "workspace scopes released out of LIFO order");
       --lane_->live_scopes_;
 #ifndef NDEBUG
       // Poison the released region: a stage holding a pointer past its
@@ -89,12 +94,15 @@ class workspace_lane {
    private:
     workspace_lane* lane_;
     std::size_t saved_;
+    int depth_;
   };
 
   [[nodiscard]] std::size_t capacity_bytes() const { return slab_.size(); }
   [[nodiscard]] std::size_t used_bytes() const { return top_; }
   /// High-water mark since reserve_bytes() — for sizing reports.
   [[nodiscard]] std::size_t peak_bytes() const { return peak_; }
+  /// Scopes currently open on this lane (zero at step boundaries).
+  [[nodiscard]] int live_scopes() const { return live_scopes_; }
 
  private:
   aligned_buffer<unsigned char> slab_;

@@ -208,6 +208,12 @@ void communicator::allreduce_min(const double* send, double* recv,
               [](double a, double b) { return a < b ? a : b; });
 }
 
+void communicator::allreduce_bor(const std::uint64_t* send,
+                                 std::uint64_t* recv, std::size_t count) {
+  reduce_impl(*state_, rank_, send, recv, count,
+              [](std::uint64_t a, std::uint64_t b) { return a | b; });
+}
+
 void communicator::bcast_bytes(void* data, std::size_t bytes, int root) {
   auto& st = *state_;
   PCF_REQUIRE(root >= 0 && root < st.size, "bcast root out of range");

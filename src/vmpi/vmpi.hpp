@@ -87,6 +87,13 @@ class communicator {
                      std::complex<double>* recv, std::size_t count);
   void allreduce_max(const double* send, double* recv, std::size_t count);
   void allreduce_min(const double* send, double* recv, std::size_t count);
+  /// Bitwise-OR reduction (MPI_BOR). The exact gather for single-owner
+  /// data: non-owners contribute all-zero words, so the owner's bit
+  /// pattern survives verbatim. A floating-point sum is NOT equivalent —
+  /// IEEE 754 gives (-0.0) + (+0.0) = +0.0, so summing would flip the
+  /// sign of negative zeros depending on how many ranks participate.
+  void allreduce_bor(const std::uint64_t* send, std::uint64_t* recv,
+                     std::size_t count);
 
   /// Broadcast count*sizeof(T) bytes from root.
   template <class T>

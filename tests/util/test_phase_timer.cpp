@@ -2,6 +2,8 @@
 // inclusion of children, op-count attribution, and reset.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "util/counters.hpp"
 #include "util/phase_timer.hpp"
 
@@ -35,6 +37,35 @@ TEST(PhaseTimer, ParentsIncludeChildrenAndCallsCount) {
   // The child ran entirely inside the parent's section.
   EXPECT_GE(p[static_cast<std::size_t>(root)].seconds,
             p[static_cast<std::size_t>(child)].seconds);
+}
+
+// A thrown stage must not leave the enclosing phases open: the RAII
+// sections stop their phases during unwinding, so the step after a
+// recovery starts from a balanced timer instead of folding the unwound
+// frames into a still-running parent.
+TEST(PhaseTimer, SectionsUnwindBalancedOnException) {
+  phase_timer t(false);
+  const auto root = t.add("step");
+  const auto child = t.add("stage", root);
+  EXPECT_THROW(
+      {
+        phase_timer::section step_sec(t, root);
+        phase_timer::section stage_sec(t, child);
+        throw std::runtime_error("blow-up mid-stage");
+      },
+      std::runtime_error);
+  EXPECT_EQ(t.open_phases(), 0);
+  EXPECT_EQ(t.phases()[static_cast<std::size_t>(root)].calls, 1);
+  EXPECT_EQ(t.phases()[static_cast<std::size_t>(child)].calls, 1);
+  // The post-recovery step times normally on the balanced timer.
+  {
+    phase_timer::section step_sec(t, root);
+    phase_timer::section stage_sec(t, child);
+  }
+  EXPECT_EQ(t.open_phases(), 0);
+  EXPECT_EQ(t.phases()[static_cast<std::size_t>(root)].calls, 2);
+  t.reset();  // balanced: the debug assert in reset() must not fire
+  EXPECT_EQ(t.phases()[static_cast<std::size_t>(root)].calls, 0);
 }
 
 TEST(PhaseTimer, AttributesOpCountsWhenTracking) {

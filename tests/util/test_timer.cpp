@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <thread>
 
 #include "util/timer.hpp"
@@ -57,6 +58,22 @@ TEST(SectionTimer, ResetClears) {
   t.reset();
   EXPECT_EQ(t.total(), 0.0);
   EXPECT_EQ(t.count(), 0);
+}
+
+TEST(SectionTimer, RaiiSectionStopsOnException) {
+  section_timer t;
+  EXPECT_THROW(
+      {
+        section_timer::section sec(t);
+        throw std::runtime_error("timed code threw");
+      },
+      std::runtime_error);
+  EXPECT_FALSE(t.running());
+  EXPECT_EQ(t.count(), 1);
+  {
+    section_timer::section sec(t);
+  }
+  EXPECT_EQ(t.count(), 2);
 }
 
 }  // namespace

@@ -2,9 +2,12 @@
 // tracking, fixed capacity (overflow throws instead of growing).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <stdexcept>
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 #include "util/workspace.hpp"
 
 namespace {
@@ -67,6 +70,51 @@ TEST(Workspace, OverflowThrowsInsteadOfGrowing) {
   // Lane capacity is fixed once blocks are checked out.
   (void)lane.alloc<double>(4);
   EXPECT_THROW(lane.reserve_bytes(8192), pcf::precondition_error);
+}
+
+// Emulates the staged-pipeline checkout pattern with a stage that throws
+// mid-step (the CFL blow-up abort path): one shared-lane scope plus one
+// scope per pool thread, the thread scopes unwinding on their own worker
+// before thread_pool rethrows on the caller. Every lane must come back to
+// its permanent watermark with no scopes open, permanents intact, and the
+// next "step" must run clean — a leaked scope here would hit the 0xAB
+// poison or the overflow check on the post-recovery step.
+TEST(Workspace, ThrowingStageUnwindsScopesAndLanesStayUsable) {
+  field_workspace::sizes s;
+  s.shared_bytes = 4096;
+  s.thread_bytes = 4096;
+  s.transform_bytes = 0;
+  s.num_threads = 2;
+  field_workspace ws(s);
+  pcf::thread_pool pool(2);
+
+  double* perm = ws.shared().alloc<double>(16);  // permanent checkout
+  std::fill_n(perm, 16, 1.5);
+  const std::size_t base = ws.shared().used_bytes();
+
+  auto stage = [&](bool fail) {
+    workspace_lane::scope shared_scope(ws.shared());
+    double* acc = ws.shared().alloc<double>(32);
+    std::fill_n(acc, 32, 0.0);
+    pool.run_per_thread([&](int tid) {
+      auto& lane = ws.thread(static_cast<std::size_t>(tid));
+      workspace_lane::scope thread_scope(lane);
+      double* line = lane.alloc<double>(64);
+      std::fill_n(line, 64, 2.0);
+      if (fail) throw std::runtime_error("stage blew up");
+    });
+  };
+
+  EXPECT_THROW(stage(true), std::runtime_error);
+  EXPECT_EQ(ws.shared().used_bytes(), base);
+  EXPECT_EQ(ws.shared().live_scopes(), 0);
+  for (std::size_t t = 0; t < 2; ++t) {
+    EXPECT_EQ(ws.thread(t).used_bytes(), 0u);
+    EXPECT_EQ(ws.thread(t).live_scopes(), 0);
+  }
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(perm[i], 1.5);
+  EXPECT_NO_THROW(stage(false));
+  EXPECT_EQ(ws.shared().used_bytes(), base);
 }
 
 TEST(Workspace, FieldWorkspaceExposesAllLanes) {

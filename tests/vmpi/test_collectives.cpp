@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <complex>
+#include <cstdint>
+#include <cstring>
 #include <numeric>
 #include <vector>
 
@@ -94,6 +97,30 @@ TEST_P(WorldSizes, AllreduceSumMaxMin) {
     EXPECT_EQ(s, p * (p + 1) / 2.0);
     EXPECT_EQ(mx, static_cast<double>(p));
     EXPECT_EQ(mn, 1.0);
+  });
+}
+
+// The single-owner gather primitive: OR of one owned word with all-zero
+// words from every other rank reproduces the owner's bits exactly —
+// including a -0.0 bit pattern, which a floating-point sum would flip to
+// +0.0 as soon as a second rank joins.
+TEST_P(WorldSizes, AllreduceBitwiseOrIsExactSingleOwnerGather) {
+  const int p = GetParam();
+  run_world(p, [&](communicator& c) {
+    // Slot r is owned by rank r; slot p holds -0.0 owned by rank 0.
+    std::vector<std::uint64_t> send(static_cast<std::size_t>(p) + 1, 0);
+    send[static_cast<std::size_t>(c.rank())] =
+        0xdead0000ull + static_cast<std::uint64_t>(c.rank());
+    const double neg_zero = -0.0;
+    if (c.rank() == 0) std::memcpy(&send[send.size() - 1], &neg_zero, 8);
+    std::vector<std::uint64_t> recv(send.size());
+    c.allreduce_bor(send.data(), recv.data(), send.size());
+    for (int r = 0; r < p; ++r)
+      EXPECT_EQ(recv[static_cast<std::size_t>(r)],
+                0xdead0000ull + static_cast<std::uint64_t>(r));
+    double back;
+    std::memcpy(&back, &recv[recv.size() - 1], 8);
+    EXPECT_TRUE(std::signbit(back)) << "gather lost the -0.0 sign bit";
   });
 }
 
