@@ -1,13 +1,17 @@
-// Batched/pipelined pencil-transform benchmark: per-field vs batched vs
-// pipelined on the Table-5 measured grid, emitting BENCH_pencil.json so
-// later changes have a perf trajectory to compare against.
+// Batched/pipelined/autotuned pencil-transform benchmark: per-field vs
+// batched vs pipelined vs the autotuner's pick, on the Table-5 measured
+// grid plus a smaller dealiased split, emitting BENCH_pencil.json so later
+// changes have a perf trajectory to compare against.
 //
 // The workload is one RK3 substage's worth of transforms (3 fields
 // spectral -> physical, 5 fields physical -> spectral), the pattern
 // simulation.cpp runs three times per step. Per-field issues 16 transpose
 // exchanges per substage; batched aggregates them into 4; pipelined
 // additionally overlaps each exchange with the neighbouring field group's
-// FFT/reorder work on a comm thread.
+// FFT/reorder work on a comm thread. The autotuned mode first runs the
+// measured tuner (storing its decision in an on-disk cache), then reloads
+// the cache — exercising both the tune and replay paths production uses —
+// and runs whatever {strategies, F, depth} the tuner chose.
 //
 // Usage: bench_pencil_batch [--fast]
 //   --fast: small grid / few ranks / few reps — the ctest `perf`-label
@@ -19,12 +23,20 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "pencil/autotune.hpp"
 #include "pencil/pencil.hpp"
 #include "util/aligned.hpp"
 
 using namespace pcf::pencil;
 
 namespace {
+
+struct bench_config {
+  std::string label;
+  grid g;
+  int pa = 1, pb = 1;
+  bool dealias = false;
+};
 
 struct mode_result {
   std::string name;
@@ -36,18 +48,19 @@ struct mode_result {
   std::uint64_t alltoall_calls = 0;  // vmpi calls per substage (both comms)
 };
 
-mode_result run_mode(const std::string& name, const grid& g, int pa, int pb,
-                     int trials, int reps, bool batched, int pipeline_depth) {
+const char* strategy_name(exchange_strategy s) {
+  return s == exchange_strategy::pairwise ? "pairwise" : "alltoall";
+}
+
+mode_result run_mode(const std::string& name, const bench_config& bc,
+                     int trials, int reps, const kernel_config& cfg,
+                     bool batched) {
   mode_result out;
   out.name = name;
   std::mutex m;
-  pcf::vmpi::run_world(pa * pb, [&](pcf::vmpi::communicator& world) {
-    pcf::vmpi::cart2d cart(world, pa, pb);
-    kernel_config cfg;
-    cfg.dealias = false;  // Table-5 configuration (comm benchmark)
-    cfg.max_batch = batched ? 5 : 1;
-    cfg.pipeline_depth = pipeline_depth;
-    parallel_fft pf(g, cart, cfg);
+  pcf::vmpi::run_world(bc.pa * bc.pb, [&](pcf::vmpi::communicator& world) {
+    pcf::vmpi::cart2d cart(world, bc.pa, bc.pb);
+    parallel_fft pf(bc.g, cart, cfg);
     const auto& d = pf.dec();
 
     std::vector<pcf::aligned_buffer<cplx>> spec(5);
@@ -124,8 +137,42 @@ mode_result run_mode(const std::string& name, const grid& g, int pa, int pb,
   return out;
 }
 
-void write_json(const char* path, const grid& g, int ranks, int reps,
-                const std::vector<mode_result>& rs) {
+/// Run the measured autotuner for `bc`, persist its decision in `cache`,
+/// then reload the cache from disk and return the stored choice — the
+/// exact tune -> store -> reload round trip production restarts take.
+tune_choice tune_and_reload(const bench_config& bc,
+                            const kernel_config& base,
+                            const std::string& cache, int reps) {
+  std::mutex m;
+  tune_choice tuned;
+  pcf::vmpi::run_world(bc.pa * bc.pb, [&](pcf::vmpi::communicator& world) {
+    pcf::vmpi::cart2d cart(world, bc.pa, bc.pb);
+    tune_options opt;
+    opt.cache_path = cache;
+    opt.reps = reps;
+    opt.force_retune = true;  // a bench must measure, not replay old runs
+    const tune_report rep = autotune_transforms(bc.g, world, cart, base, opt);
+    if (world.rank() == 0) {
+      std::lock_guard<std::mutex> lk(m);
+      tuned = rep.choice;
+    }
+  });
+  // Prove the persisted entry replays: the stored choice must round trip.
+  const auto entries = load_tuning_cache(cache);
+  const auto* hit =
+      find_tuning_entry(entries, make_tune_key(bc.g, base, bc.pa, bc.pb));
+  if (hit != nullptr) tuned = hit->choice;
+  return tuned;
+}
+
+struct config_report {
+  bench_config bc;
+  tune_choice tuned;
+  std::vector<mode_result> rs;  // per_field, batched, pipelined, autotuned
+};
+
+void write_json(const char* path, int reps,
+                const std::vector<config_report>& reports) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::perror("BENCH_pencil.json");
@@ -133,25 +180,49 @@ void write_json(const char* path, const grid& g, int ranks, int reps,
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"pencil_batch\",\n");
-  std::fprintf(f, "  \"grid\": [%zu, %zu, %zu],\n", g.nx, g.ny, g.nz);
-  std::fprintf(f, "  \"ranks\": %d,\n  \"reps\": %d,\n", ranks, reps);
+  std::fprintf(f, "  \"reps\": %d,\n", reps);
   std::fprintf(f, "  \"substage\": \"3x to_physical + 5x to_spectral\",\n");
-  std::fprintf(f, "  \"modes\": [\n");
-  for (std::size_t i = 0; i < rs.size(); ++i) {
-    const auto& r = rs[i];
+  std::fprintf(f, "  \"configs\": [\n");
+  for (std::size_t c = 0; c < reports.size(); ++c) {
+    const auto& rep = reports[c];
+    const auto& rs = rep.rs;
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"label\": \"%s\",\n", rep.bc.label.c_str());
+    std::fprintf(f, "      \"grid\": [%zu, %zu, %zu],\n", rep.bc.g.nx,
+                 rep.bc.g.ny, rep.bc.g.nz);
+    std::fprintf(f, "      \"ranks\": %d, \"pa\": %d, \"pb\": %d,\n",
+                 rep.bc.pa * rep.bc.pb, rep.bc.pa, rep.bc.pb);
+    std::fprintf(f, "      \"dealias\": %s,\n",
+                 rep.bc.dealias ? "true" : "false");
     std::fprintf(f,
-                 "    {\"name\": \"%s\", \"total_s\": %.6e, \"comm_s\": "
-                 "%.6e, \"reorder_s\": %.6e, \"fft_s\": %.6e, \"exchanges\": "
-                 "%llu, \"alltoall_calls\": %llu}%s\n",
-                 r.name.c_str(), r.total, r.comm, r.reorder, r.fft,
-                 static_cast<unsigned long long>(r.exchanges),
-                 static_cast<unsigned long long>(r.alltoall_calls),
-                 i + 1 < rs.size() ? "," : "");
+                 "      \"tuned_choice\": {\"strat_a\": \"%s\", \"strat_b\": "
+                 "\"%s\", \"batch\": %d, \"pipeline_depth\": %d},\n",
+                 strategy_name(rep.tuned.strat_a),
+                 strategy_name(rep.tuned.strat_b), rep.tuned.batch,
+                 rep.tuned.pipeline_depth);
+    std::fprintf(f, "      \"modes\": [\n");
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+      const auto& r = rs[i];
+      std::fprintf(
+          f,
+          "        {\"name\": \"%s\", \"total_s\": %.6e, \"comm_s\": %.6e, "
+          "\"reorder_s\": %.6e, \"fft_s\": %.6e, \"exchanges\": %llu, "
+          "\"alltoall_calls\": %llu}%s\n",
+          r.name.c_str(), r.total, r.comm, r.reorder, r.fft,
+          static_cast<unsigned long long>(r.exchanges),
+          static_cast<unsigned long long>(r.alltoall_calls),
+          i + 1 < rs.size() ? "," : "");
+    }
+    std::fprintf(f, "      ],\n");
+    std::fprintf(f, "      \"speedup_batched\": %.4f,\n",
+                 rs[0].total / rs[1].total);
+    std::fprintf(f, "      \"speedup_pipelined\": %.4f,\n",
+                 rs[0].total / rs[2].total);
+    std::fprintf(f, "      \"speedup_autotuned\": %.4f\n",
+                 rs[0].total / rs[3].total);
+    std::fprintf(f, "    }%s\n", c + 1 < reports.size() ? "," : "");
   }
-  std::fprintf(f, "  ],\n");
-  std::fprintf(f, "  \"speedup_batched\": %.4f,\n",
-               rs[0].total / rs[1].total);
-  std::fprintf(f, "  \"speedup_pipelined\": %.4f\n", rs[0].total / rs[2].total);
+  std::fprintf(f, "  ]\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
 }
@@ -164,39 +235,76 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--fast") == 0) fast = true;
 
   pcf::bench::print_header(
-      "pencil batch", "per-field vs batched vs pipelined transforms");
+      "pencil batch",
+      "per-field vs batched vs pipelined vs autotuned transforms");
 
-  const grid g = fast ? grid{16, 8, 16} : grid{32, 16, 32};
-  const int pa = fast ? 2 : 8, pb = fast ? 2 : 4;
+  std::vector<bench_config> configs;
+  if (fast) {
+    configs.push_back({"fast_2x2", grid{16, 8, 16}, 2, 2, false});
+  } else {
+    // The Table-5 comm-benchmark split, plus a shallower split with
+    // dealiasing on — the shape a small production campaign runs.
+    configs.push_back({"table5_8x4", grid{32, 16, 32}, 8, 4, false});
+    configs.push_back({"dealias_2x2", grid{32, 16, 32}, 2, 2, true});
+  }
   const int reps = static_cast<int>(
       pcf::bench::env_long("PCF_BENCH_REPS", fast ? 3 : 8));
   const int trials = static_cast<int>(
       pcf::bench::env_long("PCF_BENCH_TRIALS", fast ? 2 : 5));
 
-  std::printf("grid %zu x %zu x %zu, %d ranks (%d x %d), best of %d trials "
-              "x %d reps, workload = one RK3 substage (3 down + 5 up)\n\n",
-              g.nx, g.ny, g.nz, pa * pb, pa, pb, trials, reps);
+  std::vector<config_report> reports;
+  for (const auto& bc : configs) {
+    std::printf("config %s: grid %zu x %zu x %zu, %d ranks (%d x %d), "
+                "dealias %s, best of %d trials x %d reps\n",
+                bc.label.c_str(), bc.g.nx, bc.g.ny, bc.g.nz, bc.pa * bc.pb,
+                bc.pa, bc.pb, bc.dealias ? "on" : "off", trials, reps);
 
-  std::vector<mode_result> rs;
-  rs.push_back(run_mode("per_field", g, pa, pb, trials, reps, false, 1));
-  rs.push_back(run_mode("batched", g, pa, pb, trials, reps, true, 1));
-  rs.push_back(run_mode("pipelined", g, pa, pb, trials, reps, true, 2));
+    kernel_config base;
+    base.dealias = bc.dealias;
+    base.max_batch = 5;
 
-  pcf::text_table t({"Mode", "Substage", "Comm", "Reorder", "FFT",
-                     "Exch/substage", "vs per-field"});
-  for (const auto& r : rs)
-    t.add_row({r.name, pcf::text_table::fmt_time(r.total),
-               pcf::text_table::fmt_time(r.comm),
-               pcf::text_table::fmt_time(r.reorder),
-               pcf::text_table::fmt_time(r.fft),
-               std::to_string(r.exchanges),
-               pcf::text_table::fmt(rs[0].total / r.total, 2) + "x"});
-  std::fputs(t.str().c_str(), stdout);
+    const std::string cache = "BENCH_pencil_tuning_" + bc.label + ".bin";
+    std::remove(cache.c_str());
+    const tune_choice tuned =
+        tune_and_reload(bc, base, cache, fast ? 1 : 2);
+    std::remove(cache.c_str());
+    std::printf("  tuner chose: strat_a=%s strat_b=%s F=%d depth=%d\n",
+                strategy_name(tuned.strat_a), strategy_name(tuned.strat_b),
+                tuned.batch, tuned.pipeline_depth);
 
-  write_json("BENCH_pencil.json", g, pa * pb, reps, rs);
-  std::printf("\nwrote BENCH_pencil.json (exchange aggregation: %llu -> "
-              "%llu per substage)\n",
-              static_cast<unsigned long long>(rs[0].exchanges),
-              static_cast<unsigned long long>(rs[1].exchanges));
+    config_report rep;
+    rep.bc = bc;
+    rep.tuned = tuned;
+    kernel_config per_field = base;
+    per_field.max_batch = 1;
+    kernel_config batched = base;
+    kernel_config pipelined = base;
+    pipelined.pipeline_depth = 2;
+    rep.rs.push_back(
+        run_mode("per_field", bc, trials, reps, per_field, false));
+    rep.rs.push_back(run_mode("batched", bc, trials, reps, batched, true));
+    rep.rs.push_back(
+        run_mode("pipelined", bc, trials, reps, pipelined, true));
+    rep.rs.push_back(run_mode("autotuned", bc, trials, reps,
+                              apply_tuning(base, tuned),
+                              tuned.batch > 1));
+
+    pcf::text_table t({"Mode", "Substage", "Comm", "Reorder", "FFT",
+                       "Exch/substage", "vs per-field"});
+    for (const auto& r : rep.rs)
+      t.add_row({r.name, pcf::text_table::fmt_time(r.total),
+                 pcf::text_table::fmt_time(r.comm),
+                 pcf::text_table::fmt_time(r.reorder),
+                 pcf::text_table::fmt_time(r.fft),
+                 std::to_string(r.exchanges),
+                 pcf::text_table::fmt(rep.rs[0].total / r.total, 2) + "x"});
+    std::fputs(t.str().c_str(), stdout);
+    std::printf("\n");
+    reports.push_back(std::move(rep));
+  }
+
+  write_json("BENCH_pencil.json", reps, reports);
+  std::printf("wrote BENCH_pencil.json (%zu configs x 4 modes)\n",
+              reports.size());
   return 0;
 }

@@ -68,6 +68,24 @@ struct channel_config {
   // (wavenumber, substep). Exact same results; trades memory for the
   // repeated factorizations (ablation: bench_ablation_solver_cache).
   bool cache_solvers = true;
+
+  // Measure-and-pick autotuning of the transform kernel at construction
+  // (pencil::autotune_transforms): {exchange strategy per communicator,
+  // batch width <= max_batch, pipeline depth} are timed on this grid and
+  // rank split, and the winner is written back into max_batch /
+  // pipeline_depth / strategy_a / strategy_b before any workspace is
+  // sized. Bit-identical physics for every choice (the determinism suite
+  // pins this). `tuning_cache` persists winners across runs; empty
+  // re-measures at every construction. A damaged or version-skewed cache
+  // file falls back to measurement — it never aborts a run.
+  bool autotune = false;
+  std::string tuning_cache;
+
+  // Exchange strategy per transpose communicator (CommA = z<->x, CommB =
+  // y<->z). auto_plan defers to the kernel default (alltoall) or, with
+  // `autotune`, to the measured winner.
+  pencil::exchange_strategy strategy_a = pencil::exchange_strategy::auto_plan;
+  pencil::exchange_strategy strategy_b = pencil::exchange_strategy::auto_plan;
 };
 
 /// One-dimensional energy spectra at one wall-normal location.

@@ -56,15 +56,20 @@ struct channel_dns::impl {
       : cfg(c),
         world(w),
         cart(w, c.pa, c.pb),
-        d(pencil::grid{c.nx, static_cast<std::size_t>(c.ny), c.nz},
-          dns_kernel_config(c), cart.pa(), cart.pb(), cart.coord_a(),
-          cart.coord_b()),
-        ws(dns_workspace_sizes(c, d)),
-        pf(pencil::grid{c.nx, static_cast<std::size_t>(c.ny), c.nz}, cart,
-           dns_kernel_config(c), ws.transform()),
-        ops(c.ny, c.degree, c.stretch),
-        adv_pool(std::max(1, c.advance_threads)),
-        modes(make_mode_tables(c, d)),
+        // resolve_tuning may rewrite cfg's batch/pipeline/strategy fields
+        // (collective measurement when c.autotune is set), so every member
+        // below is sized from the *resolved* cfg, not from c — in
+        // particular the workspace's transform lane, which pf permanently
+        // checks its buffers out of.
+        d(pencil::grid{cfg.nx, static_cast<std::size_t>(cfg.ny), cfg.nz},
+          dns_kernel_config(resolve_tuning(cfg, world, cart)), cart.pa(),
+          cart.pb(), cart.coord_a(), cart.coord_b()),
+        ws(dns_workspace_sizes(cfg, d)),
+        pf(pencil::grid{cfg.nx, static_cast<std::size_t>(cfg.ny), cfg.nz},
+           cart, dns_kernel_config(cfg), ws.transform()),
+        ops(cfg.ny, cfg.degree, cfg.stretch),
+        adv_pool(std::max(1, cfg.advance_threads)),
+        modes(make_mode_tables(cfg, d)),
         state(modes, d.x_pencil_real_elems(), ws),
         stats_acc(d.yb.count, d.yb.offset, modes.n),
         timers(world.size() == 1),

@@ -9,7 +9,31 @@ pencil::kernel_config dns_kernel_config(const channel_config& c) {
   pencil::kernel_config k{true, true, c.fft_threads, c.reorder_threads};
   k.max_batch = std::max(1, c.max_batch);
   k.pipeline_depth = c.pipeline_depth;
+  k.strategy_a = c.strategy_a;
+  k.strategy_b = c.strategy_b;
   return k;
+}
+
+pencil::tune_key dns_tune_key(const channel_config& c) {
+  const pencil::grid g{c.nx, static_cast<std::size_t>(c.ny), c.nz};
+  return pencil::make_tune_key(g, dns_kernel_config(c), c.pa, c.pb);
+}
+
+const channel_config& resolve_tuning(channel_config& c,
+                                     vmpi::communicator& world,
+                                     vmpi::cart2d& cart) {
+  if (!c.autotune) return c;
+  const pencil::grid g{c.nx, static_cast<std::size_t>(c.ny), c.nz};
+  pencil::tune_options opt;
+  opt.cache_path = c.tuning_cache;
+  const pencil::tune_report rep =
+      pencil::autotune_transforms(g, world, cart, dns_kernel_config(c), opt);
+  c.max_batch = rep.choice.batch;
+  c.pipeline_depth = rep.choice.pipeline_depth;
+  c.strategy_a = rep.choice.strat_a;
+  c.strategy_b = rep.choice.strat_b;
+  c.autotune = false;  // resolved: reconstruction must not re-measure
+  return c;
 }
 
 mode_tables make_mode_tables(const channel_config& c,

@@ -21,6 +21,7 @@
 
 #include "core/operators.hpp"
 #include "core/simulation.hpp"
+#include "pencil/autotune.hpp"
 #include "pencil/pencil.hpp"
 #include "util/aligned.hpp"
 #include "util/phase_timer.hpp"
@@ -46,6 +47,20 @@ inline constexpr double kZeta[3] = {0.0, -17.0 / 60.0, -5.0 / 12.0};
 /// per transpose stage, with pipelining taken from the run configuration.
 [[nodiscard]] pencil::kernel_config dns_kernel_config(
     const channel_config& c);
+
+/// The tuning-cache key a DNS of configuration `c` measures under — what
+/// tests pre-seed and tools inspect. Derived from the *configured* batch
+/// ceiling, not a tuner-resolved one.
+[[nodiscard]] pencil::tune_key dns_tune_key(const channel_config& c);
+
+/// If c.autotune is set, run pencil::autotune_transforms for this grid and
+/// rank split (collective over `world`) and write the chosen batch width,
+/// pipeline depth and exchange strategies back into `c`; otherwise a
+/// no-op. Returns `c` for use in a constructor init list — the resolution
+/// must happen before dns_workspace_sizes() sizes the transform lane.
+const channel_config& resolve_tuning(channel_config& c,
+                                     vmpi::communicator& world,
+                                     vmpi::cart2d& cart);
 
 /// Per-rank wavenumber tables, fixed for the simulation's lifetime.
 struct mode_tables {

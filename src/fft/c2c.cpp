@@ -3,6 +3,7 @@
 #include <numbers>
 
 #include "fft/fft.hpp"
+#include "fft/scratch.hpp"
 #include "util/check.hpp"
 #include "util/counters.hpp"
 
@@ -12,12 +13,7 @@ namespace {
 
 constexpr std::size_t kMaxButterflyRadix = 31;
 
-/// Scratch shared by in-place execution and the Bluestein path; one per
-/// thread so plan execution stays thread-safe.
-std::vector<cplx>& tls_scratch() {
-  static thread_local std::vector<cplx> s;
-  return s;
-}
+using detail::scratch_arena;
 
 double twopi() { return 2.0 * std::numbers::pi; }
 
@@ -60,10 +56,15 @@ void dft_naive(const cplx* in, cplx* out, std::size_t n, int sign) {
 // ---------------------------------------------------------------------------
 
 struct stage {
-  std::size_t n = 0;          // transform length at this depth
-  std::size_t r = 0;          // radix applied at this depth
-  std::size_t m = 0;          // n / r
-  std::vector<cplx> tw;       // twiddles, layout tw[k2 * r + q] = w_n^{q k2}
+  std::size_t n = 0;     // transform length at this depth
+  std::size_t r = 0;     // radix applied at this depth
+  std::size_t m = 0;     // n / r
+  // Twiddles in planar layout: tw[(q-1)*m + k2] = w_n^{q k2} for q in
+  // 1..r-1 (the q = 0 factor is always 1 and not stored). Planar rather
+  // than column-interleaved so the per-radix combine loops below read each
+  // twiddle stream contiguously in k2 — the layout the compiler can
+  // vectorize. The *values* are identical to the interleaved layout.
+  std::vector<cplx> tw;
 };
 
 struct c2c_plan::impl {
@@ -133,13 +134,13 @@ void c2c_plan::impl::build_mixed_radix() {
     st.n = rem;
     st.r = r;
     st.m = rem / r;
-    st.tw.resize(rem);
+    st.tw.resize(st.m * (r - 1));
     for (std::size_t k2 = 0; k2 < st.m; ++k2) {
-      for (std::size_t q = 0; q < r; ++q) {
+      for (std::size_t q = 1; q < r; ++q) {
         const double ang = sign * twopi() *
                            static_cast<double>((q * k2) % st.n) /
                            static_cast<double>(st.n);
-        st.tw[k2 * r + q] = std::polar(1.0, ang);
+        st.tw[(q - 1) * st.m + k2] = std::polar(1.0, ang);
       }
     }
     if (radix_roots[r].empty()) {
@@ -184,6 +185,9 @@ namespace {
 
 /// Column butterfly: y[q] live at base[q*colstride], pre-twiddled values in
 /// t[]. Specialized for radix 2/3/4; table-driven for other small primes.
+/// Used for the m == 1 leaf stage and the generic-prime combine; the hot
+/// m > 1 radix-2/3/4 combines run the widened per-stage loops in exec()
+/// with the identical per-element arithmetic.
 inline void butterfly(cplx* base, std::size_t colstride, const cplx* t,
                       std::size_t r, const cplx* roots, double sign) {
   switch (r) {
@@ -246,22 +250,99 @@ void c2c_plan::impl::exec(std::size_t depth, const cplx* in,
   for (std::size_t q = 0; q < r; ++q)
     exec(depth + 1, in + q * istride, istride * r, out + q * m);
 
-  for (std::size_t k2 = 0; k2 < m; ++k2) {
-    const cplx* tw = &st.tw[k2 * r];
-    cplx* col = out + k2;
-    t[0] = col[0];
-    for (std::size_t q = 1; q < r; ++q) t[q] = col[q * m] * tw[q];
-    butterfly(col, m, t, r, roots(r), sign);
+  // Combine: columns k2 are independent, contiguous in memory for each
+  // branch q (out + q*m + k2), and each twiddle stream tw[(q-1)*m + k2] is
+  // contiguous in k2 — so the radix-specialized loops below vectorize
+  // across columns. Per-element arithmetic (operand order and association)
+  // is exactly the pre-restructure butterfly's, keeping results
+  // bit-identical to the per-column implementation.
+  const cplx* tw = st.tw.data();
+  const double sg = sign;
+  switch (r) {
+    case 2: {
+      cplx* c0 = out;
+      cplx* c1 = out + m;
+      for (std::size_t k2 = 0; k2 < m; ++k2) {
+        const cplx a = c0[k2];
+        const cplx b = c1[k2] * tw[k2];
+        c0[k2] = a + b;
+        c1[k2] = a - b;
+      }
+      break;
+    }
+    case 3: {
+      cplx* c0 = out;
+      cplx* c1 = out + m;
+      cplx* c2 = out + 2 * m;
+      const cplx* tw1 = tw;
+      const cplx* tw2 = tw + m;
+      const double s3 = sg * 0.8660254037844386467637231707529362;  // sqrt(3)/2
+      for (std::size_t k2 = 0; k2 < m; ++k2) {
+        const cplx t0 = c0[k2];
+        const cplx t1 = c1[k2] * tw1[k2];
+        const cplx t2 = c2[k2] * tw2[k2];
+        const cplx u = t1 + t2;
+        const cplx v = t1 - t2;
+        const cplx w = t0 - 0.5 * u;
+        const cplx iv{-s3 * v.imag(), s3 * v.real()};  // i * s3 * v
+        c0[k2] = t0 + u;
+        c1[k2] = w + iv;
+        c2[k2] = w - iv;
+      }
+      break;
+    }
+    case 4: {
+      cplx* c0 = out;
+      cplx* c1 = out + m;
+      cplx* c2 = out + 2 * m;
+      cplx* c3 = out + 3 * m;
+      const cplx* tw1 = tw;
+      const cplx* tw2 = tw + m;
+      const cplx* tw3 = tw + 2 * m;
+      for (std::size_t k2 = 0; k2 < m; ++k2) {
+        const cplx t0 = c0[k2];
+        const cplx t1 = c1[k2] * tw1[k2];
+        const cplx t2 = c2[k2] * tw2[k2];
+        const cplx t3 = c3[k2] * tw3[k2];
+        const cplx a = t0 + t2;
+        const cplx b = t0 - t2;
+        const cplx c = t1 + t3;
+        const cplx d = t1 - t3;
+        // forward (sign=-1): X1 = b - i d, X3 = b + i d
+        const cplx id{-sg * d.imag(), sg * d.real()};  // sign * i * d
+        c0[k2] = a + c;
+        c1[k2] = b + id;
+        c2[k2] = a - c;
+        c3[k2] = b - id;
+      }
+      break;
+    }
+    default: {
+      for (std::size_t k2 = 0; k2 < m; ++k2) {
+        cplx* col = out + k2;
+        t[0] = col[0];
+        for (std::size_t q = 1; q < r; ++q)
+          t[q] = col[q * m] * tw[(q - 1) * m + k2];
+        butterfly(col, m, t, r, roots(r), sign);
+      }
+      break;
+    }
   }
 }
 
 void c2c_plan::impl::exec_bluestein(const cplx* in, cplx* out) const {
-  std::vector<cplx> u(bl_m, cplx{0.0, 0.0});
-  std::vector<cplx> uhat(bl_m);
+  // Scratch comes from the per-thread arena: the two inner plan
+  // executions below are out-of-place (they check nothing out), and even
+  // a nested checkout could not invalidate u/uhat — the arena grows by
+  // adding chunks, never by moving live ones (see fft/scratch.hpp).
+  scratch_arena::scope sc(scratch_arena::tls());
+  cplx* u = sc.alloc(bl_m);
+  cplx* uhat = sc.alloc(bl_m);
+  std::fill_n(u, bl_m, cplx{0.0, 0.0});
   for (std::size_t j = 0; j < n; ++j) u[j] = in[j] * bl_chirp[j];
-  bl_fwd->execute(u.data(), uhat.data());
+  bl_fwd->execute(u, uhat);
   for (std::size_t j = 0; j < bl_m; ++j) uhat[j] *= bl_bhat[j];
-  bl_inv->execute(uhat.data(), u.data());
+  bl_inv->execute(uhat, u);
   const double inv_m = 1.0 / static_cast<double>(bl_m);
   for (std::size_t k = 0; k < n; ++k) out[k] = u[k] * inv_m * bl_chirp[k];
 }
@@ -275,10 +356,10 @@ void c2c_plan::impl::run(const cplx* in, cplx* out) const {
   if (bluestein) {
     exec_bluestein(in, out);
   } else if (in == out) {
-    auto& s = tls_scratch();
-    if (s.size() < n) s.resize(n);
-    std::copy_n(in, n, s.data());
-    exec(0, s.data(), 1, out);
+    scratch_arena::scope sc(scratch_arena::tls());
+    cplx* s = sc.alloc(n);
+    std::copy_n(in, n, s);
+    exec(0, s, 1, out);
   } else {
     exec(0, in, 1, out);
   }

@@ -7,16 +7,14 @@
 #include <vector>
 
 #include "fft/fft.hpp"
+#include "fft/scratch.hpp"
 #include "util/check.hpp"
 
 namespace pcf::fft {
 
 namespace {
 
-std::vector<cplx>& tls_scratch() {
-  static thread_local std::vector<cplx> s;
-  return s;
-}
+using detail::scratch_arena;
 
 /// Unit roots e^{sign i 2 pi k / n} for k = 0..n/2.
 std::vector<cplx> half_roots(std::size_t n, double sign) {
@@ -46,10 +44,12 @@ struct r2c_plan::impl {
 
   void run(const double* in, cplx* out) const {
     const std::size_t h = n / 2;
-    auto& s = tls_scratch();
-    if (s.size() < 2 * h) s.resize(2 * h);
-    cplx* z = s.data();
-    cplx* Z = s.data() + h;
+    // z/Z stay checked out across half.execute(); if h is not smooth that
+    // execution nests Bluestein plans on this same thread, so the scratch
+    // must come from the non-moving arena (see fft/scratch.hpp).
+    scratch_arena::scope sc(scratch_arena::tls());
+    cplx* z = sc.alloc(h);
+    cplx* Z = sc.alloc(h);
     for (std::size_t j = 0; j < h; ++j) z[j] = cplx{in[2 * j], in[2 * j + 1]};
     half.execute(z, Z);
     // Unpack: X_k = E_k + w^k O_k with
@@ -97,10 +97,10 @@ struct c2r_plan::impl {
 
   void run(const cplx* in, double* out) const {
     const std::size_t h = n / 2;
-    auto& s = tls_scratch();
-    if (s.size() < 2 * h) s.resize(2 * h);
-    cplx* Z = s.data();
-    cplx* z = s.data() + h;
+    // Same nesting hazard as r2c: Z/z live across the half-length execute.
+    scratch_arena::scope sc(scratch_arena::tls());
+    cplx* Z = sc.alloc(h);
+    cplx* z = sc.alloc(h);
     // Repack: Z_k = E_k + i O_k (scale 2 relative to the forward E/O) so
     // that r2c followed by c2r scales by exactly n, matching FFTW.
     for (std::size_t k = 0; k < h; ++k) {

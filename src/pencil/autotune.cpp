@@ -1,0 +1,320 @@
+#include "pencil/autotune.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <limits>
+
+#include "io/atomic_file.hpp"
+#include "util/crc.hpp"
+#include "util/timer.hpp"
+
+namespace pcf::pencil {
+
+namespace {
+
+// On-disk layout: header {magic, version, entry count} then fixed-size
+// entries, each 13 payload words (9 key + 4 choice) followed by a CRC-32
+// of those payload bytes. All words are native u32 — the cache is a local
+// per-machine artifact, not an interchange format.
+constexpr std::uint32_t kMagic = 0x50465443;  // "PFTC"
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kPayloadWords = 13;
+constexpr std::size_t kEntryBytes = (kPayloadWords + 1) * sizeof(std::uint32_t);
+constexpr std::size_t kHeaderBytes = 3 * sizeof(std::uint32_t);
+
+std::uint32_t encode_strategy(exchange_strategy s) {
+  return s == exchange_strategy::pairwise ? 1u : 0u;
+}
+
+bool decode_strategy(std::uint32_t v, exchange_strategy& out) {
+  if (v == 0) out = exchange_strategy::alltoall;
+  else if (v == 1) out = exchange_strategy::pairwise;
+  else return false;
+  return true;
+}
+
+void pack_entry(const tune_entry& e, std::uint32_t w[kPayloadWords + 1]) {
+  w[0] = e.key.nx;
+  w[1] = e.key.ny;
+  w[2] = e.key.nz;
+  w[3] = e.key.pa;
+  w[4] = e.key.pb;
+  w[5] = e.key.fft_threads;
+  w[6] = e.key.reorder_threads;
+  w[7] = e.key.max_batch;
+  w[8] = e.key.flags;
+  w[9] = encode_strategy(e.choice.strat_a);
+  w[10] = encode_strategy(e.choice.strat_b);
+  w[11] = static_cast<std::uint32_t>(e.choice.batch);
+  w[12] = static_cast<std::uint32_t>(e.choice.pipeline_depth);
+  w[kPayloadWords] = crc32(w, kPayloadWords * sizeof(std::uint32_t));
+}
+
+bool unpack_entry(const std::uint32_t w[kPayloadWords + 1], tune_entry& e,
+                  std::string& why) {
+  if (crc32(w, kPayloadWords * sizeof(std::uint32_t)) != w[kPayloadWords]) {
+    why = "entry CRC mismatch";
+    return false;
+  }
+  e.key = tune_key{w[0], w[1], w[2], w[3], w[4], w[5], w[6], w[7], w[8]};
+  if (!decode_strategy(w[9], e.choice.strat_a) ||
+      !decode_strategy(w[10], e.choice.strat_b)) {
+    why = "unknown exchange strategy code";
+    return false;
+  }
+  e.choice.batch = static_cast<int>(w[11]);
+  e.choice.pipeline_depth = static_cast<int>(w[12]);
+  if (e.choice.batch < 1 || e.choice.batch > 1024 ||
+      e.choice.pipeline_depth < 1 ||
+      e.choice.pipeline_depth > e.choice.batch) {
+    why = "implausible tuning choice";
+    return false;
+  }
+  return true;
+}
+
+void warn(std::vector<std::string>* sink, std::string msg) {
+  std::cerr << "pcf autotune: " << msg << "\n";
+  if (sink != nullptr) sink->push_back(std::move(msg));
+}
+
+}  // namespace
+
+tune_key make_tune_key(const grid& g, const kernel_config& base, int pa,
+                       int pb) {
+  tune_key k;
+  k.nx = static_cast<std::uint32_t>(g.nx);
+  k.ny = static_cast<std::uint32_t>(g.ny);
+  k.nz = static_cast<std::uint32_t>(g.nz);
+  k.pa = static_cast<std::uint32_t>(pa);
+  k.pb = static_cast<std::uint32_t>(pb);
+  k.fft_threads = static_cast<std::uint32_t>(std::max(1, base.fft_threads));
+  k.reorder_threads =
+      static_cast<std::uint32_t>(std::max(1, base.reorder_threads));
+  k.max_batch = static_cast<std::uint32_t>(std::max(1, base.max_batch));
+  k.flags = (base.drop_nyquist ? 1u : 0u) | (base.dealias ? 2u : 0u);
+  return k;
+}
+
+kernel_config apply_tuning(kernel_config base, const tune_choice& choice) {
+  base.strategy_a = choice.strat_a;
+  base.strategy_b = choice.strat_b;
+  base.max_batch = choice.batch;
+  base.pipeline_depth = choice.pipeline_depth;
+  return base;
+}
+
+std::vector<tune_entry> load_tuning_cache(const std::string& path,
+                                          std::vector<std::string>* warnings) {
+  std::vector<tune_entry> entries;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return entries;  // no cache yet: a silent miss
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  if (bytes.size() < kHeaderBytes) {
+    warn(warnings, "tuning cache '" + path + "' truncated header; ignoring");
+    return entries;
+  }
+  std::uint32_t hdr[3];
+  std::memcpy(hdr, bytes.data(), kHeaderBytes);
+  if (hdr[0] != kMagic) {
+    warn(warnings, "tuning cache '" + path + "' has bad magic; ignoring");
+    return entries;
+  }
+  if (hdr[1] != kVersion) {
+    warn(warnings, "tuning cache '" + path + "' has version " +
+                       std::to_string(hdr[1]) + " (expected " +
+                       std::to_string(kVersion) + "); ignoring");
+    return entries;
+  }
+  const std::size_t count = hdr[2];
+  const std::size_t body = bytes.size() - kHeaderBytes;
+  if (body != count * kEntryBytes) {
+    warn(warnings, "tuning cache '" + path +
+                       "' body size does not match its entry count; "
+                       "keeping the valid prefix");
+  }
+  const std::size_t have = std::min(count, body / kEntryBytes);
+  for (std::size_t i = 0; i < have; ++i) {
+    std::uint32_t w[kPayloadWords + 1];
+    std::memcpy(w, bytes.data() + kHeaderBytes + i * kEntryBytes, kEntryBytes);
+    tune_entry e;
+    std::string why;
+    if (unpack_entry(w, e, why)) {
+      entries.push_back(e);
+    } else {
+      warn(warnings, "tuning cache '" + path + "' entry " +
+                         std::to_string(i) + ": " + why + "; skipping it");
+    }
+  }
+  return entries;
+}
+
+void save_tuning_cache(const std::string& path,
+                       const std::vector<tune_entry>& entries) {
+  io::atomic_file_writer w(path);
+  const std::uint32_t hdr[3] = {kMagic, kVersion,
+                                static_cast<std::uint32_t>(entries.size())};
+  w.write(hdr, sizeof(hdr));
+  for (const tune_entry& e : entries) {
+    std::uint32_t words[kPayloadWords + 1];
+    pack_entry(e, words);
+    w.write(words, sizeof(words));
+  }
+  w.commit();
+}
+
+const tune_entry* find_tuning_entry(const std::vector<tune_entry>& entries,
+                                    const tune_key& key) {
+  for (const tune_entry& e : entries)
+    if (e.key == key) return &e;
+  return nullptr;
+}
+
+tune_report autotune_transforms(const grid& g, vmpi::communicator& world,
+                                vmpi::cart2d& cart, const kernel_config& base,
+                                const tune_options& opt) {
+  tune_report rep;
+  rep.key = make_tune_key(g, base, cart.pa(), cart.pb());
+  const bool root = world.rank() == 0;
+
+  // Consult the cache on rank 0 and broadcast the verdict so every rank
+  // takes the same branch (measurement is collective).
+  std::uint32_t hit[5] = {0, 0, 0, 0, 0};
+  std::vector<tune_entry> entries;
+  if (!opt.cache_path.empty()) {
+    if (root) {
+      entries = load_tuning_cache(opt.cache_path, &rep.warnings);
+      const tune_entry* e = find_tuning_entry(entries, rep.key);
+      if (e != nullptr && !opt.force_retune) {
+        hit[0] = 1;
+        hit[1] = encode_strategy(e->choice.strat_a);
+        hit[2] = encode_strategy(e->choice.strat_b);
+        hit[3] = static_cast<std::uint32_t>(e->choice.batch);
+        hit[4] = static_cast<std::uint32_t>(e->choice.pipeline_depth);
+      }
+    }
+    world.bcast(hit, 5, 0);
+  }
+  if (hit[0] != 0) {
+    rep.from_cache = true;
+    decode_strategy(hit[1], rep.choice.strat_a);
+    decode_strategy(hit[2], rep.choice.strat_b);
+    rep.choice.batch = static_cast<int>(hit[3]);
+    rep.choice.pipeline_depth = static_cast<int>(hit[4]);
+    return rep;
+  }
+
+  // Resolve the exchange strategies once, on the batch-scaled exchanges
+  // (plan_strategies measures with max_batch-wide counts and max-reduces).
+  tune_choice chosen;
+  {
+    kernel_config probe = base;
+    probe.strategy = exchange_strategy::auto_plan;
+    probe.strategy_a = exchange_strategy::auto_plan;
+    probe.strategy_b = exchange_strategy::auto_plan;
+    probe.pipeline_depth = 1;
+    parallel_fft pf(g, cart, probe);
+    chosen.strat_a = pf.strategy_a();
+    chosen.strat_b = pf.strategy_b();
+    // plan_strategies agrees within each sub-communicator group, but the
+    // cart has pa CommB groups (and pb CommA groups) that can resolve
+    // differently; the tuned choice is global, so rank 0's wins.
+    std::uint32_t sb[2] = {encode_strategy(chosen.strat_a),
+                           encode_strategy(chosen.strat_b)};
+    world.bcast(sb, 2, 0);
+    decode_strategy(sb[0], chosen.strat_a);
+    decode_strategy(sb[1], chosen.strat_b);
+  }
+
+  // Workload mirroring one RK3 nonlinear substage: 3 fields down to
+  // physical space, 5 products back up.
+  const decomp dd(g, base, cart.pa(), cart.pb(), cart.coord_a(),
+                  cart.coord_b());
+  constexpr std::size_t kDown = 3, kUp = 5;
+  std::vector<std::vector<cplx>> spec(kUp);
+  std::vector<std::vector<double>> phys(kUp);
+  for (std::size_t f = 0; f < kUp; ++f) {
+    spec[f].assign(dd.y_pencil_elems(), cplx{0.0, 0.0});
+    phys[f].assign(dd.x_pencil_real_elems(), 0.0);
+  }
+
+  const int reps = std::max(1, opt.reps);
+  double best_time = std::numeric_limits<double>::infinity();
+  const int fcand[3] = {1, 3, 5};
+  for (int F : fcand) {
+    if (F > std::max(1, base.max_batch)) continue;
+    for (int depth = 1; depth <= 2; ++depth) {
+      if (depth > F) continue;  // a group per field at most
+      parallel_fft pf(g, cart,
+                      apply_tuning(base, {chosen.strat_a, chosen.strat_b, F,
+                                          depth}));
+      const cplx* sdown[kDown];
+      double* pdown[kDown];
+      const double* pup[kUp];
+      cplx* sup[kUp];
+      for (std::size_t f = 0; f < kDown; ++f) {
+        sdown[f] = spec[f].data();
+        pdown[f] = phys[f].data();
+      }
+      for (std::size_t f = 0; f < kUp; ++f) {
+        pup[f] = phys[f].data();
+        sup[f] = spec[f].data();
+      }
+      auto substage = [&] {
+        pf.to_physical_batch(sdown, pdown, kDown);
+        pf.to_spectral_batch(pup, sup, kUp);
+      };
+      substage();  // warm-up, untimed
+      double local = std::numeric_limits<double>::infinity();
+      for (int rep = 0; rep < reps; ++rep) {
+        wall_timer t;
+        substage();
+        local = std::min(local, t.seconds());
+      }
+      double agreed = 0.0;
+      world.allreduce_max(&local, &agreed, 1);
+      rep.measured.push_back({F, depth, agreed});
+      if (F == 1 && depth == 1) rep.per_field_s = agreed;
+      // Strict < with the ascending (F, depth) sweep: ties go to the
+      // smaller batch, then the shallower pipeline — deterministic, and
+      // identical on every rank because `agreed` is.
+      if (agreed < best_time) {
+        best_time = agreed;
+        chosen.batch = F;
+        chosen.pipeline_depth = depth;
+      }
+    }
+  }
+  rep.choice = chosen;
+  rep.chosen_s = best_time;
+
+  if (!opt.cache_path.empty()) {
+    if (root) {
+      // Load-merge-store so concurrent keys (other grids/splits) survive.
+      entries = load_tuning_cache(opt.cache_path, nullptr);
+      bool replaced = false;
+      for (tune_entry& e : entries)
+        if (e.key == rep.key) {
+          e.choice = chosen;
+          replaced = true;
+        }
+      if (!replaced) entries.push_back({rep.key, chosen});
+      try {
+        save_tuning_cache(opt.cache_path, entries);
+        rep.stored = true;
+      } catch (const std::exception& ex) {
+        warn(&rep.warnings, std::string("failed to store tuning cache '") +
+                                opt.cache_path + "': " + ex.what());
+      }
+    }
+    // The cache write (or its failure) is settled before anyone returns
+    // and possibly re-reads the file.
+    world.barrier();
+  }
+  return rep;
+}
+
+}  // namespace pcf::pencil

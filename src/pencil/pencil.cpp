@@ -1,6 +1,7 @@
 #include "pencil/pencil.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <vector>
 
 #include "util/aligned.hpp"
@@ -239,13 +240,26 @@ struct parallel_fft::impl {
     do_exchange(comm, strat, send, bsc, bsd, recv, brc, brd);
   }
 
-  /// Resolve auto_plan by timing both strategies on the real buffers and
-  /// counts; all ranks must agree, so the timings are max-reduced before
-  /// the choice is made.
+  /// Resolve the per-communicator strategies. Explicit overrides
+  /// (cfg.strategy_a/b, written by the autotuner) win; otherwise the
+  /// global cfg.strategy applies, and auto_plan is resolved by timing both
+  /// candidates on the exchanges production will actually run — i.e.
+  /// batch-scaled by max_batch, not single-field (the old behaviour, which
+  /// could pick the wrong strategy for the batched workload). Each rep is
+  /// timed separately and the best kept, so one noisy rep can't flip the
+  /// choice; all ranks must agree, so the per-candidate timings are
+  /// max-reduced before the comparison.
   void plan_strategies() {
-    strat_a = cfg.strategy;
-    strat_b = cfg.strategy;
-    if (cfg.strategy != exchange_strategy::auto_plan) return;
+    auto resolve = [&](exchange_strategy per_comm) {
+      return per_comm != exchange_strategy::auto_plan ? per_comm
+                                                      : cfg.strategy;
+    };
+    strat_a = resolve(cfg.strategy_a);
+    strat_b = resolve(cfg.strategy_b);
+    const bool need_a = strat_a == exchange_strategy::auto_plan;
+    const bool need_b = strat_b == exchange_strategy::auto_plan;
+    if (!need_a && !need_b) return;
+    const auto nf = static_cast<std::size_t>(cfg.max_batch);
     auto pick = [&](vmpi::communicator& comm, const std::size_t* sc,
                     const std::size_t* sd, const std::size_t* rc,
                     const std::size_t* rd) {
@@ -255,22 +269,29 @@ struct parallel_fft::impl {
       // Untimed warm-up: the very first exchange pays first-touch page
       // faults on the freshly allocated w1/w2, which used to be charged to
       // whichever candidate ran first and biased the choice.
-      do_exchange(comm, cand[0], w1.data(), sc, sd, w2.data(), rc, rd);
+      do_exchange_batch(comm, cand[0], w1.data(), sc, sd, w2.data(), rc, rd,
+                        nf);
       double best[2];
       for (int c = 0; c < 2; ++c) {
-        wall_timer t;
-        for (int rep = 0; rep < 3; ++rep)
-          do_exchange(comm, cand[c], w1.data(), sc, sd, w2.data(), rc, rd);
-        best[c] = t.seconds();
+        best[c] = std::numeric_limits<double>::infinity();
+        for (int rep = 0; rep < 3; ++rep) {
+          wall_timer t;
+          do_exchange_batch(comm, cand[c], w1.data(), sc, sd, w2.data(), rc,
+                            rd, nf);
+          best[c] = std::min(best[c], t.seconds());
+        }
       }
       double agreed[2];
       comm.allreduce_max(best, agreed, 2);
       return agreed[0] <= agreed[1] ? cand[0] : cand[1];
     };
-    strat_b = pick(comm_b, sc_yz.data(), sd_yz.data(), rc_yz.data(),
-                   rd_yz.data());
-    strat_a = pick(comm_a, sc_zx.data(), sd_zx.data(), rc_zx.data(),
-                   rd_zx.data());
+    if (need_b)
+      strat_b = pick(comm_b, sc_yz.data(), sd_yz.data(), rc_yz.data(),
+                     rd_yz.data());
+    if (need_a)
+      strat_a = pick(comm_a, sc_zx.data(), sd_zx.data(), rc_zx.data(),
+                     rd_zx.data());
+    exchanges_ = 0;  // plan-time probes don't count toward batch_stats
   }
 
   void build_counts() {
@@ -435,10 +456,14 @@ struct parallel_fft::impl {
         for (int q = 0; q < d.pa; ++q) {
           const block xq = block_range(d.nxs, d.pa, q);
           const cplx* seg = recv + nf * rd[q] + f * rc[q];
-          for (std::size_t xl = 0; xl < xq.count; ++xl)
-            for (std::size_t y = 0; y < yc; ++y)
-              xb[(z * yc + y) * modes + xq.offset + xl] =
-                  seg[(xl * yc + y) * zc + z];
+          // y outer / xl inner: the xb writes are unit-stride in xl, so
+          // this loop vectorizes as a strided gather + contiguous store.
+          for (std::size_t y = 0; y < yc; ++y) {
+            cplx* dst = xb + (z * yc + y) * modes + xq.offset;
+            const cplx* src = seg + y * zc + z;
+            for (std::size_t xl = 0; xl < xq.count; ++xl)
+              dst[xl] = src[xl * yc * zc];
+          }
         }
       }
     });
@@ -460,10 +485,14 @@ struct parallel_fft::impl {
         for (int q = 0; q < d.pa; ++q) {
           const block xq = block_range(d.nxs, d.pa, q);
           cplx* seg = send + nf * rd[q] + f * rc[q];
-          for (std::size_t xl = 0; xl < xq.count; ++xl)
-            for (std::size_t y = 0; y < yc; ++y)
-              seg[(xl * yc + y) * zc + z] =
-                  xb[(z * yc + y) * modes + xq.offset + xl];
+          // Mirror of unpack_x_pencil: contiguous loads in xl, strided
+          // scatter stores.
+          for (std::size_t y = 0; y < yc; ++y) {
+            const cplx* src = xb + (z * yc + y) * modes + xq.offset;
+            cplx* dst = seg + y * zc + z;
+            for (std::size_t xl = 0; xl < xq.count; ++xl)
+              dst[xl * yc * zc] = src[xl];
+          }
         }
       }
     });

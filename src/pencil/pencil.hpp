@@ -77,6 +77,11 @@ struct kernel_config {
   // the exchange of group k with the FFT/reorder of its neighbours on a
   // dedicated comm thread (vmpi::async_proxy). 1 = fully synchronous.
   int pipeline_depth = 1;
+  // Per-communicator strategy overrides (CommA = z<->x, CommB = y<->z).
+  // auto_plan here means "inherit `strategy`"; the autotuner writes the
+  // measured winners through these so construction skips re-measuring.
+  exchange_strategy strategy_a = exchange_strategy::auto_plan;
+  exchange_strategy strategy_b = exchange_strategy::auto_plan;
 
   static kernel_config p3dfft_mode() {
     return kernel_config{false, false, 1, 1, exchange_strategy::alltoall};

@@ -1,0 +1,224 @@
+// The transform autotuner: cache round trips, key discrimination, the
+// measure-agree-persist flow, and per-communicator strategy overrides.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "pencil/autotune.hpp"
+#include "pencil/pencil.hpp"
+
+namespace {
+
+using pcf::pencil::apply_tuning;
+using pcf::pencil::autotune_transforms;
+using pcf::pencil::exchange_strategy;
+using pcf::pencil::find_tuning_entry;
+using pcf::pencil::grid;
+using pcf::pencil::kernel_config;
+using pcf::pencil::load_tuning_cache;
+using pcf::pencil::make_tune_key;
+using pcf::pencil::parallel_fft;
+using pcf::pencil::save_tuning_cache;
+using pcf::pencil::tune_choice;
+using pcf::pencil::tune_entry;
+using pcf::pencil::tune_key;
+using pcf::pencil::tune_options;
+using pcf::pencil::tune_report;
+using pcf::vmpi::cart2d;
+using pcf::vmpi::communicator;
+using pcf::vmpi::run_world;
+
+std::string cache_path(const std::string& tag) {
+  const std::string p = ::testing::TempDir() + "/pcf_tune_" + tag + ".bin";
+  std::remove(p.c_str());
+  return p;
+}
+
+tune_key key_for(std::uint32_t nx) {
+  tune_key k;
+  k.nx = nx;
+  k.ny = 17;
+  k.nz = 8;
+  k.pa = 2;
+  k.pb = 2;
+  k.max_batch = 5;
+  k.flags = 3;
+  return k;
+}
+
+TEST(TuningCache, MissingFileIsASilentMiss) {
+  std::vector<std::string> warnings;
+  const auto entries =
+      load_tuning_cache(cache_path("missing"), &warnings);
+  EXPECT_TRUE(entries.empty());
+  EXPECT_TRUE(warnings.empty());
+}
+
+TEST(TuningCache, RoundTripsEntries) {
+  const std::string path = cache_path("roundtrip");
+  std::vector<tune_entry> in;
+  in.push_back({key_for(16),
+                {exchange_strategy::pairwise, exchange_strategy::alltoall, 5,
+                 2}});
+  in.push_back({key_for(32),
+                {exchange_strategy::alltoall, exchange_strategy::pairwise, 3,
+                 1}});
+  save_tuning_cache(path, in);
+
+  std::vector<std::string> warnings;
+  const auto out = load_tuning_cache(path, &warnings);
+  EXPECT_TRUE(warnings.empty());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].key, in[0].key);
+  EXPECT_EQ(out[0].choice, in[0].choice);
+  EXPECT_EQ(out[1].key, in[1].key);
+  EXPECT_EQ(out[1].choice, in[1].choice);
+  std::remove(path.c_str());
+}
+
+TEST(TuningCache, LookupDiscriminatesEveryKeyField) {
+  std::vector<tune_entry> entries = {{key_for(16), tune_choice{}}};
+  EXPECT_NE(find_tuning_entry(entries, key_for(16)), nullptr);
+  EXPECT_EQ(find_tuning_entry(entries, key_for(32)), nullptr);
+  tune_key k = key_for(16);
+  k.pb = 4;
+  EXPECT_EQ(find_tuning_entry(entries, k), nullptr);
+  k = key_for(16);
+  k.flags = 1;  // different kernel flags = different measurement
+  EXPECT_EQ(find_tuning_entry(entries, k), nullptr);
+  k = key_for(16);
+  k.max_batch = 3;
+  EXPECT_EQ(find_tuning_entry(entries, k), nullptr);
+}
+
+TEST(TuningCache, ApplyTuningMapsEveryChoiceField) {
+  kernel_config base;
+  base.max_batch = 5;
+  const kernel_config k = apply_tuning(
+      base,
+      {exchange_strategy::pairwise, exchange_strategy::alltoall, 3, 2});
+  EXPECT_EQ(k.strategy_a, exchange_strategy::pairwise);
+  EXPECT_EQ(k.strategy_b, exchange_strategy::alltoall);
+  EXPECT_EQ(k.max_batch, 3);
+  EXPECT_EQ(k.pipeline_depth, 2);
+}
+
+TEST(KernelConfig, PerCommStrategyOverridesSkipMeasurement) {
+  run_world(4, [](communicator& world) {
+    cart2d cart(world, 2, 2);
+    const grid g{8, 9, 8};
+    kernel_config cfg;
+    cfg.strategy = exchange_strategy::auto_plan;  // would measure...
+    cfg.strategy_a = exchange_strategy::pairwise;  // ...but overrides win
+    cfg.strategy_b = exchange_strategy::alltoall;
+    parallel_fft pf(g, cart, cfg);
+    EXPECT_EQ(pf.strategy_a(), exchange_strategy::pairwise);
+    EXPECT_EQ(pf.strategy_b(), exchange_strategy::alltoall);
+  });
+}
+
+TEST(KernelConfig, GlobalStrategyStillAppliesWithoutOverrides) {
+  run_world(4, [](communicator& world) {
+    cart2d cart(world, 2, 2);
+    const grid g{8, 9, 8};
+    kernel_config cfg;
+    cfg.strategy = exchange_strategy::pairwise;
+    parallel_fft pf(g, cart, cfg);
+    EXPECT_EQ(pf.strategy_a(), exchange_strategy::pairwise);
+    EXPECT_EQ(pf.strategy_b(), exchange_strategy::pairwise);
+  });
+}
+
+TEST(Autotune, MeasuresAgreesAndPersists) {
+  const std::string path = cache_path("flow");
+  run_world(4, [&](communicator& world) {
+    cart2d cart(world, 2, 2);
+    const grid g{8, 9, 8};
+    kernel_config base;
+    base.max_batch = 5;
+    tune_options opt;
+    opt.cache_path = path;
+    opt.reps = 1;
+
+    const tune_report cold = autotune_transforms(g, world, cart, base, opt);
+    EXPECT_FALSE(cold.from_cache);
+    // F in {1, 3, 5} x depth in {1, 2} with depth <= F.
+    EXPECT_EQ(cold.measured.size(), 5u);
+    EXPECT_GT(cold.per_field_s, 0.0);
+    // The argmin includes the per-field baseline, so the winner is never
+    // slower than per-field *as measured*.
+    EXPECT_LE(cold.chosen_s, cold.per_field_s);
+    EXPECT_GE(cold.choice.batch, 1);
+    EXPECT_LE(cold.choice.batch, 5);
+    EXPECT_GE(cold.choice.pipeline_depth, 1);
+    EXPECT_LE(cold.choice.pipeline_depth, cold.choice.batch);
+    if (world.rank() == 0) EXPECT_TRUE(cold.stored);
+
+    // Every rank agreed on the same choice.
+    double mine[2] = {static_cast<double>(cold.choice.batch),
+                      static_cast<double>(cold.choice.pipeline_depth)};
+    double mx[2], mn[2];
+    world.allreduce_max(mine, mx, 2);
+    world.allreduce_min(mine, mn, 2);
+    EXPECT_EQ(mx[0], mn[0]);
+    EXPECT_EQ(mx[1], mn[1]);
+
+    // Second call hits the cache and returns the identical choice without
+    // measuring.
+    const tune_report warm = autotune_transforms(g, world, cart, base, opt);
+    EXPECT_TRUE(warm.from_cache);
+    EXPECT_TRUE(warm.measured.empty());
+    EXPECT_EQ(warm.choice, cold.choice);
+
+    // force_retune ignores the hit but still lands on a valid choice.
+    tune_options forced = opt;
+    forced.force_retune = true;
+    const tune_report again =
+        autotune_transforms(g, world, cart, base, forced);
+    EXPECT_FALSE(again.from_cache);
+    EXPECT_EQ(again.measured.size(), 5u);
+  });
+  std::remove(path.c_str());
+}
+
+TEST(Autotune, EmptyCachePathMeasuresAndPersistsNothing) {
+  run_world(4, [](communicator& world) {
+    cart2d cart(world, 2, 2);
+    const grid g{8, 9, 8};
+    kernel_config base;
+    base.max_batch = 3;
+    tune_options opt;  // no cache_path
+    opt.reps = 1;
+    const tune_report rep = autotune_transforms(g, world, cart, base, opt);
+    EXPECT_FALSE(rep.from_cache);
+    EXPECT_FALSE(rep.stored);
+    // max_batch = 3 prunes the F = 5 candidates.
+    EXPECT_EQ(rep.measured.size(), 3u);
+    EXPECT_LE(rep.choice.batch, 3);
+  });
+}
+
+TEST(Autotune, TunedConfigConstructsWithoutRemeasuring) {
+  const std::string path = cache_path("construct");
+  run_world(4, [&](communicator& world) {
+    cart2d cart(world, 2, 2);
+    const grid g{8, 9, 8};
+    kernel_config base;
+    base.max_batch = 5;
+    tune_options opt;
+    opt.cache_path = path;
+    opt.reps = 1;
+    const tune_report rep = autotune_transforms(g, world, cart, base, opt);
+    const kernel_config tuned = apply_tuning(base, rep.choice);
+    parallel_fft pf(g, cart, tuned);
+    EXPECT_EQ(pf.strategy_a(), rep.choice.strat_a);
+    EXPECT_EQ(pf.strategy_b(), rep.choice.strat_b);
+    EXPECT_EQ(pf.config().max_batch, rep.choice.batch);
+    EXPECT_EQ(pf.config().pipeline_depth, rep.choice.pipeline_depth);
+  });
+  std::remove(path.c_str());
+}
+
+}  // namespace
