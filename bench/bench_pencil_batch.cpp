@@ -40,8 +40,12 @@ struct bench_config {
 
 struct mode_result {
   std::string name;
-  double total = 0.0;    // wall seconds per substage cycle (rank-0 view)
-  double comm = 0.0;     // max-over-ranks section seconds, whole run
+  // All four times are seconds per substage cycle: total is the best-of
+  // -trials wall time, the sections are max-over-ranks accumulated timers
+  // normalized by the cycle count (so comm + reorder + fft ~ total, and
+  // the JSON's sections share total_s's basis).
+  double total = 0.0;
+  double comm = 0.0;
   double reorder = 0.0;
   double fft = 0.0;
   std::uint64_t exchanges = 0;       // aggregated exchanges per substage
@@ -122,12 +126,14 @@ mode_result run_mode(const std::string& name, const bench_config& bc,
       const auto a1 = cart.comm_a().stats();
       const auto b1 = cart.comm_b().stats();
       std::lock_guard<std::mutex> lk(m);
-      out.total = wall;
-      out.comm = agreed[0];
-      out.reorder = agreed[1];
-      out.fft = agreed[2];
       const auto cycles = static_cast<std::uint64_t>(trials) *
                           static_cast<std::uint64_t>(reps);
+      out.total = wall;
+      // The section timers accumulated over every trial x rep; divide by
+      // the cycle count so they share `wall`'s per-substage basis.
+      out.comm = agreed[0] / static_cast<double>(cycles);
+      out.reorder = agreed[1] / static_cast<double>(cycles);
+      out.fft = agreed[2] / static_cast<double>(cycles);
       out.exchanges = (bs1.exchanges - bs0.exchanges) / cycles;
       out.alltoall_calls = (a1.alltoall_calls - a0.alltoall_calls +
                             b1.alltoall_calls - b0.alltoall_calls) /

@@ -22,6 +22,7 @@
 
 #include "core/operators.hpp"
 #include "core/statistics.hpp"
+#include "pencil/decomp.hpp"
 #include "pencil/pencil.hpp"
 #include "vmpi/vmpi.hpp"
 
@@ -44,6 +45,17 @@ struct channel_config {
   double re_tau = 180.0;  // nu = 1 / re_tau
   double dt = 2e-4;       // fixed time step (friction units)
   double forcing = 1.0;   // mean pressure gradient -dP/dx (1 = friction units)
+
+  // Decomposition layout (pencil::decomposition): the configured pencil
+  // grid, a 1-D slab, a 2.5D slab-pencil hybrid, or `tuned` (measure the
+  // valid candidates at construction and keep the fastest — implies the
+  // transform autotuner). Slab and 2.5D resolve to a concrete pa/pb before
+  // the Cartesian split, overriding the values below; all layouts are
+  // bit-identical (the determinism suite pins all three to one CRC trace).
+  pencil::decomposition decomposition = pencil::decomposition::pencil2d;
+  // 2.5D replica-group size c (pa = c, pb = ranks / c); 0 picks the
+  // smallest valid c >= 2.
+  int replica_c = 0;
 
   // Process grid and on-node threading.
   int pa = 1;

@@ -52,10 +52,21 @@ struct channel_dns::impl {
   double time = 0.0;
   long steps = 0;
 
+  /// The Cartesian split of the *resolved* decomposition: slab / 2.5D /
+  /// tuned layouts rewrite cfg.pa/cfg.pb (collective measurement for
+  /// `tuned`) before any communicator is split, so the one cart below is
+  /// already the production layout. A plain init-list call would read
+  /// cfg.pa/cfg.pb at unspecified times relative to the resolution; the
+  /// helper sequences it.
+  static vmpi::cart2d make_cart(channel_config& c, vmpi::communicator& w) {
+    resolve_parallel_plan(c, w);
+    return {w, c.pa, c.pb};
+  }
+
   impl(const channel_config& c, vmpi::communicator& w)
       : cfg(c),
         world(w),
-        cart(w, c.pa, c.pb),
+        cart(make_cart(cfg, w)),
         // resolve_tuning may rewrite cfg's batch/pipeline/strategy fields
         // (collective measurement when c.autotune is set), so every member
         // below is sized from the *resolved* cfg, not from c — in

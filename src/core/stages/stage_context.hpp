@@ -62,6 +62,16 @@ const channel_config& resolve_tuning(channel_config& c,
                                      vmpi::communicator& world,
                                      vmpi::cart2d& cart);
 
+/// Resolve c.decomposition into a concrete process grid *before* the
+/// Cartesian split exists: slab and 2.5D layouts override c.pa/c.pb,
+/// `tuned` measures the runnable candidates (pencil::
+/// autotune_decomposition, collective over `world`, persisted in
+/// c.tuning_cache) and writes the winner back. After this call
+/// c.decomposition names a concrete layout and c.pa x c.pb covers the
+/// ranks, ready for cart2d construction.
+channel_config& resolve_parallel_plan(channel_config& c,
+                                      vmpi::communicator& world);
+
 /// Per-rank wavenumber tables, fixed for the simulation's lifetime.
 struct mode_tables {
   std::size_t n = 0;       // wall-normal points

@@ -23,6 +23,10 @@ double machine::contention(double tasks, double nodes) const {
   return std::max(f_task, f_node);
 }
 
+double machine::link_contention(double groups) const {
+  return 1.0 + link_cont_amp * sig4(groups / link_cont_sat);
+}
+
 double machine::bisection_per_node(double nodes) const {
   if (nodes <= 1.0) return mem_bw_node;
   switch (topo) {
@@ -131,6 +135,47 @@ machine machine::blue_waters() {
   m.nic_bw = 6e9;
   m.link_bw = 2.9e9;
   m.total_nodes = 22640;
+  return m;
+}
+
+machine machine::gpu_fattree_2026() {
+  machine m;
+  m.name = "GPU fat-tree (2026, NVL-island nodes)";
+  m.topo = topology::fat_tree;
+  // One "core" is one GPU: 4 per node, 18-node (72-GPU) NVLink islands.
+  m.cores_per_node = 4;
+  m.smt_per_core = 1;
+  m.core_peak_gflops = 45000;  // ~45 TF FP64 per GPU
+  // Both kernels stay HBM-bound: ~8 TB/s per GPU, transform arithmetic
+  // intensity comparable to the CPU machines' — effective rates scale
+  // with memory bandwidth, not peak.
+  m.advance_gflops_per_core = 900;
+  m.fft_gflops_per_core = 1300;
+  m.mem_bw_node = 32e12;  // 4 x 8 TB/s HBM
+  m.latency = 2.0e-6;     // network launch + wire; island hops are cheaper
+                          // but the per-message model keeps one figure
+  // Rail-optimized 400G NIC per GPU: 4 x 50 GB/s per node, ~60% effective
+  // in a full alltoall; a well-provisioned two-level fat tree decays
+  // slowly with partition size.
+  m.a2a_bw = 1.2e11;
+  m.a2a_node_exp = 0.08;
+  // Task-count contention sets in near full-machine per-GPU ranking.
+  m.cont_amp = 0.35;
+  m.task_sat = 6.0e5;
+  m.node_sat = 2.0e5;
+  m.nic_bw = 2e11;    // 4 x 50 GB/s
+  m.link_bw = 5e10;
+  m.fat_tree_oversub = 2.0;
+  m.total_nodes = 262144;  // ~10^6 GPUs at 4 per node
+  // NVLink island: 72 GPUs, ~1.8 TB/s injection per GPU through the
+  // island switch.
+  m.island_size = 72;
+  m.island_bw = 1.8e12;
+  // Per-dimension contention: many concurrent sub-communicator exchanges
+  // collide on the inter-island spine once ~hundreds of groups are in
+  // flight.
+  m.link_cont_amp = 0.35;
+  m.link_cont_sat = 256;
   return m;
 }
 

@@ -68,11 +68,28 @@ struct machine {
   double fat_tree_oversub = 2.0;
   long total_nodes = 49152;
 
+  // 2026 GPU-node extensions. An NVLink island is a rack-scale switched
+  // NVLink domain (NVL72-style): `island_size` ranks exchange at
+  // `island_bw` bytes/s per rank without touching the inter-island
+  // network. island_size = 1 (the paper-era machines) disables the path.
+  int island_size = 1;
+  double island_bw = 0.0;
+  // Per-dimension link contention: when `groups` sub-communicators of one
+  // transpose dimension drive the network concurrently, each sees
+  //   1 + link_cont_amp * sig4(groups / link_cont_sat)
+  // on top of the shared-bandwidth division the predictor already does.
+  double link_cont_amp = 0.0;
+  double link_cont_sat = 1e9;
+
   /// Effective alltoall bandwidth per node for a partition of `nodes`.
   [[nodiscard]] double alltoall_bw(double nodes) const;
 
   /// Contention multiplier for a job with the given task and node counts.
   [[nodiscard]] double contention(double tasks, double nodes) const;
+
+  /// Per-dimension link-contention multiplier for `groups` concurrent
+  /// sub-communicator exchanges (1.0 on the paper-era machines).
+  [[nodiscard]] double link_contention(double groups) const;
 
   /// Bisection bandwidth available per participating node (descriptive
   /// topology comparison; the predictor uses alltoall_bw()).
@@ -83,6 +100,12 @@ struct machine {
   static machine lonestar();
   static machine stampede();
   static machine blue_waters();
+
+  /// A modeled 2026 GPU machine: fat-tree of NVLink-island nodes (4 GPUs
+  /// per node, 18-node / 72-GPU islands), rail-optimized 400G NICs. Not a
+  /// paper system — the hardware target of the decomposition-crossover
+  /// study (bench_decomp_crossover).
+  static machine gpu_fattree_2026();
 };
 
 }  // namespace pcf::netsim

@@ -147,6 +147,126 @@ section_times predictor::timestep(const job_config& j) const {
   return t;
 }
 
+const char* to_string(decomp_kind k) {
+  switch (k) {
+    case decomp_kind::pencil2d: return "pencil2d";
+    case decomp_kind::slab: return "slab";
+    case decomp_kind::hybrid_25d: return "hybrid_25d";
+  }
+  return "?";
+}
+
+section_times predictor::decomp_sections(const job_config& j, long pa,
+                                         long pb, bool island_a) const {
+  // Reorder / FFT / advance do not depend on the process grid; reuse the
+  // calibrated timestep model and replace only the communication term.
+  section_times t = timestep(j);
+
+  workload w(j);
+  const long ranks = pa * pb;
+  const int rpn = j.ranks_per_node > 0 ? j.ranks_per_node : m_.cores_per_node;
+  const long nodes = std::max<long>(1, j.cores / m_.cores_per_node);
+  const double dn = static_cast<double>(nodes);
+  const double passes = 3.0 * 8.0;
+
+  // CommB (y<->z): pb ranks per group, pa groups exchanging concurrently.
+  double tb = 0.0;
+  if (pb > 1) {
+    const double rpn_b = std::min<double>(static_cast<double>(pb), rpn);
+    tb = alltoall_time(pb, w.yz_bytes / pa, rpn_b, ranks, pa, dn,
+                       j.per_peer_overhead);
+    if (static_cast<double>(pb) > rpn_b) tb *= m_.link_contention(pa);
+  }
+
+  // CommA (z<->x, the dealiased 1.5x exchange): pa ranks per group, pb
+  // groups concurrent. A 2.5D replica group that fits inside one NVLink
+  // island but not on one node exchanges at the island switch: each of
+  // the pa ranks injects at island_bw, once out and once in.
+  double ta = 0.0;
+  if (pa > 1) {
+    const double rpn_a = std::max(1.0, static_cast<double>(rpn) / pb);
+    const double per_a = w.zx_bytes / pb;
+    if (island_a && pa > rpn_a && pa <= m_.island_size && m_.island_bw > 0.0) {
+      ta = 2.0 * per_a / (static_cast<double>(pa) * m_.island_bw);
+    } else {
+      ta = alltoall_time(pa, per_a, rpn_a, ranks, pb, dn,
+                         j.per_peer_overhead);
+      if (static_cast<double>(pa) > rpn_a) ta *= m_.link_contention(pb);
+    }
+  }
+
+  t.comm = passes * (tb + ta);
+  return t;
+}
+
+decomp_times predictor::timestep_decomp(const job_config& j, decomp_kind k,
+                                        long replica_c) const {
+  decomp_times r;
+  r.kind = k;
+  long ranks, pa0, pb0;
+  resolve(j, ranks, pa0, pb0);
+  const long row_max =
+      static_cast<long>(std::min<std::size_t>(j.ny, j.nz));
+
+  switch (k) {
+    case decomp_kind::pencil2d:
+      r.pa = pa0;
+      r.pb = pb0;
+      r.valid = true;
+      break;
+    case decomp_kind::slab:
+      // One rank per y-slab on the spectral side, z-slab on the physical
+      // side: runnable only while every rank still owns at least one row.
+      if (ranks > row_max) return r;
+      r.pa = 1;
+      r.pb = ranks;
+      r.valid = true;
+      break;
+    case decomp_kind::hybrid_25d: {
+      const workload w(j);
+      const long cmax = std::min<long>(
+          static_cast<long>(w.nxh), static_cast<long>(j.nz));
+      auto c_ok = [&](long c) {
+        return c >= 2 && c <= cmax && ranks % c == 0 &&
+               ranks / c <= row_max;
+      };
+      if (replica_c > 0) {
+        if (!c_ok(replica_c)) return r;
+        r.pa = replica_c;
+      } else {
+        // Pick the replica count with the lowest predicted comm time.
+        double best = 0.0;
+        for (long c = 2; c <= std::min<long>(cmax, ranks); ++c) {
+          if (!c_ok(c)) continue;
+          const double comm =
+              decomp_sections(j, c, ranks / c, true).comm;
+          if (r.pa == 0 || comm < best) {
+            r.pa = c;
+            best = comm;
+          }
+        }
+        if (r.pa == 0) return r;  // no valid replica count
+      }
+      r.pb = ranks / r.pa;
+      r.valid = true;
+      break;
+    }
+  }
+  r.t = decomp_sections(j, r.pa, r.pb, k == decomp_kind::hybrid_25d);
+  return r;
+}
+
+decomp_times predictor::fastest_decomp(const job_config& j) const {
+  decomp_times best;
+  for (decomp_kind k : {decomp_kind::pencil2d, decomp_kind::slab,
+                        decomp_kind::hybrid_25d}) {
+    decomp_times r = timestep_decomp(j, k);
+    if (!r.valid) continue;
+    if (!best.valid || r.t.total() < best.t.total()) best = r;
+  }
+  return best;
+}
+
 double predictor::transpose_cycle(const job_config& j) const {
   workload w(j);
   long ranks, pa, pb;

@@ -42,6 +42,22 @@ struct section_times {
   [[nodiscard]] double total() const { return comm + reorder + fft + advance; }
 };
 
+/// Decompositions the predictor can cost. Mirrors pcf::pencil::
+/// decomposition (netsim links only pcf_util, so it cannot include the
+/// pencil header); bench_decomp_crossover keeps the two aligned.
+enum class decomp_kind { pencil2d, slab, hybrid_25d };
+
+[[nodiscard]] const char* to_string(decomp_kind k);
+
+/// Per-timestep prediction of one decomposition at one rank count.
+struct decomp_times {
+  decomp_kind kind = decomp_kind::pencil2d;
+  long pa = 0, pb = 0;  // resolved process grid (pa = replica count c
+                        // for the 2.5D layout)
+  bool valid = false;   // false: the layout cannot run at this rank count
+  section_times t;
+};
+
 class predictor {
  public:
   explicit predictor(machine m) : m_(std::move(m)) {}
@@ -70,6 +86,24 @@ class predictor {
   /// Full RK3 timestep (3 substeps, 8 field passes each) — Tables 9/10.
   [[nodiscard]] section_times timestep(const job_config& j) const;
 
+  /// Per-timestep sections under an explicit decomposition. The slab
+  /// layout (pa = 1) runs one global y<->z exchange and elides the z<->x
+  /// one entirely; the 2.5D hybrid (pa = c replica groups) trades the big
+  /// dealiased z<->x network exchange for a radix-c exchange that lands on
+  /// the NVLink island when c <= machine::island_size. Sub-communicator
+  /// fan-out pays the machine's per-dimension link contention. replica_c
+  /// picks the 2.5D c (0 = the c with the lowest predicted comm time);
+  /// ignored for the other kinds. `valid` is false when the layout cannot
+  /// run: slab needs ranks <= min(ny, nz), 2.5D needs a divisor c with
+  /// ranks / c <= min(ny, nz).
+  [[nodiscard]] decomp_times timestep_decomp(const job_config& j,
+                                             decomp_kind k,
+                                             long replica_c = 0) const;
+
+  /// The fastest valid decomposition for this job (ties go to the earlier
+  /// enum value, i.e. pencil).
+  [[nodiscard]] decomp_times fastest_decomp(const job_config& j) const;
+
   /// One transpose cycle (x->z->y then y->z->x) for three velocity fields,
   /// communication only — Table 5.
   [[nodiscard]] double transpose_cycle(const job_config& j) const;
@@ -85,6 +119,12 @@ class predictor {
 
  private:
   struct workload;  // internal derived sizes
+
+  /// Section times of a timestep on an explicit pa x pb grid. island_a:
+  /// the CommA (radix-pa) exchange is island-placed (2.5D replica groups).
+  [[nodiscard]] section_times decomp_sections(const job_config& j, long pa,
+                                              long pb, bool island_a) const;
+
   machine m_;
 };
 

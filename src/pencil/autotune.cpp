@@ -15,12 +15,16 @@ namespace pcf::pencil {
 namespace {
 
 // On-disk layout: header {magic, version, entry count} then fixed-size
-// entries, each 13 payload words (9 key + 4 choice) followed by a CRC-32
+// entries, each 18 payload words (11 key + 7 choice) followed by a CRC-32
 // of those payload bytes. All words are native u32 — the cache is a local
 // per-machine artifact, not an interchange format.
+//
+// v2 (the decomposition layer): key grew {decomp_kind, replica_c}, choice
+// grew {decomp, pa, pb}. v1 files fail the version check and fall back to
+// re-measurement — exactly the invalidation the format bump is for.
 constexpr std::uint32_t kMagic = 0x50465443;  // "PFTC"
-constexpr std::uint32_t kVersion = 1;
-constexpr std::size_t kPayloadWords = 13;
+constexpr std::uint32_t kVersion = 2;
+constexpr std::size_t kPayloadWords = 18;
 constexpr std::size_t kEntryBytes = (kPayloadWords + 1) * sizeof(std::uint32_t);
 constexpr std::size_t kHeaderBytes = 3 * sizeof(std::uint32_t);
 
@@ -35,6 +39,25 @@ bool decode_strategy(std::uint32_t v, exchange_strategy& out) {
   return true;
 }
 
+std::uint32_t encode_decomp(decomposition d) {
+  switch (d) {
+    case decomposition::pencil2d: return 0;
+    case decomposition::slab: return 1;
+    case decomposition::hybrid_25d: return 2;
+    case decomposition::tuned: return 3;
+  }
+  return 0;
+}
+
+bool decode_decomp(std::uint32_t v, decomposition& out) {
+  if (v == 0) out = decomposition::pencil2d;
+  else if (v == 1) out = decomposition::slab;
+  else if (v == 2) out = decomposition::hybrid_25d;
+  else if (v == 3) out = decomposition::tuned;
+  else return false;
+  return true;
+}
+
 void pack_entry(const tune_entry& e, std::uint32_t w[kPayloadWords + 1]) {
   w[0] = e.key.nx;
   w[1] = e.key.ny;
@@ -45,10 +68,15 @@ void pack_entry(const tune_entry& e, std::uint32_t w[kPayloadWords + 1]) {
   w[6] = e.key.reorder_threads;
   w[7] = e.key.max_batch;
   w[8] = e.key.flags;
-  w[9] = encode_strategy(e.choice.strat_a);
-  w[10] = encode_strategy(e.choice.strat_b);
-  w[11] = static_cast<std::uint32_t>(e.choice.batch);
-  w[12] = static_cast<std::uint32_t>(e.choice.pipeline_depth);
+  w[9] = e.key.decomp_kind;
+  w[10] = e.key.replica_c;
+  w[11] = encode_strategy(e.choice.strat_a);
+  w[12] = encode_strategy(e.choice.strat_b);
+  w[13] = static_cast<std::uint32_t>(e.choice.batch);
+  w[14] = static_cast<std::uint32_t>(e.choice.pipeline_depth);
+  w[15] = encode_decomp(e.choice.decomp);
+  w[16] = static_cast<std::uint32_t>(e.choice.pa);
+  w[17] = static_cast<std::uint32_t>(e.choice.pb);
   w[kPayloadWords] = crc32(w, kPayloadWords * sizeof(std::uint32_t));
 }
 
@@ -58,18 +86,30 @@ bool unpack_entry(const std::uint32_t w[kPayloadWords + 1], tune_entry& e,
     why = "entry CRC mismatch";
     return false;
   }
-  e.key = tune_key{w[0], w[1], w[2], w[3], w[4], w[5], w[6], w[7], w[8]};
-  if (!decode_strategy(w[9], e.choice.strat_a) ||
-      !decode_strategy(w[10], e.choice.strat_b)) {
+  e.key = tune_key{w[0], w[1], w[2], w[3], w[4], w[5],
+                   w[6], w[7], w[8], w[9], w[10]};
+  if (!decode_strategy(w[11], e.choice.strat_a) ||
+      !decode_strategy(w[12], e.choice.strat_b)) {
     why = "unknown exchange strategy code";
     return false;
   }
-  e.choice.batch = static_cast<int>(w[11]);
-  e.choice.pipeline_depth = static_cast<int>(w[12]);
+  e.choice.batch = static_cast<int>(w[13]);
+  e.choice.pipeline_depth = static_cast<int>(w[14]);
   if (e.choice.batch < 1 || e.choice.batch > 1024 ||
       e.choice.pipeline_depth < 1 ||
       e.choice.pipeline_depth > e.choice.batch) {
     why = "implausible tuning choice";
+    return false;
+  }
+  if (!decode_decomp(w[15], e.choice.decomp) ||
+      e.choice.decomp == decomposition::tuned) {
+    why = "unknown or unresolved decomposition code";
+    return false;
+  }
+  e.choice.pa = static_cast<int>(w[16]);
+  e.choice.pb = static_cast<int>(w[17]);
+  if (w[16] > (1u << 20) || w[17] > (1u << 20)) {
+    why = "implausible decomposition grid";
     return false;
   }
   return true;
@@ -83,8 +123,10 @@ void warn(std::vector<std::string>* sink, std::string msg) {
 }  // namespace
 
 tune_key make_tune_key(const grid& g, const kernel_config& base, int pa,
-                       int pb) {
+                       int pb, decomposition dk, int replica_c) {
   tune_key k;
+  k.decomp_kind = encode_decomp(dk);
+  k.replica_c = static_cast<std::uint32_t>(std::max(0, replica_c));
   k.nx = static_cast<std::uint32_t>(g.nx);
   k.ny = static_cast<std::uint32_t>(g.ny);
   k.nz = static_cast<std::uint32_t>(g.nz);
@@ -312,6 +354,138 @@ tune_report autotune_transforms(const grid& g, vmpi::communicator& world,
     }
     // The cache write (or its failure) is settled before anyone returns
     // and possibly re-reads the file.
+    world.barrier();
+  }
+  return rep;
+}
+
+decomp_tune_report autotune_decomposition(const grid& g,
+                                          vmpi::communicator& world,
+                                          decomposition requested, int pa,
+                                          int pb, int replica_c,
+                                          const kernel_config& base,
+                                          const tune_options& opt) {
+  decomp_tune_report rep;
+  const int ranks = world.size();
+  if (requested != decomposition::tuned) {
+    rep.plan = plan_decomposition(requested, g, ranks, pa, pb, replica_c);
+    return rep;
+  }
+  // Tuned runs need no configured pencil grid (the config default is
+  // 1 x 1): normalize to the near-square split so the candidate set and
+  // the cache key agree across launches.
+  if (pa < 1 || pb < 1 || pa * pb != ranks)
+    default_pencil_grid(ranks, pa, pb);
+  rep.key = make_tune_key(g, base, pa, pb, decomposition::tuned, replica_c);
+  const bool root = world.rank() == 0;
+
+  // Cache consult on rank 0, verdict broadcast (measurement is collective).
+  std::uint32_t hit[4] = {0, 0, 0, 0};
+  std::vector<tune_entry> entries;
+  if (!opt.cache_path.empty()) {
+    if (root) {
+      entries = load_tuning_cache(opt.cache_path, &rep.warnings);
+      const tune_entry* e = find_tuning_entry(entries, rep.key);
+      if (e != nullptr && !opt.force_retune) {
+        hit[0] = 1;
+        hit[1] = encode_decomp(e->choice.decomp);
+        hit[2] = static_cast<std::uint32_t>(e->choice.pa);
+        hit[3] = static_cast<std::uint32_t>(e->choice.pb);
+      }
+    }
+    world.bcast(hit, 4, 0);
+  }
+  if (hit[0] != 0) {
+    decomposition dk = decomposition::pencil2d;
+    decode_decomp(hit[1], dk);
+    const int cpa = static_cast<int>(hit[2]);
+    const int cpb = static_cast<int>(hit[3]);
+    if (cpa >= 1 && cpb >= 1 && cpa * cpb == ranks) {
+      rep.from_cache = true;
+      rep.plan = {dk, cpa, cpb,
+                  dk == decomposition::hybrid_25d ? cpa : 1};
+      return rep;
+    }
+    if (root)
+      warn(&rep.warnings,
+           "cached decomposition does not cover this rank count; "
+           "re-measuring");
+  }
+
+  // Measure each runnable layout on its own temporary Cartesian split,
+  // running the 3-down + 5-up RK3 substage workload. pencil2d (with the
+  // configured pa x pb) is always candidate 0 and ties break toward it,
+  // so the tuned choice is never slower than pencil as measured.
+  const std::vector<decomp_plan> cands =
+      decomposition_candidates(g, ranks, pa, pb);
+  const int reps = std::max(1, opt.reps);
+  constexpr std::size_t kDown = 3, kUp = 5;
+  double best_time = std::numeric_limits<double>::infinity();
+  for (const decomp_plan& p : cands) {
+    vmpi::cart2d cart(world, p.pa, p.pb);
+    parallel_fft pf(g, cart, base);
+    const decomp& dd = pf.dec();
+    std::vector<std::vector<cplx>> spec(kUp);
+    std::vector<std::vector<double>> phys(kUp);
+    for (std::size_t f = 0; f < kUp; ++f) {
+      spec[f].assign(dd.y_pencil_elems(), cplx{0.0, 0.0});
+      phys[f].assign(dd.x_pencil_real_elems(), 0.0);
+    }
+    const cplx* sdown[kDown];
+    double* pdown[kDown];
+    const double* pup[kUp];
+    cplx* sup[kUp];
+    for (std::size_t f = 0; f < kDown; ++f) {
+      sdown[f] = spec[f].data();
+      pdown[f] = phys[f].data();
+    }
+    for (std::size_t f = 0; f < kUp; ++f) {
+      pup[f] = phys[f].data();
+      sup[f] = spec[f].data();
+    }
+    auto substage = [&] {
+      pf.to_physical_batch(sdown, pdown, kDown);
+      pf.to_spectral_batch(pup, sup, kUp);
+    };
+    substage();  // warm-up, untimed
+    double local = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < reps; ++r) {
+      wall_timer t;
+      substage();
+      local = std::min(local, t.seconds());
+    }
+    double agreed = 0.0;
+    world.allreduce_max(&local, &agreed, 1);
+    rep.measured.push_back({p, agreed});
+    if (agreed < best_time) {
+      best_time = agreed;
+      rep.plan = p;
+    }
+  }
+
+  if (!opt.cache_path.empty()) {
+    if (root) {
+      entries = load_tuning_cache(opt.cache_path, nullptr);
+      tune_choice choice;
+      choice.decomp = rep.plan.kind;
+      choice.pa = rep.plan.pa;
+      choice.pb = rep.plan.pb;
+      bool replaced = false;
+      for (tune_entry& e : entries)
+        if (e.key == rep.key) {
+          e.choice = choice;
+          replaced = true;
+        }
+      if (!replaced) entries.push_back({rep.key, choice});
+      try {
+        save_tuning_cache(opt.cache_path, entries);
+        rep.stored = true;
+      } catch (const std::exception& ex) {
+        warn(&rep.warnings,
+             std::string("failed to store tuning cache '") + opt.cache_path +
+                 "': " + ex.what());
+      }
+    }
     world.barrier();
   }
   return rep;

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "pencil/decomp.hpp"
 #include "pencil/pencil.hpp"
 #include "vmpi/vmpi.hpp"
 
@@ -37,6 +38,12 @@ struct tune_key {
   std::uint32_t reorder_threads = 1;
   std::uint32_t max_batch = 1;  // ceiling the tuner searches under
   std::uint32_t flags = 0;      // bit 0: drop_nyquist, bit 1: dealias
+  // Requested decomposition layout (cache format v2): the decomposition
+  // enum's value, and the configured 2.5D replica count (0 = automatic).
+  // Transform-tuning entries use the defaults; decomposition-tuning
+  // entries key under decomposition::tuned.
+  std::uint32_t decomp_kind = 0;
+  std::uint32_t replica_c = 0;
 
   friend bool operator==(const tune_key&, const tune_key&) = default;
 };
@@ -47,6 +54,12 @@ struct tune_choice {
   exchange_strategy strat_b = exchange_strategy::alltoall;  // CommB (y<->z)
   int batch = 1;           // aggregated-exchange width F
   int pipeline_depth = 1;  // comm/compute overlap groups
+  // Resolved decomposition (cache format v2). Transform-tuning entries
+  // leave pa = pb = 0; decomposition-tuning entries record the winning
+  // layout and its concrete process grid here.
+  decomposition decomp = decomposition::pencil2d;
+  int pa = 0;
+  int pb = 0;
 
   friend bool operator==(const tune_choice&, const tune_choice&) = default;
 };
@@ -81,8 +94,12 @@ struct tune_report {
 };
 
 /// The cache key for running `base` on this grid and process split.
+/// `dk`/`replica_c` identify the *requested* decomposition (only
+/// decomposition-tuning entries pass non-defaults).
 [[nodiscard]] tune_key make_tune_key(const grid& g, const kernel_config& base,
-                                     int pa, int pb);
+                                     int pa, int pb,
+                                     decomposition dk = decomposition::pencil2d,
+                                     int replica_c = 0);
 
 /// `base` with the tuner's decision applied (strategy overrides, batch
 /// width and pipeline depth). The result constructs a parallel_fft that
@@ -98,6 +115,33 @@ struct tune_report {
                                               vmpi::cart2d& cart,
                                               const kernel_config& base,
                                               const tune_options& opt);
+
+/// What one decomposition-tuning call decided.
+struct decomp_tune_report {
+  tune_key key;
+  decomp_plan plan;  // the layout to run production with
+  bool from_cache = false;
+  bool stored = false;
+  struct candidate {
+    decomp_plan plan;
+    double seconds = 0.0;  // agreed (max-over-ranks) substage time
+  };
+  std::vector<candidate> measured;  // empty on a cache hit
+  std::vector<std::string> warnings;
+};
+
+/// Resolve `requested` into a concrete decomposition plan, measuring when
+/// requested == tuned: every runnable candidate (pencil2d with the
+/// configured pa x pb always included, so the tuned pick is never slower
+/// than pencil *as measured*) runs the 3-down + 5-up RK3 substage workload
+/// on its own temporary Cartesian split, timings are max-reduced, and the
+/// strict-< argmin over the fixed candidate order picks identically on
+/// every rank. The winner persists in the v2 tuning cache under a
+/// decomposition::tuned key. Non-tuned requests validate and return
+/// without measuring. Collective over `world`.
+[[nodiscard]] decomp_tune_report autotune_decomposition(
+    const grid& g, vmpi::communicator& world, decomposition requested, int pa,
+    int pb, int replica_c, const kernel_config& base, const tune_options& opt);
 
 // --- cache file access (exposed for tests and pre-seeding) -----------------
 

@@ -141,6 +141,11 @@ struct parallel_fft::impl {
   std::vector<std::size_t> exch_scratch_;
   std::vector<vmpi::async_proxy::ticket> tk1_, tk2_;
 
+  // Degenerate transpose stages (slab: pa == 1; 2.5D replica groups keep
+  // both > 1 but small). A size-1 communicator's exchange is the identity
+  // on the packed buffer, so the drivers forward it straight to the unpack.
+  bool skip_a_ = false, skip_b_ = false;
+
   section_timer comm_t, reorder_t, fft_t;
 
   // Batched-path counters. Written by the rank's own threads only; reads
@@ -162,6 +167,8 @@ struct parallel_fft::impl {
         reorder_pool(std::max(1, c.reorder_threads)) {
     PCF_REQUIRE(cfg.max_batch >= 1, "max_batch must be >= 1");
     PCF_REQUIRE(cfg.pipeline_depth >= 1, "pipeline_depth must be >= 1");
+    skip_a_ = comm_a.size() == 1;
+    skip_b_ = comm_b.size() == 1;
     build_counts();
     exch_scratch_.resize(4 *
                          static_cast<std::size_t>(std::max(d.pa, d.pb)));
@@ -221,6 +228,15 @@ struct parallel_fft::impl {
                          const std::size_t* sd, cplx* recv,
                          const std::size_t* rc, const std::size_t* rd,
                          std::size_t nf) {
+    if (comm.size() == 1) {
+      // Degenerate stage (slab / 2.5D layouts): the packed buffer already
+      // has the unpack's expected layout (sc[0] == rc[0]), so the exchange
+      // is a pure local copy. Not counted as an exchange — the serial and
+      // pipelined non-P3DFFT drivers skip even this copy by forwarding the
+      // packed buffer straight into the unpack.
+      std::copy_n(send, nf * sc[0], recv);
+      return;
+    }
     ++exchanges_;
     if (nf == 1) {
       do_exchange(comm, strat, send, sc, sd, recv, rc, rd);
@@ -676,13 +692,28 @@ struct parallel_fft::impl {
     cplx* b = w2.data();
     pack_y_to_z(specs, a, nf);
     if (w3.empty()) {
-      a2a_yz(a, b, nf);
-      unpack_z_pencil(b, a, nf);
-      z_fft(a, z_inv, nf);
-      pack_z_to_x(a, b, nf);
-      a2a_zx(b, a, nf);
-      unpack_x_pencil(a, b, nf);
-      x_c2r(b, phys, nf);
+      // Degenerate stages (size-1 communicator) skip the exchange AND the
+      // copy: the packed buffer feeds the unpack directly, and the usual
+      // ping-pong rotation is suppressed for that stage.
+      cplx* zsrc = a;
+      cplx* zdst = b;
+      if (!skip_b_) {
+        a2a_yz(a, b, nf);
+        zsrc = b;
+        zdst = a;
+      }
+      unpack_z_pencil(zsrc, zdst, nf);
+      z_fft(zdst, z_inv, nf);
+      pack_z_to_x(zdst, zsrc, nf);
+      cplx* xsrc = zsrc;
+      cplx* xdst = zdst;
+      if (!skip_a_) {
+        a2a_zx(zsrc, zdst, nf);
+        xsrc = zdst;
+        xdst = zsrc;
+      }
+      unpack_x_pencil(xsrc, xdst, nf);
+      x_c2r(xdst, phys, nf);
     } else {
       // P3DFFT-style: dedicated buffers per stage (3x footprint).
       cplx* c = w3.data();
@@ -708,13 +739,25 @@ struct parallel_fft::impl {
         1.0 / (static_cast<double>(d.nxf) * static_cast<double>(d.nzf));
     x_r2c(phys, a, nf);
     if (w3.empty()) {
+      // Mirror of inverse_chunk: degenerate stages forward the packed
+      // buffer into the unpack, suppressing that stage's ping-pong.
       pack_x_to_z(a, b, nf);
-      a2a_xz(b, a, nf);
-      unpack_z_from_x(a, b, nf);
-      z_fft(b, z_fwd, nf);
-      pack_z_to_y(b, a, scale, nf);
-      a2a_zy(a, b, nf);
-      unpack_y_pencil(b, specs, nf);
+      cplx* zsrc = b;
+      cplx* zdst = a;
+      if (!skip_a_) {
+        a2a_xz(b, a, nf);
+        zsrc = a;
+        zdst = b;
+      }
+      unpack_z_from_x(zsrc, zdst, nf);
+      z_fft(zdst, z_fwd, nf);
+      pack_z_to_y(zdst, zsrc, scale, nf);
+      const cplx* ysrc = zsrc;
+      if (!skip_b_) {
+        a2a_zy(zsrc, zdst, nf);
+        ysrc = zdst;
+      }
+      unpack_y_pencil(ysrc, specs, nf);
     } else {
       cplx* c = w3.data();
       pack_x_to_z(a, b, nf);
@@ -801,30 +844,41 @@ struct parallel_fft::impl {
     auto at = [&](wbuf& w, std::size_t g) {
       return w.data() + grp(g).offset * wstride;
     };
+    // Degenerate stages (size-1 comm) do no work on the comm thread and
+    // hand the packed buffer straight to the unpack, flipping the
+    // ping-pong roles for the rest of the chunk. The P3DFFT branch keeps
+    // its fixed 3-buffer rotation (do_exchange_batch degenerates to a
+    // local copy there).
+    wbuf& uz_src = (!p3d && skip_b_) ? w1 : w2;
+    wbuf& uz_dst = (!p3d && skip_b_) ? w2 : w1;
     run_pipeline(
         static_cast<std::size_t>(G),
         [&](std::size_t g) {
           const block fb = grp(g);
           pack_y_to_z(specs + fb.offset, at(w1, g), fb.count);
         },
-        [&](std::size_t g) { a2a_yz(at(w1, g), at(w2, g), grp(g).count); },
+        [&](std::size_t g) {
+          if (p3d || !skip_b_) a2a_yz(at(w1, g), at(w2, g), grp(g).count);
+        },
         [&](std::size_t g) {
           const std::size_t fc = grp(g).count;
-          cplx* z = p3d ? at(w3, g) : at(w1, g);
-          unpack_z_pencil(at(w2, g), z, fc);
+          cplx* z = p3d ? at(w3, g) : at(uz_dst, g);
+          unpack_z_pencil(p3d ? at(w2, g) : at(uz_src, g), z, fc);
           z_fft(z, z_inv, fc);
-          pack_z_to_x(z, p3d ? at(w1, g) : at(w2, g), fc);
+          pack_z_to_x(z, p3d ? at(w1, g) : at(uz_src, g), fc);
         },
         [&](std::size_t g) {
           if (p3d)
             a2a_zx(at(w1, g), at(w2, g), grp(g).count);
-          else
-            a2a_zx(at(w2, g), at(w1, g), grp(g).count);
+          else if (!skip_a_)
+            a2a_zx(at(uz_src, g), at(uz_dst, g), grp(g).count);
         },
         [&](std::size_t g) {
           const block fb = grp(g);
-          cplx* in = p3d ? at(w2, g) : at(w1, g);
-          cplx* x = p3d ? at(w3, g) : at(w2, g);
+          wbuf& ux_src = skip_a_ ? uz_src : uz_dst;
+          wbuf& ux_dst = skip_a_ ? uz_dst : uz_src;
+          cplx* in = p3d ? at(w2, g) : at(ux_src, g);
+          cplx* x = p3d ? at(w3, g) : at(ux_dst, g);
           unpack_x_pencil(in, x, fb.count);
           x_c2r(x, phys + fb.offset, fb.count);
         });
@@ -844,6 +898,9 @@ struct parallel_fft::impl {
     auto at = [&](wbuf& w, std::size_t g) {
       return w.data() + grp(g).offset * wstride;
     };
+    // Mirror of inverse_pipelined's degenerate-stage handling.
+    wbuf& uz_src = (!p3d && skip_a_) ? w2 : w1;
+    wbuf& uz_dst = (!p3d && skip_a_) ? w1 : w2;
     run_pipeline(
         static_cast<std::size_t>(G),
         [&](std::size_t g) {
@@ -854,27 +911,28 @@ struct parallel_fft::impl {
         [&](std::size_t g) {
           if (p3d)
             a2a_xz(at(w2, g), at(w3, g), grp(g).count);
-          else
+          else if (!skip_a_)
             a2a_xz(at(w2, g), at(w1, g), grp(g).count);
         },
         [&](std::size_t g) {
           const std::size_t fc = grp(g).count;
-          cplx* in = p3d ? at(w3, g) : at(w1, g);
-          cplx* z = p3d ? at(w1, g) : at(w2, g);
+          cplx* in = p3d ? at(w3, g) : at(uz_src, g);
+          cplx* z = p3d ? at(w1, g) : at(uz_dst, g);
           unpack_z_from_x(in, z, fc);
           z_fft(z, z_fwd, fc);
-          pack_z_to_y(z, p3d ? at(w2, g) : at(w1, g), scale, fc);
+          pack_z_to_y(z, p3d ? at(w2, g) : at(uz_src, g), scale, fc);
         },
         [&](std::size_t g) {
           if (p3d)
             a2a_zy(at(w2, g), at(w3, g), grp(g).count);
-          else
-            a2a_zy(at(w1, g), at(w2, g), grp(g).count);
+          else if (!skip_b_)
+            a2a_zy(at(uz_src, g), at(uz_dst, g), grp(g).count);
         },
         [&](std::size_t g) {
           const block fb = grp(g);
-          unpack_y_pencil(p3d ? at(w3, g) : at(w2, g), specs + fb.offset,
-                          fb.count);
+          const cplx* ysrc = p3d ? at(w3, g)
+                                 : (skip_b_ ? at(uz_src, g) : at(uz_dst, g));
+          unpack_y_pencil(ysrc, specs + fb.offset, fb.count);
         });
   }
 };

@@ -20,6 +20,14 @@ struct group_state {
 
   int size;
 
+  // True for split() children: every handle is produced by the split
+  // rendezvous (one per rank), so a shared-state use count below `size`
+  // proves some rank released its communicator — the stale-handle
+  // condition check_liveness() rejects. The world state is exempt:
+  // run_world constructs rank threads one by one, so early ranks run
+  // while later handles don't exist yet.
+  bool liveness_tracked = false;
+
   // Barrier.
   std::mutex m;
   std::condition_variable cv;
@@ -75,7 +83,20 @@ using detail::group_state;
 
 int communicator::size() const { return state_->size; }
 
-void communicator::barrier() { state_->barrier(); }
+void communicator::check_liveness() const {
+  if (!state_->liveness_tracked) return;
+  // use_count is a necessary condition, not exact bookkeeping: extra
+  // copies (pencil impls, cart2d) only raise it, so >= size holds exactly
+  // while every rank still owns at least one handle.
+  PCF_REQUIRE(state_.use_count() >= static_cast<long>(state_->size),
+              "collective on a stale sub-communicator: a rank has released "
+              "its handle, the operation could never complete");
+}
+
+void communicator::barrier() {
+  check_liveness();
+  state_->barrier();
+}
 
 comm_stats communicator::stats() const {
   comm_stats s;
@@ -88,6 +109,7 @@ comm_stats communicator::stats() const {
 
 void communicator::alltoall_bytes(const void* send, void* recv,
                                   std::size_t bytes) {
+  check_liveness();
   auto& st = *state_;
   const int p = st.size;
   st.slots[static_cast<std::size_t>(rank_)] = {send, nullptr, nullptr, bytes, 0, 0};
@@ -117,6 +139,7 @@ void communicator::alltoallv_bytes(const void* send,
                                    const std::size_t* rcounts,
                                    const std::size_t* rdispls,
                                    std::size_t elem_size) {
+  check_liveness();
   auto& st = *state_;
   const int p = st.size;
   (void)rcounts;  // only consulted by assertions
@@ -142,6 +165,7 @@ void communicator::alltoallv_bytes(const void* send,
 
 void communicator::exchange_bytes(const void* send, std::size_t sbytes,
                                   int dest, void* recv, std::size_t rbytes) {
+  check_liveness();
   auto& st = *state_;
   const int p = st.size;
   PCF_REQUIRE(dest >= 0 && dest < p, "exchange destination out of range");
@@ -185,6 +209,7 @@ void reduce_impl(group_state& st, int rank, const T* send, T* recv,
 
 void communicator::allreduce_sum(const double* send, double* recv,
                                  std::size_t count) {
+  check_liveness();
   reduce_impl(*state_, rank_, send, recv, count,
               [](double a, double b) { return a + b; });
 }
@@ -192,29 +217,34 @@ void communicator::allreduce_sum(const double* send, double* recv,
 void communicator::allreduce_sum(const std::complex<double>* send,
                                  std::complex<double>* recv,
                                  std::size_t count) {
+  check_liveness();
   reduce_impl(*state_, rank_, send, recv, count,
               [](std::complex<double> a, std::complex<double> b) { return a + b; });
 }
 
 void communicator::allreduce_max(const double* send, double* recv,
                                  std::size_t count) {
+  check_liveness();
   reduce_impl(*state_, rank_, send, recv, count,
               [](double a, double b) { return a > b ? a : b; });
 }
 
 void communicator::allreduce_min(const double* send, double* recv,
                                  std::size_t count) {
+  check_liveness();
   reduce_impl(*state_, rank_, send, recv, count,
               [](double a, double b) { return a < b ? a : b; });
 }
 
 void communicator::allreduce_bor(const std::uint64_t* send,
                                  std::uint64_t* recv, std::size_t count) {
+  check_liveness();
   reduce_impl(*state_, rank_, send, recv, count,
               [](std::uint64_t a, std::uint64_t b) { return a | b; });
 }
 
 void communicator::bcast_bytes(void* data, std::size_t bytes, int root) {
+  check_liveness();
   auto& st = *state_;
   PCF_REQUIRE(root >= 0 && root < st.size, "bcast root out of range");
   st.slots[static_cast<std::size_t>(rank_)] = {data, nullptr, nullptr, bytes, 0, 0};
@@ -226,6 +256,7 @@ void communicator::bcast_bytes(void* data, std::size_t bytes, int root) {
 
 void communicator::allgather_bytes(const void* send, void* recv,
                                    std::size_t bytes) {
+  check_liveness();
   auto& st = *state_;
   st.slots[static_cast<std::size_t>(rank_)] = {send, nullptr, nullptr, bytes, 0, 0};
   st.barrier();
@@ -236,6 +267,7 @@ void communicator::allgather_bytes(const void* send, void* recv,
 }
 
 communicator communicator::split(int color, int key) {
+  check_liveness();
   auto& st = *state_;
   const int p = st.size;
   st.slots[static_cast<std::size_t>(rank_)] = {nullptr, nullptr, nullptr, 0,
@@ -261,6 +293,10 @@ communicator communicator::split(int color, int key) {
   // Leader (new rank 0) creates the child state.
   if (my_new_rank == 0) {
     auto child = std::make_shared<group_state>(static_cast<int>(group.size()));
+    // The split rendezvous below guarantees every member rank takes its
+    // handle before any rank returns, so from here on a use count below
+    // the group size is proof of a released handle.
+    child->liveness_tracked = true;
     std::lock_guard<std::mutex> lk(st.split_m);
     st.split_children[color] = child;
   }
@@ -309,14 +345,28 @@ void run_world(int nranks, const std::function<void(communicator&)>& fn) {
   if (first_error) std::rethrow_exception(first_error);
 }
 
-cart2d::cart2d(communicator& world, int pa, int pb)
-    : pa_(pa), pb_(pb),
-      a_(world.rank() / pb),
-      b_(world.rank() % pb),
-      comm_a_(world.split(world.rank() % pb, world.rank() / pb)),
-      comm_b_(world.split(world.rank() / pb, world.rank() % pb)) {
+cart_split split_cartesian(communicator& world, int pa, int pb) {
+  // Validate before the first split: an invalid grid must throw on every
+  // rank without entering the split rendezvous (where ranks that already
+  // failed would deadlock the rest).
   PCF_REQUIRE(pa >= 1 && pb >= 1 && pa * pb == world.size(),
               "process grid must cover the world communicator exactly");
+  const int a = world.rank() / pb;
+  const int b = world.rank() % pb;
+  // Braced init evaluates left to right, so every rank splits CommA then
+  // CommB in the same order.
+  return {a, b, world.split(b, a), world.split(a, b)};
 }
+
+cart2d::cart2d(communicator& world, int pa, int pb)
+    : cart2d(split_cartesian(world, pa, pb), pa, pb) {}
+
+cart2d::cart2d(cart_split s, int pa, int pb)
+    : pa_(pa),
+      pb_(pb),
+      a_(s.coord_a),
+      b_(s.coord_b),
+      comm_a_(std::move(s.comm_a)),
+      comm_b_(std::move(s.comm_b)) {}
 
 }  // namespace pcf::vmpi

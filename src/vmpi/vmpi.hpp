@@ -119,6 +119,16 @@ class communicator {
   communicator(std::shared_ptr<detail::group_state> state, int rank)
       : state_(std::move(state)), rank_(rank) {}
 
+  /// Stale-communicator guard for split children: a collective can only
+  /// complete if every rank of the group still holds a handle, so a group
+  /// whose live handle count dropped below its size has been (partially)
+  /// released and the call would deadlock. Detected via the shared-state
+  /// use count — a cheap necessary condition, checked on entry to every
+  /// collective. World communicators are exempt (run_world staggers
+  /// thread construction, so early ranks legitimately run ahead of the
+  /// handle count).
+  void check_liveness() const;
+
   void alltoall_bytes(const void* send, void* recv, std::size_t bytes);
   void alltoallv_bytes(const void* send, const std::size_t* scounts,
                        const std::size_t* sdispls, void* recv,
@@ -171,6 +181,23 @@ class async_proxy {
   thread_pool pool_;
 };
 
+/// The two sub-communicators of a row-major P_A x P_B Cartesian split of
+/// `world` (rank = a * P_B + b), plus this rank's grid coordinates.
+struct cart_split {
+  int coord_a = 0;
+  int coord_b = 0;
+  communicator comm_a;  // ranks sharing this B coordinate (size P_A)
+  communicator comm_b;  // ranks sharing this A coordinate (size P_B)
+};
+
+/// MPI_Cart_create + two MPI_Cart_sub calls in one collective step:
+/// validates pa * pb == world.size() *before* any split (an invalid grid
+/// must fail on every rank without touching the split rendezvous), then
+/// splits CommA and CommB in a fixed order on all ranks. Used by cart2d
+/// and by the 2.5D replica groups; the returned communicators carry
+/// stale-handle liveness asserts (see communicator::check_liveness).
+[[nodiscard]] cart_split split_cartesian(communicator& world, int pa, int pb);
+
 /// 2-D Cartesian process grid P_A x P_B with row-major rank placement
 /// (rank = a * P_B + b), mirroring the paper's MPI_Cart_create usage:
 /// CommB groups ranks that are *contiguous* (node-local when P_B divides
@@ -190,6 +217,8 @@ class cart2d {
   communicator& comm_b() { return comm_b_; }
 
  private:
+  cart2d(cart_split s, int pa, int pb);
+
   int pa_, pb_, a_, b_;
   communicator comm_a_, comm_b_;
 };

@@ -1,0 +1,170 @@
+// Decomposition cost models (slab / 2.5D hybrid) and the 2026 GPU
+// fat-tree machine. These check the model's *shapes* — validity limits,
+// which exchange each layout pays for, where the crossovers sit — not
+// absolute seconds.
+#include <gtest/gtest.h>
+
+#include "netsim/machine.hpp"
+#include "netsim/predictor.hpp"
+
+namespace {
+
+using pcf::netsim::decomp_kind;
+using pcf::netsim::decomp_times;
+using pcf::netsim::job_config;
+using pcf::netsim::machine;
+using pcf::netsim::predictor;
+using pcf::netsim::topology;
+
+// A 2026-scale production grid (the paper's largest case is 18432 x 1536
+// x 12288; this is the next doubling generation).
+job_config gpu_job(long gpus) {
+  job_config j;
+  j.nx = 36864;
+  j.ny = 4096;
+  j.nz = 24576;
+  j.cores = gpus;  // one "core" = one GPU
+  return j;
+}
+
+TEST(GpuMachine, HasIslandAndContentionParameters) {
+  const machine m = machine::gpu_fattree_2026();
+  EXPECT_EQ(m.topo, topology::fat_tree);
+  EXPECT_EQ(m.cores_per_node, 4);
+  EXPECT_EQ(m.island_size, 72);
+  EXPECT_GT(m.island_bw, 0.0);
+  EXPECT_GT(m.link_cont_amp, 0.0);
+  // Big enough for the 10^6-rank crossover study.
+  EXPECT_GE(m.total_nodes * m.cores_per_node, 1000000L);
+}
+
+TEST(GpuMachine, PaperMachinesHaveNoIslandsOrLinkContention) {
+  for (const machine& m : {machine::mira(), machine::lonestar(),
+                           machine::stampede(), machine::blue_waters()}) {
+    EXPECT_EQ(m.island_size, 1) << m.name;
+    EXPECT_DOUBLE_EQ(m.link_contention(4096.0), 1.0) << m.name;
+  }
+}
+
+TEST(GpuMachine, LinkContentionGrowsWithConcurrentGroups) {
+  const machine m = machine::gpu_fattree_2026();
+  EXPECT_NEAR(m.link_contention(1.0), 1.0, 1e-6);
+  EXPECT_LT(m.link_contention(64.0), m.link_contention(1024.0));
+  EXPECT_LE(m.link_contention(1e9), 1.0 + m.link_cont_amp + 1e-9);
+}
+
+TEST(DecompModel, PencilMatchesBaselineSections) {
+  // The pencil path must reproduce the calibrated timestep model's
+  // non-comm sections exactly (the Table 9/10 reproduction depends on
+  // that model staying untouched).
+  const predictor p(machine::mira());
+  job_config j;
+  j.nx = 18432;
+  j.ny = 1536;
+  j.nz = 12288;
+  j.cores = 131072;
+  const auto base = p.timestep(j);
+  const auto d = p.timestep_decomp(j, decomp_kind::pencil2d);
+  ASSERT_TRUE(d.valid);
+  EXPECT_DOUBLE_EQ(d.t.reorder, base.reorder);
+  EXPECT_DOUBLE_EQ(d.t.fft, base.fft);
+  EXPECT_DOUBLE_EQ(d.t.advance, base.advance);
+}
+
+TEST(DecompModel, SlabValidOnlyWhileRanksFitTheRows) {
+  const predictor p(machine::gpu_fattree_2026());
+  // min(ny, nz) = 4096 on this grid.
+  EXPECT_TRUE(p.timestep_decomp(gpu_job(4096), decomp_kind::slab).valid);
+  EXPECT_FALSE(p.timestep_decomp(gpu_job(8192), decomp_kind::slab).valid);
+}
+
+TEST(DecompModel, SlabPaysOnlyTheYzExchange) {
+  // At a small rank count the slab's single global exchange beats the
+  // pencil's two (comm only; the other sections are identical).
+  const predictor p(machine::gpu_fattree_2026());
+  const job_config j = gpu_job(512);
+  const auto slab = p.timestep_decomp(j, decomp_kind::slab);
+  const auto pencil = p.timestep_decomp(j, decomp_kind::pencil2d);
+  ASSERT_TRUE(slab.valid);
+  EXPECT_EQ(slab.pa, 1);
+  EXPECT_EQ(slab.pb, 512);
+  EXPECT_LT(slab.t.comm, pencil.t.comm);
+}
+
+TEST(DecompModel, HybridExtendsPastTheSlabLimit) {
+  const predictor p(machine::gpu_fattree_2026());
+  const job_config j = gpu_job(65536);  // far past min(ny, nz) = 4096
+  EXPECT_FALSE(p.timestep_decomp(j, decomp_kind::slab).valid);
+  const auto h = p.timestep_decomp(j, decomp_kind::hybrid_25d);
+  ASSERT_TRUE(h.valid);
+  EXPECT_GE(h.pa, 2);
+  EXPECT_EQ(h.pa * h.pb, 65536);
+  EXPECT_LE(h.pb, 4096);  // every replica's slab still fits the rows
+}
+
+TEST(DecompModel, HybridReplicaExchangeLandsOnTheIsland) {
+  // With islands the replica (CommA) exchange is nearly free, so the
+  // hybrid's comm time undercuts the pencil's at the same rank count; on
+  // an island-less paper machine the same layout loses its edge.
+  const job_config j = gpu_job(65536);
+  const predictor gpu(machine::gpu_fattree_2026());
+  machine flat = machine::gpu_fattree_2026();
+  flat.island_size = 1;
+  flat.island_bw = 0.0;
+  const predictor no_island(flat);
+  const auto with_island = gpu.timestep_decomp(j, decomp_kind::hybrid_25d, 64);
+  const auto without = no_island.timestep_decomp(j, decomp_kind::hybrid_25d, 64);
+  ASSERT_TRUE(with_island.valid);
+  ASSERT_TRUE(without.valid);
+  EXPECT_LT(with_island.t.comm, without.t.comm);
+  EXPECT_LT(with_island.t.comm,
+            gpu.timestep_decomp(j, decomp_kind::pencil2d).t.comm);
+}
+
+TEST(DecompModel, ExplicitReplicaCountIsHonoredAndValidated) {
+  const predictor p(machine::gpu_fattree_2026());
+  const job_config j = gpu_job(65536);
+  const auto h = p.timestep_decomp(j, decomp_kind::hybrid_25d, 32);
+  ASSERT_TRUE(h.valid);
+  EXPECT_EQ(h.pa, 32);
+  EXPECT_EQ(h.pb, 2048);
+  // c must divide the rank count...
+  EXPECT_FALSE(p.timestep_decomp(j, decomp_kind::hybrid_25d, 3).valid);
+  // ...and leave each replica's slab within the row limit.
+  EXPECT_FALSE(p.timestep_decomp(j, decomp_kind::hybrid_25d, 2).valid);
+}
+
+TEST(DecompModel, FastestDecompIsTheArgminOfTheValidSet) {
+  const predictor p(machine::gpu_fattree_2026());
+  for (long gpus : {1024L, 16384L, 262144L}) {
+    const job_config j = gpu_job(gpus);
+    const auto best = p.fastest_decomp(j);
+    ASSERT_TRUE(best.valid) << gpus;
+    for (auto k : {decomp_kind::pencil2d, decomp_kind::slab,
+                   decomp_kind::hybrid_25d}) {
+      const auto r = p.timestep_decomp(j, k);
+      if (r.valid) {
+        EXPECT_LE(best.t.total(), r.t.total() + 1e-12) << gpus;
+      }
+    }
+  }
+}
+
+TEST(DecompModel, CrossoverSequenceOnTheGpuMachine) {
+  // The study's headline shape: while the grid still admits it, a
+  // comm-avoiding layout (slab or hybrid — the hybrid subsumes the slab
+  // once replica exchanges ride the island) beats the pencil's two
+  // network exchanges; past the slab validity limit only the hybrid
+  // carries that advantage into the 10^5..10^6-rank regime.
+  const predictor p(machine::gpu_fattree_2026());
+  const auto small = p.fastest_decomp(gpu_job(1024));
+  EXPECT_NE(small.kind, decomp_kind::pencil2d);
+  EXPECT_LT(p.timestep_decomp(gpu_job(1024), decomp_kind::slab).t.total(),
+            p.timestep_decomp(gpu_job(1024), decomp_kind::pencil2d).t.total());
+  const auto large = p.fastest_decomp(gpu_job(262144));
+  EXPECT_FALSE(p.timestep_decomp(gpu_job(262144), decomp_kind::slab).valid);
+  ASSERT_TRUE(large.valid);
+  EXPECT_NE(large.kind, decomp_kind::slab);
+}
+
+}  // namespace

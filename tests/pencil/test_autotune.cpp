@@ -12,7 +12,10 @@
 namespace {
 
 using pcf::pencil::apply_tuning;
+using pcf::pencil::autotune_decomposition;
 using pcf::pencil::autotune_transforms;
+using pcf::pencil::decomp_tune_report;
+using pcf::pencil::decomposition;
 using pcf::pencil::exchange_strategy;
 using pcf::pencil::find_tuning_entry;
 using pcf::pencil::grid;
@@ -198,6 +201,101 @@ TEST(Autotune, EmptyCachePathMeasuresAndPersistsNothing) {
     EXPECT_EQ(rep.measured.size(), 3u);
     EXPECT_LE(rep.choice.batch, 3);
   });
+}
+
+TEST(TuningCache, RoundTripsDecompositionEntries) {
+  // v2 payload: decomposition entries carry the layout kind and the
+  // resolved process grid alongside the transform fields.
+  const std::string path = cache_path("decomp_roundtrip");
+  tune_entry e;
+  e.key = key_for(16);
+  e.key.decomp_kind = static_cast<std::uint32_t>(decomposition::tuned);
+  e.key.replica_c = 2;
+  e.choice.decomp = decomposition::hybrid_25d;
+  e.choice.pa = 2;
+  e.choice.pb = 2;
+  save_tuning_cache(path, {e});
+
+  std::vector<std::string> warnings;
+  const auto out = load_tuning_cache(path, &warnings);
+  EXPECT_TRUE(warnings.empty());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].key, e.key);
+  EXPECT_EQ(out[0].choice.decomp, decomposition::hybrid_25d);
+  EXPECT_EQ(out[0].choice.pa, 2);
+  EXPECT_EQ(out[0].choice.pb, 2);
+
+  // The kind is part of the key: a transform entry and a decomposition
+  // entry at the same grid never collide.
+  EXPECT_EQ(find_tuning_entry(out, key_for(16)), nullptr);
+  EXPECT_NE(find_tuning_entry(out, e.key), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(AutotuneDecomp, ExplicitLayoutIsPlannedNotMeasured) {
+  run_world(4, [](communicator& world) {
+    const grid g{8, 9, 8};
+    tune_options opt;
+    opt.reps = 1;
+    const decomp_tune_report rep = autotune_decomposition(
+        g, world, decomposition::slab, 0, 0, 0, kernel_config{}, opt);
+    EXPECT_EQ(rep.plan.kind, decomposition::slab);
+    EXPECT_EQ(rep.plan.pa, 1);
+    EXPECT_EQ(rep.plan.pb, 4);
+    EXPECT_TRUE(rep.measured.empty());
+    EXPECT_FALSE(rep.from_cache);
+    EXPECT_FALSE(rep.stored);
+  });
+}
+
+TEST(AutotuneDecomp, TunedMeasuresPersistsAndReplays) {
+  const std::string path = cache_path("decomp_flow");
+  run_world(4, [&](communicator& world) {
+    const grid g{8, 9, 8};
+    kernel_config base;
+    base.max_batch = 5;
+    tune_options opt;
+    opt.cache_path = path;
+    opt.reps = 1;
+
+    const decomp_tune_report cold = autotune_decomposition(
+        g, world, decomposition::tuned, 2, 2, 0, base, opt);
+    EXPECT_FALSE(cold.from_cache);
+    // Candidates at 4 ranks on this grid: pencil 2x2, slab 1x4, hybrid
+    // 4x1 (the minimal hybrid 2x2 duplicates the configured pencil grid).
+    ASSERT_GE(cold.measured.size(), 2u);
+    EXPECT_EQ(cold.measured[0].plan.kind, decomposition::pencil2d);
+    EXPECT_EQ(cold.plan.pa * cold.plan.pb, 4);
+    // Strict-< argmin with pencil first: the chosen layout is never
+    // slower than the measured pencil baseline.
+    double chosen_s = 0.0, pencil_s = 0.0;
+    for (const auto& m : cold.measured) {
+      if (m.plan == cold.plan) chosen_s = m.seconds;
+      if (m.plan.kind == decomposition::pencil2d) pencil_s = m.seconds;
+    }
+    EXPECT_GT(pencil_s, 0.0);
+    EXPECT_LE(chosen_s, pencil_s);
+    if (world.rank() == 0) {
+      EXPECT_TRUE(cold.stored);
+    }
+
+    // Every rank agreed on the same resolved grid.
+    double mine[2] = {static_cast<double>(cold.plan.pa),
+                      static_cast<double>(cold.plan.pb)};
+    double mx[2], mn[2];
+    world.allreduce_max(mine, mx, 2);
+    world.allreduce_min(mine, mn, 2);
+    EXPECT_EQ(mx[0], mn[0]);
+    EXPECT_EQ(mx[1], mn[1]);
+
+    // Warm call replays the persisted winner without re-measuring.
+    const decomp_tune_report warm = autotune_decomposition(
+        g, world, decomposition::tuned, 2, 2, 0, base, opt);
+    EXPECT_TRUE(warm.from_cache);
+    EXPECT_TRUE(warm.measured.empty());
+    EXPECT_EQ(warm.plan, cold.plan);
+  });
+  std::remove(path.c_str());
 }
 
 TEST(Autotune, TunedConfigConstructsWithoutRemeasuring) {

@@ -1,0 +1,215 @@
+// Decomposition planning (pencil2d / slab / 2.5D hybrid) and the
+// cross-layout bit-identity property: every runnable layout of the same
+// grid must produce the SAME bits — the skipped exchanges of the slab and
+// hybrid paths are pure buffer forwards, never a different computation.
+// The property runs on a smooth grid and on a Bluestein grid (nzf = 111 =
+// 3 x 37, not FFT-smooth) so the non-power-of-two kernels are covered.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <mutex>
+#include <vector>
+
+#include "fft/fft.hpp"
+#include "pencil/decomp.hpp"
+#include "pencil/pencil.hpp"
+#include "util/aligned.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using pcf::aligned_buffer;
+using pcf::pencil::cplx;
+using pcf::pencil::decomp_plan;
+using pcf::pencil::decomposition;
+using pcf::pencil::grid;
+using pcf::pencil::kernel_config;
+using pcf::pencil::parallel_fft;
+using pcf::vmpi::cart2d;
+using pcf::vmpi::communicator;
+using pcf::vmpi::run_world;
+
+// --- planning ------------------------------------------------------------
+
+TEST(DecompPlan, SlabValidWhileEveryRankOwnsARow) {
+  const grid g{16, 9, 74};  // min(ny, nz) = 9
+  EXPECT_TRUE(pcf::pencil::slab_ranks_valid(g, 9));
+  EXPECT_FALSE(pcf::pencil::slab_ranks_valid(g, 10));
+  EXPECT_TRUE(pcf::pencil::slab_ranks_valid(g, 1));
+}
+
+TEST(DecompPlan, HybridValidityNeedsDivisorAndNonemptyBlocks) {
+  const grid g{16, 9, 74};
+  EXPECT_TRUE(pcf::pencil::hybrid_ranks_valid(g, 8, 2));   // 2 x 4
+  EXPECT_FALSE(pcf::pencil::hybrid_ranks_valid(g, 8, 3));  // not a divisor
+  EXPECT_FALSE(pcf::pencil::hybrid_ranks_valid(g, 8, 1));  // c >= 2
+  // ranks / c = 10 > min(ny, nz) = 9: each replica's slab would be empty.
+  EXPECT_FALSE(pcf::pencil::hybrid_ranks_valid(g, 20, 2));
+  EXPECT_TRUE(pcf::pencil::hybrid_ranks_valid(g, 20, 4));  // 4 x 5
+}
+
+TEST(DecompPlan, DefaultReplicaIsTheSmallestValid) {
+  const grid g{16, 9, 74};
+  EXPECT_EQ(pcf::pencil::default_replica_c(g, 8), 2);
+  EXPECT_EQ(pcf::pencil::default_replica_c(g, 20), 4);  // 2 leaves empty rows
+  EXPECT_EQ(pcf::pencil::default_replica_c(g, 7), 7);   // prime: only 7 x 1
+  // A rank count nothing divides into valid blocks.
+  EXPECT_EQ(pcf::pencil::default_replica_c(grid{8, 3, 8}, 13), 0);
+}
+
+TEST(DecompPlan, PlansResolveToConcreteGrids) {
+  const grid g{16, 9, 74};
+  const auto slab =
+      pcf::pencil::plan_decomposition(decomposition::slab, g, 8, 0, 0, 0);
+  EXPECT_EQ(slab.pa, 1);
+  EXPECT_EQ(slab.pb, 8);
+  EXPECT_EQ(slab.exchange_stages(), 1);
+
+  const auto hyb = pcf::pencil::plan_decomposition(decomposition::hybrid_25d,
+                                                   g, 8, 0, 0, 0);
+  EXPECT_EQ(hyb.pa, 2);
+  EXPECT_EQ(hyb.pb, 4);
+  EXPECT_EQ(hyb.replica_c, 2);
+  EXPECT_EQ(hyb.exchange_stages(), 2);
+
+  const auto pen = pcf::pencil::plan_decomposition(decomposition::pencil2d,
+                                                   g, 8, 4, 2, 0);
+  EXPECT_EQ(pen.pa, 4);
+  EXPECT_EQ(pen.pb, 2);
+}
+
+TEST(DecompPlan, UnrunnableLayoutsThrow) {
+  const grid g{16, 9, 74};
+  EXPECT_THROW((void)pcf::pencil::plan_decomposition(decomposition::slab, g,
+                                                     10, 0, 0, 0),
+               pcf::precondition_error);
+  EXPECT_THROW((void)pcf::pencil::plan_decomposition(
+                   decomposition::hybrid_25d, g, 20, 0, 0, 2),
+               pcf::precondition_error);
+  // `tuned` is not a runnable layout; the autotuner resolves it.
+  EXPECT_THROW((void)pcf::pencil::plan_decomposition(decomposition::tuned, g,
+                                                     8, 4, 2, 0),
+               pcf::precondition_error);
+}
+
+TEST(DecompPlan, CandidatesStartWithPencilAndNeverRepeatAGrid) {
+  const grid g{16, 9, 74};
+  const auto cands = pcf::pencil::decomposition_candidates(g, 8, 4, 2);
+  ASSERT_GE(cands.size(), 3u);
+  EXPECT_EQ(cands[0].kind, decomposition::pencil2d);
+  EXPECT_EQ(cands[0].pa, 4);
+  EXPECT_EQ(cands[0].pb, 2);
+  for (std::size_t i = 0; i < cands.size(); ++i)
+    for (std::size_t k = i + 1; k < cands.size(); ++k)
+      EXPECT_FALSE(cands[i].pa == cands[k].pa && cands[i].pb == cands[k].pb)
+          << i << " vs " << k;
+  for (const auto& c : cands) EXPECT_EQ(c.pa * c.pb, 8);
+}
+
+// --- cross-layout bit-identity -------------------------------------------
+
+/// Globally assembled transform results of one layout: the physical field
+/// after to_physical and the spectral field after the full round trip.
+struct global_fields {
+  std::vector<double> phys;
+  std::vector<cplx> back;
+};
+
+/// Deterministic spectral input with the conjugate symmetry a real field
+/// needs (kx = 0 plane Hermitian in kz; the dropped spanwise Nyquist and
+/// kx Nyquist are zero).
+cplx spec_value(std::size_t xg, std::size_t zg, std::size_t y,
+                const grid& g) {
+  if (zg == g.nz / 2) return cplx{0.0, 0.0};
+  auto raw = [](std::size_t x, std::size_t z, std::size_t yy) {
+    const double a = 0.37 * static_cast<double>(x) +
+                     0.61 * static_cast<double>(z) +
+                     1.03 * static_cast<double>(yy) + 0.25;
+    return cplx{std::sin(a), std::cos(1.7 * a)};
+  };
+  if (xg != 0) return raw(xg, zg, y);
+  const std::size_t zc = (g.nz - zg) % g.nz;
+  if (zg == zc) return cplx{raw(xg, zg, y).real(), 0.0};
+  if (zg < zc) return raw(xg, zg, y);
+  return std::conj(raw(xg, zc, y));
+}
+
+global_fields run_layout(const decomp_plan& p, const grid& g) {
+  global_fields out;
+  std::mutex m;
+  run_world(p.pa * p.pb, [&](communicator& world) {
+    cart2d cart(world, p.pa, p.pb);
+    parallel_fft pf(g, cart, kernel_config{});
+    const auto& d = pf.dec();
+
+    aligned_buffer<cplx> spec(d.y_pencil_elems());
+    for (std::size_t x = 0; x < d.xs.count; ++x)
+      for (std::size_t z = 0; z < d.zs.count; ++z)
+        for (std::size_t y = 0; y < g.ny; ++y)
+          spec[(x * d.zs.count + z) * g.ny + y] =
+              spec_value(d.xs.offset + x, d.zs.offset + z, y, g);
+
+    aligned_buffer<double> phys(d.x_pencil_real_elems());
+    aligned_buffer<cplx> back(d.y_pencil_elems());
+    pf.to_physical(spec.data(), phys.data());
+    pf.to_spectral(phys.data(), back.data());
+
+    std::lock_guard<std::mutex> lk(m);
+    out.phys.resize(d.nzf * g.ny * d.nxf);
+    out.back.resize((g.nx / 2) * g.nz * g.ny);
+    for (std::size_t z = 0; z < d.zp.count; ++z)
+      for (std::size_t y = 0; y < d.yb.count; ++y)
+        for (std::size_t x = 0; x < d.nxf; ++x)
+          out.phys[((d.zp.offset + z) * g.ny + (d.yb.offset + y)) * d.nxf +
+                   x] = phys[(z * d.yb.count + y) * d.nxf + x];
+    for (std::size_t x = 0; x < d.xs.count; ++x)
+      for (std::size_t z = 0; z < d.zs.count; ++z)
+        for (std::size_t y = 0; y < g.ny; ++y)
+          out.back[((d.xs.offset + x) * g.nz + (d.zs.offset + z)) * g.ny +
+                   y] = back[(x * d.zs.count + z) * g.ny + y];
+  });
+  return out;
+}
+
+void expect_layouts_bit_identical(const grid& g, int ranks) {
+  const auto cands =
+      pcf::pencil::decomposition_candidates(g, ranks, ranks / 2, 2);
+  ASSERT_GE(cands.size(), 3u);  // pencil, slab, at least one hybrid
+  bool saw_slab = false, saw_hybrid = false;
+  const global_fields ref = run_layout(cands[0], g);
+  for (std::size_t i = 1; i < cands.size(); ++i) {
+    const auto& c = cands[i];
+    saw_slab = saw_slab || c.kind == decomposition::slab;
+    saw_hybrid = saw_hybrid || c.kind == decomposition::hybrid_25d;
+    const global_fields got = run_layout(c, g);
+    ASSERT_EQ(got.phys.size(), ref.phys.size());
+    ASSERT_EQ(got.back.size(), ref.back.size());
+    for (std::size_t k = 0; k < ref.phys.size(); ++k)
+      ASSERT_EQ(got.phys[k], ref.phys[k])
+          << pcf::pencil::to_string(c.kind) << " phys elem " << k;
+    for (std::size_t k = 0; k < ref.back.size(); ++k)
+      ASSERT_EQ(got.back[k], ref.back[k])
+          << pcf::pencil::to_string(c.kind) << " spectral elem " << k;
+  }
+  EXPECT_TRUE(saw_slab);
+  EXPECT_TRUE(saw_hybrid);
+}
+
+TEST(DecompBitIdentity, SmoothGridAllLayoutsMatchPencil) {
+  expect_layouts_bit_identical(grid{16, 9, 8}, 8);
+}
+
+TEST(DecompBitIdentity, BluesteinGridAllLayoutsMatchPencil) {
+  // nz = 74 dealiases to nzf = 111 = 3 x 37 — not FFT-smooth, so the
+  // padded-z transforms go through the Bluestein kernel on every layout.
+  const grid g{16, 9, 74};
+  run_world(1, [&](communicator& world) {
+    cart2d cart(world, 1, 1);
+    parallel_fft pf(g, cart, kernel_config{});
+    ASSERT_EQ(pf.dec().nzf, 111u);
+  });
+  ASSERT_FALSE(pcf::fft::is_smooth(111));
+  expect_layouts_bit_identical(g, 8);
+}
+
+}  // namespace
