@@ -111,6 +111,7 @@ void channel_dns::save_checkpoint(const std::string& path) const {
 
 void channel_dns::load_checkpoint(const std::string& path) {
   auto& s = *impl_;
+  s.ensure_resumed();
   auto& st = s.state;
   std::ifstream is(path, std::ios::binary);
   PCF_REQUIRE(is.good(), "cannot open checkpoint file for reading: " + path);
@@ -215,6 +216,7 @@ void channel_dns::save_checkpoint_global(const std::string& path) {
 
 void channel_dns::load_checkpoint_global(const std::string& path) {
   auto& s = *impl_;
+  s.ensure_resumed();
   auto& st = s.state;
   const std::size_t n = s.modes.n;
   const std::size_t modes_g = s.cfg.nx / 2 * s.cfg.nz;
@@ -407,6 +409,7 @@ void channel_dns::save_checkpoint_parallel(const std::string& path) {
 
 void channel_dns::load_checkpoint_parallel(const std::string& path) {
   auto& s = *impl_;
+  s.ensure_resumed();
   auto& st = s.state;
   const std::size_t n = s.modes.n;
   const std::size_t modes_g = s.cfg.nx / 2 * s.cfg.nz;

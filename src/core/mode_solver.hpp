@@ -112,6 +112,19 @@ class solver_arena {
   /// Forget the built contents (storage is kept for the next build()).
   void clear() { built_ = false; }
 
+  /// Forget the contents AND free the slab (the simulation's suspend
+  /// path: a parked run should not pin its factored bands). The next
+  /// build() reallocates and repopulates — bit-identical to a cold build,
+  /// which the dt-change path already exercises.
+  void reset() {
+    built_ = false;
+    nm_ = 0;
+    slab_.clear();
+    slab_.shrink_to_fit();
+    active_.clear();
+    active_.shrink_to_fit();
+  }
+
   [[nodiscard]] bool built() const { return built_; }
   [[nodiscard]] double coeff() const { return c_; }
   [[nodiscard]] int modes() const { return nm_; }

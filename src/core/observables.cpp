@@ -32,6 +32,7 @@ double channel_dns::wall_shear_stress() {
 
 double channel_dns::kinetic_energy() {
   auto& s = *impl_;
+  s.ensure_resumed();
   const std::size_t n = s.modes.n;
   s.nonlinear.compute_velocities();
   s.nonlinear.velocities_to_physical();
@@ -66,6 +67,7 @@ double channel_dns::kinetic_energy() {
 
 double channel_dns::dissipation() {
   auto& s = *impl_;
+  s.ensure_resumed();
   const auto& mt = s.modes;
   const std::size_t n = mt.n;
   s.nonlinear.compute_velocities();
@@ -123,6 +125,7 @@ double channel_dns::dissipation() {
 
 double channel_dns::max_divergence() {
   auto& s = *impl_;
+  s.ensure_resumed();
   const auto& mt = s.modes;
   const std::size_t n = mt.n;
   double local = 0.0;
@@ -152,6 +155,7 @@ double channel_dns::max_divergence() {
 
 void channel_dns::accumulate_stats() {
   auto& s = *impl_;
+  s.ensure_resumed();
   s.nonlinear.compute_velocities();
   s.nonlinear.velocities_to_physical();
   s.stats_acc.add_sample(s.state.u_p.data(), s.state.v_p.data(),
@@ -170,6 +174,7 @@ void channel_dns::physical_velocity(std::vector<double>& u,
                                     std::vector<double>& v,
                                     std::vector<double>& w) {
   auto& s = *impl_;
+  s.ensure_resumed();
   s.nonlinear.compute_velocities();
   s.nonlinear.velocities_to_physical();
   u.assign(s.state.u_p.begin(), s.state.u_p.end());
@@ -179,6 +184,7 @@ void channel_dns::physical_velocity(std::vector<double>& u,
 
 std::vector<double> channel_dns::mean_profile() {
   auto& s = *impl_;
+  s.ensure_resumed();
   const std::size_t n = s.modes.n;
   workspace_lane::scope scratch(s.ws.shared());
   double* local = s.ws.shared().alloc<double>(n);
@@ -221,6 +227,7 @@ std::vector<cplx> channel_dns::mode_omega(std::size_t jx, std::size_t jz) {
 
 spectrum_data channel_dns::streamwise_spectra(int y_index) {
   auto& s = *impl_;
+  s.ensure_resumed();
   const auto& mt = s.modes;
   PCF_REQUIRE(y_index >= 0 && y_index < static_cast<int>(mt.n),
               "y index out of range");
@@ -249,6 +256,7 @@ spectrum_data channel_dns::streamwise_spectra(int y_index) {
 
 spectrum_data channel_dns::spanwise_spectra(int y_index) {
   auto& s = *impl_;
+  s.ensure_resumed();
   const auto& mt = s.modes;
   PCF_REQUIRE(y_index >= 0 && y_index < static_cast<int>(mt.n),
               "y index out of range");
@@ -279,6 +287,7 @@ spectrum_data channel_dns::spanwise_spectra(int y_index) {
 
 void channel_dns::physical_vorticity_z(std::vector<double>& wz) {
   auto& s = *impl_;
+  s.ensure_resumed();
   const auto& mt = s.modes;
   const std::size_t n = mt.n;
   s.nonlinear.compute_velocities();

@@ -25,6 +25,7 @@ const pencil::decomp& channel_dns::dec() const { return impl_->d; }
 
 void channel_dns::initialize(double perturbation, std::uint64_t seed) {
   auto& s = *impl_;
+  s.ensure_resumed();
   const auto& mt = s.modes;
   s.state.zero();
   const std::size_t n = mt.n;
@@ -122,6 +123,10 @@ void channel_dns::initialize(double perturbation, std::uint64_t seed) {
 }
 
 void channel_dns::step() { impl_->step(); }
+
+void channel_dns::suspend() { impl_->suspend(); }
+void channel_dns::resume() { impl_->resume(); }
+bool channel_dns::suspended() const { return impl_->suspended_; }
 
 void channel_dns::set_dt(double dt) {
   PCF_REQUIRE(dt > 0.0, "dt must be positive");

@@ -24,6 +24,7 @@
 #include "core/statistics.hpp"
 #include "pencil/decomp.hpp"
 #include "pencil/pencil.hpp"
+#include "util/counters.hpp"
 #include "vmpi/vmpi.hpp"
 
 namespace pcf::core {
@@ -81,6 +82,15 @@ struct channel_config {
   // repeated factorizations (ablation: bench_ablation_solver_cache).
   bool cache_solvers = true;
 
+  // Lease the workspace lanes from the process-wide block pool
+  // (pcf::block_pool::global()) instead of owning their slabs. Pooled
+  // instances can suspend() — releasing every leased block back to the
+  // pool for other simulations — and resume() onto possibly different
+  // blocks with bit-identical physics. Allocation pattern aside, the two
+  // regimes are byte-for-byte equivalent (the determinism-pooled preset
+  // pins this).
+  bool pooled_workspace = false;
+
   // Measure-and-pick autotuning of the transform kernel at construction
   // (pencil::autotune_transforms): {exchange strategy per communicator,
   // batch width <= max_batch, pipeline depth} are timed on this grid and
@@ -128,6 +138,19 @@ struct step_timings {
   double advance = 0.0;    // nonlinear assembly + implicit solves
   double total = 0.0;
   std::vector<phase_report> phases;
+
+  /// Per-lane workspace high-water marks ("shared", "transform",
+  /// "thread[i]"): capacity vs the deepest bytes ever checked out.
+  struct lane_usage {
+    std::string name;
+    std::uint64_t capacity_bytes = 0;
+    std::uint64_t peak_bytes = 0;
+  };
+  std::vector<lane_usage> workspace;
+  bool pooled = false;  // lanes lease their slabs from the block pool
+  /// Process-wide block-pool telemetry snapshot (all pools, live +
+  /// retired); meaningful when any instance runs pooled.
+  counters::pool_counts pool{};
 };
 
 class channel_dns {
@@ -151,6 +174,24 @@ class channel_dns {
 
   /// Change the time step (invalidates cached implicit solvers).
   void set_dt(double dt);
+
+  // --- suspend / resume ------------------------------------------------------
+  // A suspended simulation keeps its evolved state (fields, statistics,
+  // time) but releases every workspace slab — pooled instances hand their
+  // blocks back to the block pool for other simulations; owned instances
+  // free to the OS — and drops the cached factored solver arenas. Any
+  // state-touching call (step, diagnostics, checkpointing, ...) resumes
+  // implicitly, re-leasing possibly different blocks; physics is
+  // bit-identical across any number of suspend/resume cycles. Only legal
+  // at a step boundary (always true from the public API; RK3 carries no
+  // nonlinear history across steps).
+
+  /// Release the workspace slabs and factored-solver storage. Idempotent.
+  void suspend();
+  /// Reacquire slabs and re-establish the permanent checkouts. Idempotent;
+  /// also called implicitly by any state-touching entry point.
+  void resume();
+  [[nodiscard]] bool suspended() const;
 
   /// Adapt dt each step so the convective CFL tracks `target` (clamped to
   /// [dt_min, dt_max]); pass target <= 0 to disable. Uses the CFL of the

@@ -18,6 +18,7 @@
 #include "core/stages/mean_flow_stage.hpp"
 #include "core/stages/nonlinear_stage.hpp"
 #include "core/stages/stage_context.hpp"
+#include "util/block_pool.hpp"
 #include "util/thread_pool.hpp"
 #include "util/workspace.hpp"
 
@@ -51,6 +52,7 @@ struct channel_dns::impl {
 
   double time = 0.0;
   long steps = 0;
+  bool suspended_ = false;
 
   /// The Cartesian split of the *resolved* decomposition: slab / 2.5D /
   /// tuned layouts rewrite cfg.pa/cfg.pb (collective measurement for
@@ -75,7 +77,8 @@ struct channel_dns::impl {
         d(pencil::grid{cfg.nx, static_cast<std::size_t>(cfg.ny), cfg.nz},
           dns_kernel_config(resolve_tuning(cfg, world, cart)), cart.pa(),
           cart.pb(), cart.coord_a(), cart.coord_b()),
-        ws(dns_workspace_sizes(cfg, d)),
+        ws(dns_workspace_sizes(cfg, d),
+           cfg.pooled_workspace ? &block_pool::global() : nullptr),
         pf(pencil::grid{cfg.nx, static_cast<std::size_t>(cfg.ny), cfg.nz},
            cart, dns_kernel_config(cfg), ws.transform()),
         ops(cfg.ny, cfg.degree, cfg.stretch),
@@ -97,9 +100,47 @@ struct channel_dns::impl {
     mean_flow.invalidate();
   }
 
+  /// Park this instance: free the factored-solver slabs and hand every
+  /// workspace slab back (to the block pool when pooled, to the OS when
+  /// owned). Evolved state, statistics and timers are untouched. Legal
+  /// only at a step boundary; the permanent workspace checkouts (pencil
+  /// ping-pong buffers, hU/hW, CFL maxima, solve panels) are all
+  /// contents-dead there — each is zero-filled or fully rewritten before
+  /// its next read.
+  void suspend() {
+    if (suspended_) return;
+    implicit.drop_arenas();
+    mean_flow.invalidate();
+    ws.release();
+    suspended_ = true;
+  }
+
+  /// Reacquire the workspace slabs (possibly different pool blocks) and
+  /// re-establish every permanent checkout in construction order, so each
+  /// lands at its construction offset on the new base: transform lane —
+  /// pf's ping-pong buffers; shared lane — field_state's hU/hW then the
+  /// nonlinear stage's CFL maxima; thread lanes — the implicit solve
+  /// panels. Solver arenas rebuild lazily on the next step (the dt-change
+  /// path already proves that bit-identical).
+  void resume() {
+    if (!suspended_) return;
+    ws.reacquire();
+    pf.rebind_workspace();
+    state.rebind_workspace(ws);
+    nonlinear.rebind_workspace();
+    implicit.rebind_workspace();
+    suspended_ = false;
+  }
+
+  /// Implicit-resume guard for every state-touching entry point.
+  void ensure_resumed() {
+    if (suspended_) resume();
+  }
+
   /// One full RK3 time step: three substeps through the stage pipeline,
   /// then the end-of-step diagnostics (CFL reduction + dt controller).
   void step() {
+    ensure_resumed();
     phase_timer::section sec(timers, ph_step);
     for (int i = 0; i < 3; ++i) {
       nonlinear.run();

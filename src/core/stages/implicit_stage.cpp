@@ -20,6 +20,16 @@ void implicit_stage::invalidate() {
   for (auto& a : arena_) a.clear();
 }
 
+void implicit_stage::drop_arenas() {
+  for (auto& a : arena_) a.reset();
+}
+
+void implicit_stage::rebind_workspace() {
+  const std::size_t n = ctx_.modes.n;
+  for (std::size_t t = 0; t < panels_.size(); ++t)
+    panels_[t] = ctx_.ws.thread(t).alloc<cplx>(3 * n);
+}
+
 void implicit_stage::run(int i) {
   phase_timer::section sec(ctx_.timers, ph_run_);
   const auto& mt = ctx_.modes;

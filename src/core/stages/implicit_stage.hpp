@@ -25,6 +25,14 @@ class implicit_stage {
   /// Drop the cached per-substep solver arenas (call when dt changes).
   void invalidate();
 
+  /// Drop the arenas AND free their slabs (the suspend path: parked runs
+  /// must not pin the factored bands). Rebuilt lazily on the next run().
+  void drop_arenas();
+
+  /// Re-check the per-thread solve panels out of the thread lanes after a
+  /// workspace release/reacquire cycle (the simulation's resume path).
+  void rebind_workspace();
+
  private:
   stage_context& ctx_;
   // One contiguous solver arena per RK substep index, since cb = beta_i dt

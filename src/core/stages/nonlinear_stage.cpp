@@ -17,6 +17,11 @@ nonlinear_stage::nonlinear_stage(stage_context& ctx, phase_timer::id parent)
       ph_to_spec_(ctx.timers.add("to_spectral", ph_run_)),
       ph_asm_(ctx.timers.add("assemble", ph_run_)) {}
 
+void nonlinear_stage::rebind_workspace() {
+  cfl_maxes_ = ctx_.ws.shared().alloc<double>(
+      static_cast<std::size_t>(ctx_.pool.num_threads()));
+}
+
 void nonlinear_stage::run() {
   phase_timer::section sec(ctx_.timers, ph_run_);
   compute_velocities();

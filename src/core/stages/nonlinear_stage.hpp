@@ -26,6 +26,12 @@ class nonlinear_stage {
   // Individual sub-steps, public so the per-stage unit tests can drive
   // them against hand-built fields. run() is their exact composition.
 
+  /// Re-check the per-thread CFL maxima out of the shared lane after a
+  /// workspace release/reacquire cycle (the simulation's resume path).
+  /// Must run after field_state::rebind_workspace, matching the
+  /// construction order on the lane.
+  void rebind_workspace();
+
   /// Spectral velocities at the collocation points from the evolved state:
   /// u = (i kx v' - i kz omega) / k2,  w = (i kz v' + i kx omega) / k2.
   void compute_velocities();

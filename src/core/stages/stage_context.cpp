@@ -121,6 +121,13 @@ field_state::field_state(const mode_tables& modes, std::size_t phys_elems,
   std::fill_n(hW, n, 0.0);
 }
 
+void field_state::rebind_workspace(field_workspace& ws) {
+  hU = ws.shared().alloc<double>(n);
+  hW = ws.shared().alloc<double>(n);
+  std::fill_n(hU, n, 0.0);
+  std::fill_n(hW, n, 0.0);
+}
+
 void field_state::zero() {
   c_v.fill(cplx{0, 0});
   c_om.fill(cplx{0, 0});

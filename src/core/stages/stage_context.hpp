@@ -103,6 +103,14 @@ struct field_state {
   field_state(const mode_tables& modes, std::size_t phys_elems,
               field_workspace& ws);
 
+  /// Re-check hU/hW out of the (freshly reacquired) shared lane after a
+  /// workspace release/reacquire cycle. hU/hW are contents-dead at step
+  /// boundaries — the nonlinear stage zero-fills and rewrites them every
+  /// substep before anything reads them — so only the pointers need
+  /// re-establishing; they are zero-filled anyway for definedness. Must be
+  /// the FIRST shared-lane checkout after reacquire (construction order).
+  void rebind_workspace(field_workspace& ws);
+
   std::size_t n = 0;  // line length (= modes.n)
 
   // Evolved state (spline coefficients, one length-n line per local mode).

@@ -122,6 +122,7 @@ struct parallel_fft::impl {
   };
   wbuf w1, w2, w3;
   std::size_t wstride = 0;  // elements of one field's workspace slot
+  workspace_lane* ws_ = nullptr;  // borrow source (null = owned buffers)
 
   // alltoallv counts/displacements, in complex elements (single-field).
   std::vector<std::size_t> sc_yz, sd_yz, rc_yz, rd_yz;  // CommB, y<->z
@@ -175,6 +176,7 @@ struct parallel_fft::impl {
     wstride = slot_elems(d);
     const std::size_t wn = wstride * static_cast<std::size_t>(cfg.max_batch);
     const bool p3d = !cfg.drop_nyquist && !cfg.dealias;
+    ws_ = ws;
     if (ws != nullptr) {
       // Permanent checkouts from the caller's arena (sized by
       // transform_workspace_bytes).
@@ -983,6 +985,18 @@ batch_stats parallel_fft::batching() const {
 std::size_t parallel_fft::workspace_bytes() const {
   return (impl_->w1.size() + impl_->w2.size() + impl_->w3.size()) *
          sizeof(cplx);
+}
+
+void parallel_fft::rebind_workspace() {
+  auto& im = *impl_;
+  PCF_REQUIRE(im.ws_ != nullptr,
+              "rebind_workspace: this kernel owns its buffers (no lane to "
+              "rebind from)");
+  const std::size_t wn =
+      im.wstride * static_cast<std::size_t>(im.cfg.max_batch);
+  im.w1.borrow(im.ws_->alloc<cplx>(wn), wn);
+  im.w2.borrow(im.ws_->alloc<cplx>(wn), wn);
+  if (!im.w3.empty()) im.w3.borrow(im.ws_->alloc<cplx>(wn), wn);
 }
 
 exchange_strategy parallel_fft::strategy_a() const { return impl_->strat_a; }

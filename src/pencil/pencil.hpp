@@ -183,6 +183,15 @@ class parallel_fft {
   /// Internal workspace allocated (for the paper's 1x-vs-3x buffer claim).
   [[nodiscard]] std::size_t workspace_bytes() const;
 
+  /// Re-check the ping-pong buffers out of the construction-time lane
+  /// after its slab was released and reacquired (the simulation's
+  /// suspend/resume cycle — the lane may sit on different pool blocks
+  /// now). Only legal on lane-backed instances; the lane must be freshly
+  /// reacquired with this kernel as its first checkout, which reproduces
+  /// the construction-time offsets. Plans, counts and exchange strategies
+  /// are untouched, so a rebind costs two bump allocations.
+  void rebind_workspace();
+
   /// Exchange strategies actually in use for CommA / CommB (resolved from
   /// the configured strategy; auto_plan picks at construction).
   [[nodiscard]] exchange_strategy strategy_a() const;

@@ -46,5 +46,27 @@ inline void add_flops(std::uint64_t n) { local().flops += n; }
 inline void add_read(std::uint64_t n) { local().bytes_read += n; }
 inline void add_written(std::uint64_t n) { local().bytes_written += n; }
 
+/// Block-pool telemetry (util/block_pool.hpp), accumulated process-wide
+/// across every pool — what the step-timing report and the workspace
+/// bench surface. Monotone counters (leases, releases, cache_hits,
+/// lease_ns) include pools that have since been destroyed; occupancy
+/// gauges (blocks_*) cover live pools only.
+struct pool_counts {
+  std::uint64_t leases = 0;
+  std::uint64_t releases = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t blocks_leased = 0;
+  std::uint64_t blocks_cached = 0;
+  std::uint64_t blocks_total = 0;
+  std::uint64_t blocks_peak = 0;
+  std::uint64_t holes = 0;
+  std::uint64_t segments = 0;
+  std::uint64_t hugepage_segments = 0;
+  std::uint64_t lease_ns = 0;
+};
+
+/// Snapshot of the process-wide pool telemetry (defined in block_pool.cpp).
+pool_counts pool_totals();
+
 }  // namespace counters
 }  // namespace pcf

@@ -8,6 +8,16 @@
 // 64-byte-aligned blocks; a `workspace_lane::scope` releases everything
 // allocated after it in LIFO order when it leaves scope.
 //
+// Slab backing comes in two regimes:
+//   * OWNED  — reserve_bytes(): the lane owns an aligned_buffer slab for
+//     its whole lifetime (the original, one-simulation arena).
+//   * POOLED — lease_bytes(): the slab is a lease of fixed-size blocks
+//     from a pcf::block_pool. release_slab() hands the blocks back (a
+//     suspended simulation's footprint drops to its evolved state) and
+//     reacquire_slab() leases again — possibly DIFFERENT blocks, so every
+//     pointer previously handed out is dead and permanent checkouts must
+//     be re-established in their original order (same offsets, new base).
+//
 // Lifetime rules:
 //   * Permanent blocks (alive for the simulation's lifetime) are allocated
 //     during construction, before any scope is opened.
@@ -19,16 +29,20 @@
 //     silent mid-run allocation.
 // Debug builds (!NDEBUG) poison released regions with 0xAB so use-after-
 // release / overlapping-scope bugs read as NaN-like garbage instead of
-// stale-but-plausible data.
+// stale-but-plausible data — including across a release/reacquire cycle
+// (the pool poisons released blocks, the lane poisons fresh slabs).
 #pragma once
 
 #include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <cstring>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "util/aligned.hpp"
+#include "util/block_pool.hpp"
 #include "util/check.hpp"
 
 namespace pcf {
@@ -37,18 +51,89 @@ namespace pcf {
 class workspace_lane {
  public:
   workspace_lane() = default;
+  ~workspace_lane() { drop_backing_(); }
   workspace_lane(const workspace_lane&) = delete;
   workspace_lane& operator=(const workspace_lane&) = delete;
-  workspace_lane(workspace_lane&&) noexcept = default;
-  workspace_lane& operator=(workspace_lane&&) noexcept = default;
+  // Explicit moves: the source must come back empty (no stale slab
+  // pointer, no doubly released lease) and stay reusable — reserve or
+  // lease it again before the next checkout.
+  workspace_lane(workspace_lane&& o) noexcept { move_from_(o); }
+  workspace_lane& operator=(workspace_lane&& o) noexcept {
+    if (this != &o) {
+      drop_backing_();
+      move_from_(o);
+    }
+    return *this;
+  }
 
-  /// Size the slab. Only legal while nothing is checked out (construction
-  /// time); existing contents are discarded.
+  /// Size the slab (OWNED regime). Only legal while nothing is checked
+  /// out (construction time); existing contents are discarded.
   void reserve_bytes(std::size_t bytes) {
     PCF_REQUIRE(top_ == 0 && live_scopes_ == 0,
                 "workspace lane resized while blocks are checked out");
-    slab_.reset(bytes);
+    drop_backing_();
+    pool_ = nullptr;
+    wanted_ = bytes;
+    owned_.reset(bytes);
+    data_ = owned_.data();
+    size_ = bytes;
     peak_ = 0;
+    released_ = false;
+  }
+
+  /// Back the slab by a block-pool lease (POOLED regime): capacity is
+  /// `bytes` rounded up to whole pool blocks. Same checkout-free
+  /// precondition as reserve_bytes. The pool must outlive the lane.
+  void lease_bytes(block_pool& pool, std::size_t bytes) {
+    PCF_REQUIRE(top_ == 0 && live_scopes_ == 0,
+                "workspace lane re-leased while blocks are checked out");
+    drop_backing_();
+    pool_ = &pool;
+    wanted_ = bytes;
+    lease_ = pool.acquire(bytes);
+    data_ = lease_.data();
+    size_ = lease_.bytes();
+    peak_ = 0;
+    released_ = false;
+    poison_fresh_();
+  }
+
+  /// Give the slab back (suspend). Requires every scope closed; permanent
+  /// checkouts die with the slab and must be re-established after
+  /// reacquire_slab(). Pooled lanes return their blocks to the pool;
+  /// owned lanes free the buffer. Idempotent.
+  void release_slab() {
+    PCF_REQUIRE(live_scopes_ == 0,
+                "workspace lane released while scopes are open");
+    if (released_) return;
+    if (pool_ != nullptr)
+      pool_->release(lease_);
+    else
+      owned_.reset(0);
+    data_ = nullptr;
+    size_ = 0;
+    top_ = 0;
+    released_ = true;
+  }
+
+  /// Re-establish the slab after release_slab() (resume): pooled lanes
+  /// lease possibly different blocks of the same byte capacity, owned
+  /// lanes reallocate. The bump pointer restarts at zero — permanent
+  /// checkouts repeated in construction order land on their original
+  /// offsets. peak_bytes() survives the cycle (it sizes future lanes).
+  void reacquire_slab() {
+    PCF_REQUIRE(released_, "reacquire_slab on a lane that was not released");
+    if (pool_ != nullptr) {
+      lease_ = pool_->acquire(wanted_);
+      data_ = lease_.data();
+      size_ = lease_.bytes();
+    } else {
+      owned_.reset(wanted_);
+      data_ = owned_.data();
+      size_ = wanted_;
+    }
+    released_ = false;
+    poison_fresh_();
   }
 
   /// Check out `count` objects of T (64-byte aligned, uninitialized).
@@ -56,14 +141,17 @@ class workspace_lane {
   /// blocks allocated outside any scope are permanent.
   template <class T>
   [[nodiscard]] T* alloc(std::size_t count) {
+    assert(!released_ && "workspace lane used while its slab is released");
     const std::size_t at = (top_ + kAlignment - 1) / kAlignment * kAlignment;
-    const std::size_t bytes = count * sizeof(T);
-    PCF_REQUIRE(at + bytes <= slab_.size(),
+    // Overflow-safe capacity check: `at + count * sizeof(T)` can wrap for
+    // a huge count and pass a direct comparison vacuously, so compare in
+    // units of T against the space actually left.
+    PCF_REQUIRE(at <= size_ && count <= (size_ - at) / sizeof(T),
                 "workspace lane overflow: lanes are sized once at "
                 "construction; grow the capacity estimate");
-    top_ = at + bytes;
+    top_ = at + count * sizeof(T);
     peak_ = std::max(peak_, top_);
-    return reinterpret_cast<T*>(slab_.data() + at);
+    return reinterpret_cast<T*>(data_ + at);
   }
 
   /// RAII release point: restores the bump pointer to where it was at
@@ -84,7 +172,7 @@ class workspace_lane {
       // Poison the released region: a stage holding a pointer past its
       // scope now reads 0xAB garbage instead of plausible stale data.
       if (lane_->top_ > saved_)
-        std::memset(lane_->slab_.data() + saved_, 0xAB, lane_->top_ - saved_);
+        std::memset(lane_->data_ + saved_, 0xAB, lane_->top_ - saved_);
 #endif
       lane_->top_ = saved_;
     }
@@ -97,18 +185,65 @@ class workspace_lane {
     int depth_;
   };
 
-  [[nodiscard]] std::size_t capacity_bytes() const { return slab_.size(); }
+  [[nodiscard]] std::size_t capacity_bytes() const { return size_; }
   [[nodiscard]] std::size_t used_bytes() const { return top_; }
-  /// High-water mark since reserve_bytes() — for sizing reports.
+  /// High-water mark since reserve/lease — for sizing reports; preserved
+  /// across release/reacquire cycles.
   [[nodiscard]] std::size_t peak_bytes() const { return peak_; }
   /// Scopes currently open on this lane (zero at step boundaries).
   [[nodiscard]] int live_scopes() const { return live_scopes_; }
+  /// True between release_slab() and reacquire_slab().
+  [[nodiscard]] bool released() const { return released_; }
+  /// True when the slab is (or will be, after reacquire) pool-leased.
+  [[nodiscard]] bool pooled() const { return pool_ != nullptr; }
 
  private:
-  aligned_buffer<unsigned char> slab_;
+  void drop_backing_() {
+    if (pool_ != nullptr) pool_->release(lease_);
+    owned_.reset(0);
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+  void move_from_(workspace_lane& o) {
+    owned_ = std::move(o.owned_);
+    pool_ = o.pool_;
+    lease_ = o.lease_;
+    data_ = o.data_;
+    size_ = o.size_;
+    top_ = o.top_;
+    peak_ = o.peak_;
+    wanted_ = o.wanted_;
+    live_scopes_ = o.live_scopes_;
+    released_ = o.released_;
+    // Leave the source empty and reusable: its lease now belongs here.
+    o.pool_ = nullptr;
+    o.lease_ = {};
+    o.data_ = nullptr;
+    o.size_ = 0;
+    o.top_ = 0;
+    o.peak_ = 0;
+    o.wanted_ = 0;
+    o.live_scopes_ = 0;
+    o.released_ = false;
+  }
+
+  void poison_fresh_() {
+#ifndef NDEBUG
+    if (size_ > 0) std::memset(data_, 0xAB, size_);
+#endif
+  }
+
+  aligned_buffer<unsigned char> owned_;
+  block_pool* pool_ = nullptr;
+  block_pool::lease lease_;
+  unsigned char* data_ = nullptr;
+  std::size_t size_ = 0;
   std::size_t top_ = 0;
   std::size_t peak_ = 0;
+  std::size_t wanted_ = 0;  // requested capacity (reacquire re-leases this)
   int live_scopes_ = 0;
+  bool released_ = false;
 };
 
 /// The unified scratch arena shared by every stage of the simulation:
@@ -117,7 +252,9 @@ class workspace_lane {
 ///   * thread(tid)  — per-advance-pool-thread scratch (mode-loop lines);
 ///   * transform()  — the pencil kernel's ping-pong transpose/FFT buffers.
 /// Capacities are fixed at construction; see workspace_lane for the
-/// checkout rules.
+/// checkout rules. Pass a block_pool to lease every lane's slab from it
+/// instead of owning them — release()/reacquire() then cycle the whole
+/// arena through the pool (the simulation's suspend/resume path).
 class field_workspace {
  public:
   struct sizes {
@@ -127,12 +264,27 @@ class field_workspace {
     int num_threads = 1;
   };
 
-  explicit field_workspace(const sizes& s)
-      : threads_(static_cast<std::size_t>(s.num_threads > 0 ? s.num_threads
+  /// Capacity and high-water usage of one lane — the sizing-headroom
+  /// report surfaced per stage in step_timings.
+  struct lane_usage {
+    std::string name;
+    std::size_t capacity_bytes = 0;
+    std::size_t peak_bytes = 0;
+  };
+
+  explicit field_workspace(const sizes& s, block_pool* pool = nullptr)
+      : pool_(pool),
+        threads_(static_cast<std::size_t>(s.num_threads > 0 ? s.num_threads
                                                             : 1)) {
-    shared_.reserve_bytes(s.shared_bytes);
-    transform_.reserve_bytes(s.transform_bytes);
-    for (auto& t : threads_) t.reserve_bytes(s.thread_bytes);
+    if (pool_ != nullptr) {
+      shared_.lease_bytes(*pool_, s.shared_bytes);
+      transform_.lease_bytes(*pool_, s.transform_bytes);
+      for (auto& t : threads_) t.lease_bytes(*pool_, s.thread_bytes);
+    } else {
+      shared_.reserve_bytes(s.shared_bytes);
+      transform_.reserve_bytes(s.transform_bytes);
+      for (auto& t : threads_) t.reserve_bytes(s.thread_bytes);
+    }
   }
 
   [[nodiscard]] workspace_lane& shared() { return shared_; }
@@ -144,13 +296,47 @@ class field_workspace {
     return threads_.size();
   }
 
+  /// Suspend: every lane gives its slab back (pooled lanes return their
+  /// blocks for other owners to recycle). All scopes must be closed.
+  void release() {
+    shared_.release_slab();
+    transform_.release_slab();
+    for (auto& t : threads_) t.release_slab();
+  }
+
+  /// Resume: every lane re-establishes a slab (pooled lanes lease
+  /// possibly different blocks). Permanent checkouts must be repeated in
+  /// construction order by the owners holding them.
+  void reacquire() {
+    shared_.reacquire_slab();
+    transform_.reacquire_slab();
+    for (auto& t : threads_) t.reacquire_slab();
+  }
+
+  [[nodiscard]] bool released() const { return shared_.released(); }
+  [[nodiscard]] bool pooled() const { return pool_ != nullptr; }
+
   [[nodiscard]] std::size_t total_bytes() const {
     std::size_t b = shared_.capacity_bytes() + transform_.capacity_bytes();
     for (const auto& t : threads_) b += t.capacity_bytes();
     return b;
   }
 
+  /// Per-lane capacity / high-water report (shared, transform, then one
+  /// row per thread lane).
+  [[nodiscard]] std::vector<lane_usage> usage() const {
+    std::vector<lane_usage> u;
+    u.push_back({"shared", shared_.capacity_bytes(), shared_.peak_bytes()});
+    u.push_back(
+        {"transform", transform_.capacity_bytes(), transform_.peak_bytes()});
+    for (std::size_t t = 0; t < threads_.size(); ++t)
+      u.push_back({"thread[" + std::to_string(t) + "]",
+                   threads_[t].capacity_bytes(), threads_[t].peak_bytes()});
+    return u;
+  }
+
  private:
+  block_pool* pool_ = nullptr;
   workspace_lane shared_;
   workspace_lane transform_;
   std::vector<workspace_lane> threads_;

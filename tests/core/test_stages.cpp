@@ -422,4 +422,117 @@ TEST(Stages, StepHotLoopDoesNotAllocateThreaded) {
   expect_zero_alloc_steps(cfg);
 }
 
+TEST(Stages, StepHotLoopDoesNotAllocatePooled) {
+  // Pool-backed lanes: leasing happens at construction (and on resume),
+  // never inside the hot loop — stepping must stay heap-silent exactly
+  // like the owned regime.
+  channel_config cfg;
+  cfg.nx = 16;
+  cfg.nz = 16;
+  cfg.ny = 33;
+  cfg.re_tau = 180.0;
+  cfg.dt = 1e-4;
+  cfg.pooled_workspace = true;
+  expect_zero_alloc_steps(cfg);
+}
+
+TEST(Stages, StepAfterResumeDoesNotAllocate) {
+  // A suspend/resume cycle re-leases and rebinds, but once resumed the
+  // hot loop must be as allocation-free as a never-suspended run. The
+  // first post-resume step rebuilds the solver arenas, so warm up with
+  // one step after the cycle before counting.
+  channel_config cfg;
+  cfg.nx = 16;
+  cfg.nz = 16;
+  cfg.ny = 33;
+  cfg.re_tau = 180.0;
+  cfg.dt = 1e-4;
+  cfg.pooled_workspace = true;
+  run_world(1, [&](communicator& world) {
+    channel_dns dns(cfg, world);
+    dns.initialize(0.1, 1);
+    for (int s = 0; s < 2; ++s) dns.step();
+    dns.suspend();
+    EXPECT_TRUE(dns.suspended());
+    dns.resume();
+    EXPECT_FALSE(dns.suspended());
+    dns.step();  // rebuilds the factored solver arenas
+    long allocs = 0;
+    {
+      alloc_guard guard;
+      for (int s = 0; s < 3; ++s) dns.step();
+      allocs = guard.count();
+    }
+    EXPECT_EQ(allocs, 0) << "post-resume hot loop touched the heap";
+  });
+}
+
+TEST(Stages, SuspendResumeCyclesReproduceGoldenCheckpointHash) {
+  // The acceptance gate of the pooled-arena work: quickstart physics must
+  // be bit-identical through suspend -> release -> re-lease -> resume
+  // cycles, pinned by the same golden checkpoint CRC as the straight-line
+  // run. Suspends are injected at several step boundaries, including
+  // back-to-back cycles and an implicit resume via step().
+  run_world(1, [&](communicator& world) {
+    channel_config cfg;
+    cfg.nx = 16;
+    cfg.nz = 16;
+    cfg.ny = 33;
+    cfg.re_tau = 180.0;
+    cfg.dt = 1e-4;
+    cfg.pooled_workspace = true;
+    channel_dns dns(cfg, world);
+    dns.initialize(0.1, 1);
+    for (int s = 0; s < 25; ++s) {
+      if (s == 5 || s == 13) {
+        dns.suspend();
+        dns.resume();
+      }
+      if (s == 17) {
+        dns.suspend();
+        dns.suspend();  // idempotent
+        // no explicit resume: step() resumes implicitly
+      }
+      dns.step();
+    }
+    EXPECT_DOUBLE_EQ(dns.kinetic_energy(), 157.45739483957092);
+    EXPECT_DOUBLE_EQ(dns.bulk_velocity(), 15.519657316103206);
+
+    const std::string path = "stages_golden_pooled.ckpt";
+    dns.save_checkpoint(path);
+    std::ifstream is(path, std::ios::binary);
+    ASSERT_TRUE(is.good());
+    std::vector<char> buf((std::istreambuf_iterator<char>(is)),
+                          std::istreambuf_iterator<char>());
+    EXPECT_EQ(buf.size(), 203472u);
+    EXPECT_EQ(pcf::crc32(buf.data(), buf.size()), 0x3fa23d27u);
+    std::remove(path.c_str());
+  });
+}
+
+TEST(Stages, ObservablesResumeASuspendedSimulation) {
+  // Diagnostics on a suspended instance must implicitly resume (they need
+  // workspace scratch and the transform lane), not crash or misread.
+  run_world(1, [&](communicator& world) {
+    channel_config cfg;
+    cfg.nx = 16;
+    cfg.nz = 16;
+    cfg.ny = 33;
+    cfg.re_tau = 180.0;
+    cfg.dt = 1e-4;
+    cfg.pooled_workspace = true;
+    channel_dns dns(cfg, world);
+    dns.initialize(0.1, 1);
+    for (int s = 0; s < 3; ++s) dns.step();
+    const double ke = dns.kinetic_energy();
+    const double div = dns.max_divergence();
+    dns.suspend();
+    ASSERT_TRUE(dns.suspended());
+    EXPECT_DOUBLE_EQ(dns.kinetic_energy(), ke);  // implicit resume
+    EXPECT_FALSE(dns.suspended());
+    dns.suspend();
+    EXPECT_DOUBLE_EQ(dns.max_divergence(), div);
+  });
+}
+
 }  // namespace

@@ -45,6 +45,10 @@ inline pcf::core::channel_config quickstart_config() {
     cfg.autotune = true;
     if (*cache) cfg.tuning_cache = cache;
   }
+  // The `determinism-pooled` preset: lanes lease from the block pool and
+  // analysis::record_trace cycles suspend/resume around every step.
+  if (std::getenv("PCF_DETERMINISM_POOLED") != nullptr)
+    cfg.pooled_workspace = true;
   return cfg;
 }
 

@@ -1,19 +1,34 @@
 // Workspace arena invariants: alignment, LIFO scope release, peak
-// tracking, fixed capacity (overflow throws instead of growing).
+// tracking, fixed capacity (overflow throws instead of growing), and the
+// pooled lease/release/reacquire cycle (the simulation's suspend path).
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <stdexcept>
+#include <utility>
 
+#include "util/block_pool.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 #include "util/workspace.hpp"
 
 namespace {
 
+using pcf::block_pool;
+using pcf::block_pool_config;
 using pcf::field_workspace;
 using pcf::workspace_lane;
+
+block_pool_config test_pool_cfg() {
+  block_pool_config c;
+  c.block_bytes = 4096;
+  c.segment_blocks = 8;
+  c.hugepages = false;
+  c.thread_cache_blocks = 0;
+  return c;
+}
 
 TEST(Workspace, BlocksAre64ByteAlignedAndDisjoint) {
   workspace_lane lane;
@@ -70,6 +85,158 @@ TEST(Workspace, OverflowThrowsInsteadOfGrowing) {
   // Lane capacity is fixed once blocks are checked out.
   (void)lane.alloc<double>(4);
   EXPECT_THROW(lane.reserve_bytes(8192), pcf::precondition_error);
+}
+
+// Regression: the capacity check used to compute `offset + count *
+// sizeof(T)`, which wraps for a count near SIZE_MAX and passed the
+// comparison vacuously — handing out a pointer with ~0 usable bytes. The
+// overflow-safe check must reject every wrapping count.
+TEST(Workspace, OverflowCheckRejectsWrappingByteCount) {
+  workspace_lane lane;
+  lane.reserve_bytes(4096);
+  const std::size_t huge = std::numeric_limits<std::size_t>::max() / 8 + 2;
+  // huge * sizeof(double) wraps to a small number; the naive check would
+  // accept it.
+  EXPECT_THROW((void)lane.alloc<double>(huge), pcf::precondition_error);
+  EXPECT_THROW(
+      (void)lane.alloc<double>(std::numeric_limits<std::size_t>::max()),
+      pcf::precondition_error);
+  // The lane must still be usable and empty after the rejections.
+  EXPECT_EQ(lane.used_bytes(), 0u);
+  double* ok = lane.alloc<double>(8);
+  EXPECT_NE(ok, nullptr);
+}
+
+TEST(Workspace, MovedFromLaneIsEmptyAndReusable) {
+  workspace_lane a;
+  a.reserve_bytes(1024);
+  double* p = a.alloc<double>(4);
+  p[0] = 42.0;
+  workspace_lane b(std::move(a));
+  // The slab (and its contents) moved; the source is empty but alive.
+  EXPECT_EQ(b.used_bytes(), 4 * sizeof(double));
+  EXPECT_EQ(b.capacity_bytes(), 1024u);
+  EXPECT_EQ(a.capacity_bytes(), 0u);
+  EXPECT_EQ(a.used_bytes(), 0u);
+  // Re-reserving the moved-from lane brings it back into service.
+  a.reserve_bytes(512);
+  double* q = a.alloc<double>(4);
+  q[0] = 7.0;
+  EXPECT_EQ(p[0], 42.0);  // b's storage is untouched by a's new slab
+  // Move-assign over a live lane releases its old slab first.
+  a = std::move(b);
+  EXPECT_EQ(a.capacity_bytes(), 1024u);
+  EXPECT_EQ(a.used_bytes(), 4 * sizeof(double));
+}
+
+TEST(Workspace, PooledMoveTransfersLease) {
+  block_pool pool(test_pool_cfg());
+  workspace_lane a;
+  a.lease_bytes(pool, 100);
+  EXPECT_TRUE(a.pooled());
+  (void)a.alloc<double>(4);
+  workspace_lane b(std::move(a));
+  EXPECT_TRUE(b.pooled());
+  EXPECT_FALSE(a.pooled());
+  EXPECT_EQ(pool.stats().blocks_leased, 1u);  // exactly one live lease
+  b.release_slab();
+  EXPECT_EQ(pool.stats().blocks_leased, 0u);
+}
+
+TEST(Workspace, PooledReacquireReproducesConstructionOffsets) {
+  block_pool pool(test_pool_cfg());
+  workspace_lane lane;
+  lane.lease_bytes(pool, 2 * 4096);
+  EXPECT_GE(lane.capacity_bytes(), 2 * 4096u);  // whole-block round-up
+
+  // Permanent checkouts at construction: remember their lane offsets.
+  unsigned char* base = reinterpret_cast<unsigned char*>(lane.alloc<char>(1));
+  double* perm1 = lane.alloc<double>(10);
+  double* perm2 = lane.alloc<double>(3);
+  const std::ptrdiff_t off1 =
+      reinterpret_cast<unsigned char*>(perm1) - base;
+  const std::ptrdiff_t off2 =
+      reinterpret_cast<unsigned char*>(perm2) - base;
+  const std::size_t used = lane.used_bytes();
+
+  lane.release_slab();
+  EXPECT_TRUE(lane.released());
+  EXPECT_EQ(lane.used_bytes(), 0u);
+  EXPECT_EQ(pool.stats().blocks_leased, 0u);
+  // Released lanes are idempotently releasable.
+  lane.release_slab();
+
+  // Park a squatter on the freed blocks so the reacquired lease lands
+  // somewhere else — the offsets must reproduce anyway.
+  auto squatter = pool.acquire(4096);
+
+  lane.reacquire_slab();
+  EXPECT_FALSE(lane.released());
+  unsigned char* base2 = reinterpret_cast<unsigned char*>(lane.alloc<char>(1));
+  double* again1 = lane.alloc<double>(10);
+  double* again2 = lane.alloc<double>(3);
+  EXPECT_EQ(reinterpret_cast<unsigned char*>(again1) - base2, off1);
+  EXPECT_EQ(reinterpret_cast<unsigned char*>(again2) - base2, off2);
+  EXPECT_EQ(lane.used_bytes(), used);
+  // peak survives the cycle (it sizes future lanes).
+  EXPECT_GE(lane.peak_bytes(), used);
+  pool.release(squatter);
+}
+
+TEST(Workspace, PooledFieldWorkspaceReleaseReacquireCycle) {
+  block_pool pool(test_pool_cfg());
+  field_workspace::sizes s;
+  s.shared_bytes = 4096;
+  s.thread_bytes = 4096;
+  s.transform_bytes = 8192;
+  s.num_threads = 2;
+  field_workspace ws(s, &pool);
+  EXPECT_TRUE(ws.pooled());
+  EXPECT_FALSE(ws.released());
+  EXPECT_GT(pool.stats().blocks_leased, 0u);
+
+  double* perm = ws.shared().alloc<double>(8);
+  std::fill_n(perm, 8, 1.0);
+  {
+    workspace_lane::scope sc(ws.shared());
+    (void)ws.shared().alloc<double>(16);
+  }
+  const auto usage_before = ws.usage();
+
+  ws.release();
+  EXPECT_TRUE(ws.released());
+  EXPECT_EQ(pool.stats().blocks_leased, 0u);
+
+  ws.reacquire();
+  EXPECT_FALSE(ws.released());
+  double* perm_again = ws.shared().alloc<double>(8);
+  EXPECT_NE(perm_again, nullptr);
+  // usage() (capacity and peak) survives the cycle.
+  const auto usage_after = ws.usage();
+  ASSERT_EQ(usage_before.size(), usage_after.size());
+  for (std::size_t i = 0; i < usage_before.size(); ++i) {
+    EXPECT_EQ(usage_before[i].capacity_bytes, usage_after[i].capacity_bytes);
+    EXPECT_LE(usage_before[i].peak_bytes, usage_after[i].peak_bytes);
+  }
+}
+
+TEST(Workspace, OwnedLanesAlsoSupportReleaseReacquire) {
+  // The suspend path must work for owned lanes too (free + realloc), so
+  // the pooled determinism hook is safe for every configuration.
+  field_workspace::sizes s;
+  s.shared_bytes = 2048;
+  s.thread_bytes = 1024;
+  s.transform_bytes = 4096;
+  s.num_threads = 1;
+  field_workspace ws(s);
+  EXPECT_FALSE(ws.pooled());
+  (void)ws.shared().alloc<double>(16);
+  ws.release();
+  EXPECT_TRUE(ws.released());
+  ws.reacquire();
+  double* p = ws.shared().alloc<double>(16);
+  EXPECT_NE(p, nullptr);
+  EXPECT_EQ(ws.shared().capacity_bytes(), 2048u);
 }
 
 // Emulates the staged-pipeline checkout pattern with a stage that throws
