@@ -1,0 +1,36 @@
+// File-based campaign job specs for the campaign_runner front-end.
+//
+// An INI-flavoured format: top-level `key = value` lines configure the
+// campaign (workers, slicing, residency budget), each `[name]` section
+// declares one job, and a job inherits every top-level *job* key set
+// before it (so a sweep writes `steps = 200` once and each section only
+// states what varies — re_tau, nx, dt, priority). `#` and `;` start
+// comments; blank lines separate nothing. See examples/campaign.jobs.
+//
+// Parsing is strict: an unknown key, a malformed number or a duplicate
+// job name names its line in the thrown error. A config this small has no
+// business failing silently.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+
+namespace pcf::campaign {
+
+struct job_file {
+  campaign_config config;
+  std::vector<job_spec> jobs;
+};
+
+/// Parse `text` (for tests and embedded specs); `origin` names the source
+/// in error messages.
+[[nodiscard]] job_file parse_job_text(const std::string& text,
+                                      const std::string& origin = "<text>");
+
+/// Parse the job file at `path`; throws std::runtime_error on a missing
+/// file or any syntax error.
+[[nodiscard]] job_file parse_job_file(const std::string& path);
+
+}  // namespace pcf::campaign

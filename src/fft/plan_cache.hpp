@@ -1,0 +1,51 @@
+// Process-wide shared FFT plan cache.
+//
+// Plans are immutable after construction and thread-safe to execute
+// (fft.hpp), so N concurrent simulations transforming the same lengths can
+// share one plan object instead of each paying the twiddle/bit-reversal
+// table construction — exactly the CaNS observation (PAPERS.md,
+// arXiv:1802.10323) that a many-run campaign amortizes its solver setup
+// through shared caches. The pencil kernel leases its z/x-line plans from
+// here, so a campaign sweep of identical grids builds each plan once and
+// the per-instance cost is a refcount bump.
+//
+// Entries are held by shared_ptr: the cache keeps plans alive across
+// sequential runs (a resumed or readmitted simulation re-hits), and
+// trim() drops the ones no live kernel references when a campaign wants
+// the memory back. Statistics feed the campaign report's cache-hit-rate
+// figures.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "fft/fft.hpp"
+
+namespace pcf::fft {
+
+struct plan_cache_stats {
+  std::uint64_t hits = 0;    // shared_* calls served by an existing plan
+  std::uint64_t misses = 0;  // calls that had to construct
+  std::size_t live = 0;      // plans currently in the cache
+  std::size_t shared = 0;    // of those, referenced by >= 1 external holder
+};
+
+/// Lease a complex-to-complex plan of length n / direction d from the
+/// process-wide cache (constructing on first use). Thread-safe; the
+/// returned plan is safe to execute concurrently with every other holder.
+[[nodiscard]] std::shared_ptr<const c2c_plan> shared_c2c(std::size_t n,
+                                                         direction d);
+/// Real-to-complex forward plan of length n (n even).
+[[nodiscard]] std::shared_ptr<const r2c_plan> shared_r2c(std::size_t n);
+/// Complex-to-real inverse plan of length n (n even).
+[[nodiscard]] std::shared_ptr<const c2r_plan> shared_c2r(std::size_t n);
+
+/// Snapshot of the cache counters (process-wide, all three plan kinds).
+[[nodiscard]] plan_cache_stats plan_cache_statistics();
+
+/// Drop cached plans no external holder references. Returns how many were
+/// dropped. Plans still held by live kernels are untouched (and stay
+/// shareable).
+std::size_t plan_cache_trim();
+
+}  // namespace pcf::fft

@@ -1,10 +1,13 @@
 #include "pencil/autotune.hpp"
 
 #include <algorithm>
+#include <condition_variable>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <memory>
+#include <mutex>
 
 #include "io/atomic_file.hpp"
 #include "util/crc.hpp"
@@ -120,7 +123,152 @@ void warn(std::vector<std::string>* sink, std::string msg) {
   if (sink != nullptr) sink->push_back(std::move(msg));
 }
 
+// --- in-process memo (see the header's section comment) --------------------
+
+struct memo_entry {
+  std::string path;
+  tune_key key;
+  tune_choice choice;
+  bool ready = false;  // false: an owner is measuring
+};
+
+struct memo_state {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<memo_entry> entries;
+  std::uint64_t hits = 0, misses = 0;
+};
+
+memo_state& memo() {
+  static memo_state m;
+  return m;
+}
+
+memo_entry* memo_find_locked(memo_state& m, const std::string& path,
+                             const tune_key& key) {
+  for (memo_entry& e : m.entries)
+    if (e.path == path && e.key == key) return &e;
+  return nullptr;
+}
+
+// True on a published hit (`out` filled). False when the caller became the
+// owner and must measure, then publish (or abandon, so a waiter can take
+// over). With `force` set the caller always ends up owning — it waits out
+// any in-flight measurement first, then re-measures over the stale choice.
+bool memo_lookup_or_begin(const std::string& path, const tune_key& key,
+                          bool force, tune_choice& out) {
+  memo_state& m = memo();
+  std::unique_lock<std::mutex> lk(m.mu);
+  for (;;) {
+    memo_entry* e = memo_find_locked(m, path, key);
+    if (e == nullptr) {
+      m.entries.push_back({path, key, tune_choice{}, false});
+      ++m.misses;
+      return false;
+    }
+    if (!e->ready) {
+      m.cv.wait(lk);
+      continue;
+    }
+    if (force) {
+      e->ready = false;
+      ++m.misses;
+      return false;
+    }
+    ++m.hits;
+    out = e->choice;
+    return true;
+  }
+}
+
+void memo_publish(const std::string& path, const tune_key& key,
+                  const tune_choice& choice) {
+  memo_state& m = memo();
+  {
+    std::lock_guard<std::mutex> lk(m.mu);
+    memo_entry* e = memo_find_locked(m, path, key);
+    if (e != nullptr) {
+      e->choice = choice;
+      e->ready = true;
+    }
+  }
+  m.cv.notify_all();
+}
+
+void memo_abandon(const std::string& path, const tune_key& key) {
+  memo_state& m = memo();
+  {
+    std::lock_guard<std::mutex> lk(m.mu);
+    auto& v = m.entries;
+    for (auto it = v.begin(); it != v.end(); ++it)
+      if (it->path == path && it->key == key && !it->ready) {
+        v.erase(it);
+        break;
+      }
+  }
+  m.cv.notify_all();
+}
+
+// RAII over an owned (measuring) memo slot: abandons on scope exit unless
+// published, so an exception mid-measurement wakes a waiter to take over
+// instead of deadlocking every later caller of the key.
+struct memo_ownership {
+  std::string path;
+  tune_key key;
+  bool armed = false;
+
+  memo_ownership() = default;
+  memo_ownership(const memo_ownership&) = delete;
+  memo_ownership& operator=(const memo_ownership&) = delete;
+  ~memo_ownership() {
+    if (armed) memo_abandon(path, key);
+  }
+  void arm(const std::string& p, const tune_key& k) {
+    path = p;
+    key = k;
+    armed = true;
+  }
+  void publish(const tune_choice& c) {
+    memo_publish(path, key, c);
+    armed = false;
+  }
+};
+
+// Serializes load-merge-store cycles on one cache file across threads; the
+// memo covers same-key racing, this covers distinct keys merging into the
+// same file. Mutexes are never reclaimed — the table holds one entry per
+// distinct cache path the process ever tunes against.
+std::mutex& cache_file_mutex(const std::string& path) {
+  static std::mutex table_mu;
+  static std::vector<std::pair<std::string, std::unique_ptr<std::mutex>>>
+      table;
+  std::lock_guard<std::mutex> lk(table_mu);
+  for (auto& [p, mu] : table)
+    if (p == path) return *mu;
+  table.emplace_back(path, std::make_unique<std::mutex>());
+  return *table.back().second;
+}
+
 }  // namespace
+
+tuning_memo_stats tuning_memo_statistics() {
+  memo_state& m = memo();
+  std::lock_guard<std::mutex> lk(m.mu);
+  tuning_memo_stats s;
+  s.hits = m.hits;
+  s.misses = m.misses;
+  for (const memo_entry& e : m.entries)
+    if (e.ready) ++s.entries;
+  return s;
+}
+
+void tuning_memo_reset() {
+  memo_state& m = memo();
+  std::lock_guard<std::mutex> lk(m.mu);
+  m.entries.clear();
+  m.hits = 0;
+  m.misses = 0;
+}
 
 tune_key make_tune_key(const grid& g, const kernel_config& base, int pa,
                        int pb, decomposition dk, int replica_c) {
@@ -222,30 +370,47 @@ tune_report autotune_transforms(const grid& g, vmpi::communicator& world,
   rep.key = make_tune_key(g, base, cart.pa(), cart.pb());
   const bool root = world.rank() == 0;
 
-  // Consult the cache on rank 0 and broadcast the verdict so every rank
-  // takes the same branch (measurement is collective).
-  std::uint32_t hit[5] = {0, 0, 0, 0, 0};
+  // Consult the caches on rank 0 and broadcast the verdict so every rank
+  // takes the same branch (measurement is collective). Memo first — a
+  // published hit costs no file I/O, and a miss makes this call the key's
+  // owner (concurrent callers of the same key block until we publish).
+  std::uint32_t hit[5] = {0, 0, 0, 0, 0};  // hit[0]: 0 miss, 1 file, 2 memo
   std::vector<tune_entry> entries;
+  memo_ownership own;
   if (!opt.cache_path.empty()) {
     if (root) {
-      entries = load_tuning_cache(opt.cache_path, &rep.warnings);
-      const tune_entry* e = find_tuning_entry(entries, rep.key);
-      if (e != nullptr && !opt.force_retune) {
-        hit[0] = 1;
-        hit[1] = encode_strategy(e->choice.strat_a);
-        hit[2] = encode_strategy(e->choice.strat_b);
-        hit[3] = static_cast<std::uint32_t>(e->choice.batch);
-        hit[4] = static_cast<std::uint32_t>(e->choice.pipeline_depth);
+      tune_choice mc;
+      if (memo_lookup_or_begin(opt.cache_path, rep.key, opt.force_retune,
+                               mc)) {
+        hit[0] = 2;
+        hit[1] = encode_strategy(mc.strat_a);
+        hit[2] = encode_strategy(mc.strat_b);
+        hit[3] = static_cast<std::uint32_t>(mc.batch);
+        hit[4] = static_cast<std::uint32_t>(mc.pipeline_depth);
+      } else {
+        own.arm(opt.cache_path, rep.key);
+        std::lock_guard<std::mutex> flk(cache_file_mutex(opt.cache_path));
+        entries = load_tuning_cache(opt.cache_path, &rep.warnings);
+        const tune_entry* e = find_tuning_entry(entries, rep.key);
+        if (e != nullptr && !opt.force_retune) {
+          hit[0] = 1;
+          hit[1] = encode_strategy(e->choice.strat_a);
+          hit[2] = encode_strategy(e->choice.strat_b);
+          hit[3] = static_cast<std::uint32_t>(e->choice.batch);
+          hit[4] = static_cast<std::uint32_t>(e->choice.pipeline_depth);
+        }
       }
     }
     world.bcast(hit, 5, 0);
   }
   if (hit[0] != 0) {
     rep.from_cache = true;
+    rep.from_memo = hit[0] == 2;
     decode_strategy(hit[1], rep.choice.strat_a);
     decode_strategy(hit[2], rep.choice.strat_b);
     rep.choice.batch = static_cast<int>(hit[3]);
     rep.choice.pipeline_depth = static_cast<int>(hit[4]);
+    if (root && own.armed) own.publish(rep.choice);  // seed memo from file
     return rep;
   }
 
@@ -335,7 +500,9 @@ tune_report autotune_transforms(const grid& g, vmpi::communicator& world,
 
   if (!opt.cache_path.empty()) {
     if (root) {
-      // Load-merge-store so concurrent keys (other grids/splits) survive.
+      // Load-merge-store so concurrent keys (other grids/splits) survive;
+      // the per-path mutex keeps a concurrent merger from dropping ours.
+      std::lock_guard<std::mutex> flk(cache_file_mutex(opt.cache_path));
       entries = load_tuning_cache(opt.cache_path, nullptr);
       bool replaced = false;
       for (tune_entry& e : entries)
@@ -355,6 +522,10 @@ tune_report autotune_transforms(const grid& g, vmpi::communicator& world,
     // The cache write (or its failure) is settled before anyone returns
     // and possibly re-reads the file.
     world.barrier();
+    // Publish after the file settles: waiters blocked on this key resume
+    // with the measured choice (a failed store still publishes — the
+    // choice is valid either way).
+    if (root && own.armed) own.publish(chosen);
   }
   return rep;
 }
@@ -379,18 +550,31 @@ decomp_tune_report autotune_decomposition(const grid& g,
   rep.key = make_tune_key(g, base, pa, pb, decomposition::tuned, replica_c);
   const bool root = world.rank() == 0;
 
-  // Cache consult on rank 0, verdict broadcast (measurement is collective).
-  std::uint32_t hit[4] = {0, 0, 0, 0};
+  // Cache consult on rank 0 (memo tier first, exactly as in
+  // autotune_transforms), verdict broadcast (measurement is collective).
+  std::uint32_t hit[4] = {0, 0, 0, 0};  // hit[0]: 0 miss, 1 file, 2 memo
   std::vector<tune_entry> entries;
+  memo_ownership own;
   if (!opt.cache_path.empty()) {
     if (root) {
-      entries = load_tuning_cache(opt.cache_path, &rep.warnings);
-      const tune_entry* e = find_tuning_entry(entries, rep.key);
-      if (e != nullptr && !opt.force_retune) {
-        hit[0] = 1;
-        hit[1] = encode_decomp(e->choice.decomp);
-        hit[2] = static_cast<std::uint32_t>(e->choice.pa);
-        hit[3] = static_cast<std::uint32_t>(e->choice.pb);
+      tune_choice mc;
+      if (memo_lookup_or_begin(opt.cache_path, rep.key, opt.force_retune,
+                               mc)) {
+        hit[0] = 2;
+        hit[1] = encode_decomp(mc.decomp);
+        hit[2] = static_cast<std::uint32_t>(mc.pa);
+        hit[3] = static_cast<std::uint32_t>(mc.pb);
+      } else {
+        own.arm(opt.cache_path, rep.key);
+        std::lock_guard<std::mutex> flk(cache_file_mutex(opt.cache_path));
+        entries = load_tuning_cache(opt.cache_path, &rep.warnings);
+        const tune_entry* e = find_tuning_entry(entries, rep.key);
+        if (e != nullptr && !opt.force_retune) {
+          hit[0] = 1;
+          hit[1] = encode_decomp(e->choice.decomp);
+          hit[2] = static_cast<std::uint32_t>(e->choice.pa);
+          hit[3] = static_cast<std::uint32_t>(e->choice.pb);
+        }
       }
     }
     world.bcast(hit, 4, 0);
@@ -402,8 +586,16 @@ decomp_tune_report autotune_decomposition(const grid& g,
     const int cpb = static_cast<int>(hit[3]);
     if (cpa >= 1 && cpb >= 1 && cpa * cpb == ranks) {
       rep.from_cache = true;
+      rep.from_memo = hit[0] == 2;
       rep.plan = {dk, cpa, cpb,
                   dk == decomposition::hybrid_25d ? cpa : 1};
+      if (root && own.armed) {
+        tune_choice c;
+        c.decomp = dk;
+        c.pa = cpa;
+        c.pb = cpb;
+        own.publish(c);  // seed the memo from the validated file hit
+      }
       return rep;
     }
     if (root)
@@ -464,12 +656,13 @@ decomp_tune_report autotune_decomposition(const grid& g,
   }
 
   if (!opt.cache_path.empty()) {
+    tune_choice choice;
+    choice.decomp = rep.plan.kind;
+    choice.pa = rep.plan.pa;
+    choice.pb = rep.plan.pb;
     if (root) {
+      std::lock_guard<std::mutex> flk(cache_file_mutex(opt.cache_path));
       entries = load_tuning_cache(opt.cache_path, nullptr);
-      tune_choice choice;
-      choice.decomp = rep.plan.kind;
-      choice.pa = rep.plan.pa;
-      choice.pb = rep.plan.pb;
       bool replaced = false;
       for (tune_entry& e : entries)
         if (e.key == rep.key) {
@@ -487,6 +680,7 @@ decomp_tune_report autotune_decomposition(const grid& g,
       }
     }
     world.barrier();
+    if (root && own.armed) own.publish(choice);
   }
   return rep;
 }

@@ -80,7 +80,8 @@ struct tune_options {
 struct tune_report {
   tune_key key;
   tune_choice choice;
-  bool from_cache = false;
+  bool from_cache = false;  // served without measuring (either cache tier)
+  bool from_memo = false;   // ...specifically by the in-process memo
   bool stored = false;
   double per_field_s = 0.0;  // agreed time of the F=1/depth=1 baseline
   double chosen_s = 0.0;     // agreed time of the winning candidate
@@ -120,7 +121,8 @@ struct tune_report {
 struct decomp_tune_report {
   tune_key key;
   decomp_plan plan;  // the layout to run production with
-  bool from_cache = false;
+  bool from_cache = false;  // served without measuring (either cache tier)
+  bool from_memo = false;   // ...specifically by the in-process memo
   bool stored = false;
   struct candidate {
     decomp_plan plan;
@@ -161,5 +163,29 @@ void save_tuning_cache(const std::string& path,
 /// Find `key` in `entries`; nullptr if absent.
 [[nodiscard]] const tune_entry* find_tuning_entry(
     const std::vector<tune_entry>& entries, const tune_key& key);
+
+// --- in-process tuning memo ------------------------------------------------
+//
+// Concurrent simulations sharing one cache file (a campaign sweep) used to
+// race the file's load-merge-store and re-measure identical configs. A
+// process-wide memo keyed by (cache_path, tune_key) now fronts the file:
+// the first caller of a key measures while later callers of the same key
+// block until the choice is published, and file writes serialize through a
+// per-path mutex so distinct keys merging into the same file cannot drop
+// each other's entries. The memo is only consulted when a cache_path is
+// set — an empty path still means "measure always".
+
+struct tuning_memo_stats {
+  std::uint64_t hits = 0;    // consults served by a published choice
+  std::uint64_t misses = 0;  // consults that took ownership and measured
+  std::size_t entries = 0;   // published choices currently held
+};
+
+/// Snapshot of the process-wide memo counters.
+[[nodiscard]] tuning_memo_stats tuning_memo_statistics();
+
+/// Drop every memoized choice and zero the counters (test isolation and
+/// campaign teardown). Must not race in-flight autotune calls.
+void tuning_memo_reset();
 
 }  // namespace pcf::pencil

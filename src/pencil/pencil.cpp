@@ -4,6 +4,7 @@
 #include <limits>
 #include <vector>
 
+#include "fft/plan_cache.hpp"
 #include "util/aligned.hpp"
 #include "util/counters.hpp"
 #include "util/thread_pool.hpp"
@@ -90,9 +91,14 @@ struct parallel_fft::impl {
   vmpi::communicator comm_a;  // copies share the underlying group state
   vmpi::communicator comm_b;
 
-  fft::c2c_plan z_fwd, z_inv;
-  fft::r2c_plan x_fwd;
-  fft::c2r_plan x_inv;
+  // Leased from the process-wide plan cache (fft/plan_cache.hpp): N
+  // kernels on the same grid — a campaign sweep of identical configs —
+  // share one immutable plan per (length, direction) instead of each
+  // rebuilding the twiddle tables. Execution is thread-safe, so sharing
+  // across concurrently-stepping simulations is sound.
+  std::shared_ptr<const fft::c2c_plan> z_fwd, z_inv;
+  std::shared_ptr<const fft::r2c_plan> x_fwd;
+  std::shared_ptr<const fft::c2r_plan> x_inv;
 
   thread_pool fft_pool;
   thread_pool reorder_pool;
@@ -160,10 +166,10 @@ struct parallel_fft::impl {
         cfg(c),
         comm_a(cart.comm_a()),
         comm_b(cart.comm_b()),
-        z_fwd(d.nzf, fft::direction::forward),
-        z_inv(d.nzf, fft::direction::inverse),
-        x_fwd(d.nxf),
-        x_inv(d.nxf),
+        z_fwd(fft::shared_c2c(d.nzf, fft::direction::forward)),
+        z_inv(fft::shared_c2c(d.nzf, fft::direction::inverse)),
+        x_fwd(fft::shared_r2c(d.nxf)),
+        x_inv(fft::shared_c2r(d.nxf)),
         fft_pool(std::max(1, c.fft_threads)),
         reorder_pool(std::max(1, c.reorder_threads)) {
     PCF_REQUIRE(cfg.max_batch >= 1, "max_batch must be >= 1");
@@ -617,7 +623,7 @@ struct parallel_fft::impl {
       while (b < e) {
         const std::size_t f = b / lines, l0 = b % lines;
         const std::size_t cnt = std::min(e - b, lines - l0);
-        x_inv.execute_many(xspec + f * wstride + l0 * modes, modes,
+        x_inv->execute_many(xspec + f * wstride + l0 * modes, modes,
                            phys[f] + l0 * d.nxf, d.nxf, cnt);
         b += cnt;
       }
@@ -632,7 +638,7 @@ struct parallel_fft::impl {
       while (b < e) {
         const std::size_t f = b / lines, l0 = b % lines;
         const std::size_t cnt = std::min(e - b, lines - l0);
-        x_fwd.execute_many(phys[f] + l0 * d.nxf, d.nxf,
+        x_fwd->execute_many(phys[f] + l0 * d.nxf, d.nxf,
                            xspec + f * wstride + l0 * modes, modes, cnt);
         b += cnt;
       }
@@ -705,7 +711,7 @@ struct parallel_fft::impl {
         zdst = a;
       }
       unpack_z_pencil(zsrc, zdst, nf);
-      z_fft(zdst, z_inv, nf);
+      z_fft(zdst, *z_inv, nf);
       pack_z_to_x(zdst, zsrc, nf);
       cplx* xsrc = zsrc;
       cplx* xdst = zdst;
@@ -721,7 +727,7 @@ struct parallel_fft::impl {
       cplx* c = w3.data();
       a2a_yz(a, b, nf);
       unpack_z_pencil(b, c, nf);
-      z_fft(c, z_inv, nf);
+      z_fft(c, *z_inv, nf);
       pack_z_to_x(c, a, nf);
       a2a_zx(a, b, nf);
       unpack_x_pencil(b, c, nf);
@@ -752,7 +758,7 @@ struct parallel_fft::impl {
         zdst = b;
       }
       unpack_z_from_x(zsrc, zdst, nf);
-      z_fft(zdst, z_fwd, nf);
+      z_fft(zdst, *z_fwd, nf);
       pack_z_to_y(zdst, zsrc, scale, nf);
       const cplx* ysrc = zsrc;
       if (!skip_b_) {
@@ -765,7 +771,7 @@ struct parallel_fft::impl {
       pack_x_to_z(a, b, nf);
       a2a_xz(b, c, nf);
       unpack_z_from_x(c, a, nf);
-      z_fft(a, z_fwd, nf);
+      z_fft(a, *z_fwd, nf);
       pack_z_to_y(a, b, scale, nf);
       a2a_zy(b, c, nf);
       unpack_y_pencil(c, specs, nf);
@@ -866,7 +872,7 @@ struct parallel_fft::impl {
           const std::size_t fc = grp(g).count;
           cplx* z = p3d ? at(w3, g) : at(uz_dst, g);
           unpack_z_pencil(p3d ? at(w2, g) : at(uz_src, g), z, fc);
-          z_fft(z, z_inv, fc);
+          z_fft(z, *z_inv, fc);
           pack_z_to_x(z, p3d ? at(w1, g) : at(uz_src, g), fc);
         },
         [&](std::size_t g) {
@@ -921,7 +927,7 @@ struct parallel_fft::impl {
           cplx* in = p3d ? at(w3, g) : at(uz_src, g);
           cplx* z = p3d ? at(w1, g) : at(uz_dst, g);
           unpack_z_from_x(in, z, fc);
-          z_fft(z, z_fwd, fc);
+          z_fft(z, *z_fwd, fc);
           pack_z_to_y(z, p3d ? at(w2, g) : at(uz_src, g), scale, fc);
         },
         [&](std::size_t g) {

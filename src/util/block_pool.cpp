@@ -28,7 +28,8 @@ struct pool_registry {
   std::mutex mu;
   std::vector<const block_pool*> live;
   std::uint64_t retired_leases = 0, retired_releases = 0,
-                retired_cache_hits = 0, retired_lease_ns = 0;
+                retired_cache_hits = 0, retired_lease_ns = 0,
+                retired_exit_flushed = 0;
 };
 
 pool_registry& registry() {
@@ -78,6 +79,7 @@ struct block_pool::impl {
 
   // Contention-light telemetry (atomics, not the pool mutex).
   std::atomic<std::uint64_t> leases{0}, releases{0}, cache_hits{0};
+  std::atomic<std::uint64_t> exit_flushed{0};
   std::atomic<std::uint64_t> lease_ns{0};
   std::atomic<std::size_t> blocks_leased{0}, blocks_cached{0};
   std::atomic<std::size_t> blocks_peak{0};
@@ -192,12 +194,41 @@ struct block_pool::impl {
 
   // --- thread cache --------------------------------------------------------
 
+  struct tls_entry {
+    std::uint64_t pool_id;
+    cache_slot* slot;
+  };
+
+  /// Worker-exit hook: when a thread dies, every slot it ever parked runs
+  /// on is flushed back to the owning pool's bitmaps (if that pool is
+  /// still alive — looked up by id under the registry mutex, so a pool
+  /// mid-destruction can't be revived). Without this, blocks cached by a
+  /// retired campaign worker strand until someone calls
+  /// flush_thread_caches() by hand.
+  struct tls_registry {
+    std::vector<tls_entry> entries;
+    ~tls_registry();
+  };
+
+  static tls_registry& thread_slots() {
+    thread_local tls_registry reg;
+    return reg;
+  }
+
+  /// Return one slot's parked runs to the segment bitmaps. Lock order
+  /// matches flush_caches(): pool mutex, then the slot.
+  void flush_slot(cache_slot& s) {
+    std::lock_guard<std::mutex> lk(mu);
+    std::lock_guard<std::mutex> sl(s.mu);
+    for (const auto& r : s.runs) mark(segments[r.seg], r.first, r.count, true);
+    blocks_cached.fetch_sub(s.blocks, std::memory_order_relaxed);
+    exit_flushed.fetch_add(s.blocks, std::memory_order_relaxed);
+    s.blocks = 0;
+    s.runs.clear();
+  }
+
   cache_slot& slot_for_thread() {
-    struct tls_entry {
-      std::uint64_t pool_id;
-      cache_slot* slot;
-    };
-    thread_local std::vector<tls_entry> reg;
+    auto& reg = thread_slots().entries;
     for (const auto& e : reg)
       if (e.pool_id == id) return *e.slot;
     std::lock_guard<std::mutex> lk(mu);
@@ -261,6 +292,20 @@ struct block_pool::impl {
   }
 };
 
+block_pool::impl::tls_registry::~tls_registry() {
+  if (entries.empty()) return;
+  auto& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  for (const tls_entry& e : entries) {
+    for (const block_pool* p : r.live) {
+      if (p->p_->id == e.pool_id) {
+        p->p_->flush_slot(*e.slot);
+        break;
+      }
+    }
+  }
+}
+
 block_pool::block_pool(const block_pool_config& cfg) : cfg_(cfg) {
   PCF_REQUIRE(cfg_.block_bytes > 0 && cfg_.block_bytes % kAlignment == 0,
               "block_pool: block_bytes must be a positive multiple of the "
@@ -285,6 +330,7 @@ block_pool::~block_pool() {
     r.retired_releases += p_->releases.load();
     r.retired_cache_hits += p_->cache_hits.load();
     r.retired_lease_ns += p_->lease_ns.load();
+    r.retired_exit_flushed += p_->exit_flushed.load();
   }
   for (auto& s : p_->segments) impl::free_segment(s);
   delete p_;
@@ -379,6 +425,7 @@ block_pool::stats_t block_pool::stats() const {
   s.leases = p_->leases.load();
   s.releases = p_->releases.load();
   s.cache_hits = p_->cache_hits.load();
+  s.exit_flushed_blocks = p_->exit_flushed.load();
   s.blocks_leased = p_->blocks_leased.load();
   s.blocks_cached = p_->blocks_cached.load();
   s.blocks_peak = p_->blocks_peak.load();
@@ -416,12 +463,14 @@ pool_counts pool_totals() {
   t.leases = r.retired_leases;
   t.releases = r.retired_releases;
   t.cache_hits = r.retired_cache_hits;
+  t.exit_flushed_blocks = r.retired_exit_flushed;
   t.lease_ns = r.retired_lease_ns;
   for (const block_pool* p : r.live) {
     const block_pool::stats_t s = p->stats();
     t.leases += s.leases;
     t.releases += s.releases;
     t.cache_hits += s.cache_hits;
+    t.exit_flushed_blocks += s.exit_flushed_blocks;
     t.lease_ns += s.lease_ns;
     t.blocks_leased += s.blocks_leased;
     t.blocks_cached += s.blocks_cached;

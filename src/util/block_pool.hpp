@@ -76,6 +76,11 @@ class block_pool {
     std::uint64_t leases = 0;      // acquire() calls that returned blocks
     std::uint64_t releases = 0;
     std::uint64_t cache_hits = 0;  // acquires served by a thread cache
+    /// Blocks returned to the bitmaps by the thread-exit hook: a worker
+    /// that dies with runs parked in its per-thread cache flushes them
+    /// back automatically, so a campaign's retired workers never strand
+    /// pool capacity until someone calls flush_thread_caches() by hand.
+    std::uint64_t exit_flushed_blocks = 0;
     std::size_t blocks_leased = 0; // currently checked out
     std::size_t blocks_cached = 0; // parked in thread caches
     std::size_t blocks_total = 0;  // backed by live segments

@@ -9,12 +9,22 @@ namespace {
 
 std::mutex g_mutex;
 op_counts g_total;
-std::vector<op_counts*> g_locals;  // live threads' buckets, guarded by g_mutex
+std::vector<local_bucket*> g_locals;  // live threads' buckets, guarded by g_mutex
+
+/// Harvest one bucket into `into`. exchange(0) pairs with the hot-path
+/// fetch_add: both are RMWs on the same atomic, so a count added
+/// concurrently with a drain is either harvested now or left for the
+/// next one — never lost, never doubled.
+void harvest(local_bucket& b, op_counts& into) {
+  into.flops += b.flops.exchange(0, std::memory_order_relaxed);
+  into.bytes_read += b.bytes_read.exchange(0, std::memory_order_relaxed);
+  into.bytes_written += b.bytes_written.exchange(0, std::memory_order_relaxed);
+}
 
 /// Each thread's bucket folds itself into the global total and drops out of
 /// the registry on thread exit, so drain() never sees a dangling pointer.
 struct local_holder {
-  op_counts counts;
+  local_bucket counts;
 
   local_holder() {
     std::lock_guard<std::mutex> lk(g_mutex);
@@ -22,24 +32,21 @@ struct local_holder {
   }
   ~local_holder() {
     std::lock_guard<std::mutex> lk(g_mutex);
-    g_total += counts;
+    harvest(counts, g_total);
     g_locals.erase(std::find(g_locals.begin(), g_locals.end(), &counts));
   }
 };
 
 }  // namespace
 
-op_counts& local() {
+local_bucket& local() {
   static thread_local local_holder holder;
   return holder.counts;
 }
 
 void drain() {
   std::lock_guard<std::mutex> lk(g_mutex);
-  for (op_counts* c : g_locals) {
-    g_total += *c;
-    *c = op_counts{};
-  }
+  for (local_bucket* b : g_locals) harvest(*b, g_total);
 }
 
 op_counts total() {
@@ -50,7 +57,8 @@ op_counts total() {
 void reset() {
   std::lock_guard<std::mutex> lk(g_mutex);
   g_total = op_counts{};
-  for (op_counts* c : g_locals) *c = op_counts{};
+  op_counts discard;
+  for (local_bucket* b : g_locals) harvest(*b, discard);
 }
 
 }  // namespace pcf::counters

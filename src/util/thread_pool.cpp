@@ -1,5 +1,7 @@
 #include "util/thread_pool.hpp"
 
+#include <algorithm>
+
 #include "util/check.hpp"
 
 namespace pcf {
@@ -52,8 +54,7 @@ void thread_pool::worker_loop(int id) {
         ctx = task_ctx_;
         n = task_n_;
       } else if (!async_queue_.empty()) {
-        task = std::move(async_queue_.front());
-        async_queue_.pop_front();
+        task = pick_queued_locked();
       } else {
         return;  // shutdown with a drained queue
       }
@@ -130,7 +131,88 @@ void thread_pool::run_erased(std::size_t n, range_thunk fn, void* ctx) {
   dispatch_and_wait();
 }
 
+std::function<void()> thread_pool::pick_queued_locked() {
+  // Single queued task (the common pencil-pipelining case): no scheduling
+  // decision to make.
+  if (async_queue_.size() == 1) {
+    queued_task t = std::move(async_queue_.front());
+    async_queue_.pop_front();
+    return std::move(t.fn);
+  }
+  // Highest priority level first.
+  int best_prio = async_queue_.front().priority;
+  for (const queued_task& t : async_queue_) best_prio = std::max(best_prio, t.priority);
+  // Among that level's tenants, serve the least recently served one; a
+  // tenant never served before beats any that has, and ties fall back to
+  // submission order. Only each tenant's *first* queued task is a
+  // candidate, so one tenant's order stays FIFO.
+  auto served_at = [&](std::uint64_t tenant) -> std::uint64_t {
+    for (const tenant_service& s : tenant_service_)
+      if (s.tenant == tenant) return s.served_at;
+    return 0;  // never served
+  };
+  std::size_t best = async_queue_.size();
+  std::uint64_t best_served = 0;
+  std::uint64_t seen_tenants[16];  // small-queue fast path for dedup
+  std::size_t nseen = 0;
+  std::vector<std::uint64_t> seen_overflow;
+  for (std::size_t i = 0; i < async_queue_.size(); ++i) {
+    const queued_task& t = async_queue_[i];
+    if (t.priority != best_prio) continue;
+    bool first_of_tenant = true;
+    for (std::size_t j = 0; j < nseen && first_of_tenant; ++j)
+      if (seen_tenants[j] == t.tenant) first_of_tenant = false;
+    for (std::size_t j = 0; j < seen_overflow.size() && first_of_tenant; ++j)
+      if (seen_overflow[j] == t.tenant) first_of_tenant = false;
+    if (!first_of_tenant) continue;
+    if (nseen < 16)
+      seen_tenants[nseen++] = t.tenant;
+    else
+      seen_overflow.push_back(t.tenant);
+    const std::uint64_t sa = served_at(t.tenant);
+    if (best == async_queue_.size() || sa < best_served) {
+      best = i;
+      best_served = sa;
+    }
+  }
+  queued_task chosen = std::move(async_queue_[best]);
+  async_queue_.erase(async_queue_.begin() + static_cast<std::ptrdiff_t>(best));
+  ++service_clock_;
+  bool found = false;
+  for (tenant_service& s : tenant_service_)
+    if (s.tenant == chosen.tenant) {
+      s.served_at = service_clock_;
+      found = true;
+      break;
+    }
+  if (!found) tenant_service_.push_back({chosen.tenant, service_clock_});
+  return std::move(chosen.fn);
+}
+
 thread_pool::ticket thread_pool::submit(std::function<void()> fn) {
+  return submit(std::move(fn), task_options{});
+}
+
+std::size_t thread_pool::cancel_tenant(std::uint64_t tenant) {
+  std::size_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    for (auto it = async_queue_.begin(); it != async_queue_.end();) {
+      if (it->tenant == tenant) {
+        it = async_queue_.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+    async_completed_ += dropped;
+  }
+  if (dropped > 0) cv_done_.notify_all();
+  return dropped;
+}
+
+thread_pool::ticket thread_pool::submit(std::function<void()> fn,
+                                        const task_options& opt) {
   if (num_threads_ == 1) {
     // Serial fallback: run inline so a 1-thread pool needs no workers, with
     // the same deferred-exception contract as the queued path.
@@ -152,8 +234,8 @@ thread_pool::ticket thread_pool::submit(std::function<void()> fn) {
   ticket t;
   {
     std::lock_guard<std::mutex> lk(mutex_);
-    async_queue_.push_back(std::move(fn));
     t = ++async_submitted_;
+    async_queue_.push_back({std::move(fn), opt.priority, opt.tenant, t});
   }
   cv_start_.notify_all();
   return t;

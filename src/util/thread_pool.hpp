@@ -79,18 +79,43 @@ class thread_pool {
   /// submission order.
   using ticket = std::uint64_t;
 
+  /// Scheduling attributes of a submitted task. The defaults reproduce the
+  /// historical single-consumer FIFO queue exactly: one tenant, one
+  /// priority level, strict submission order.
+  struct task_options {
+    /// Higher priorities start first. Within one priority level tenants
+    /// are served round-robin (see below).
+    int priority = 0;
+    /// Fairness domain. The queue serves tenants of the top priority
+    /// level in least-recently-served order, one task at a time, so a
+    /// tenant with a thousand queued tasks cannot starve a tenant with
+    /// one — the property the campaign scheduler's time slicing relies
+    /// on. Tasks of one tenant at one priority still start in FIFO order.
+    std::uint64_t tenant = 0;
+  };
+
   /// Enqueue fn for execution on a pool worker and return immediately
   /// (submit-without-join) — the caller keeps computing while the task
-  /// runs. Tasks start in FIFO order; with exactly one worker (a pool of
-  /// two threads) they also *complete* in FIFO order, which is what the
-  /// comm/compute pipelining in the pencil kernel relies on. On a
-  /// single-thread pool the task runs inline (serial fallback). A task
-  /// exception is captured and rethrown by the next wait_submitted().
+  /// runs. With default options tasks start in FIFO order; with exactly
+  /// one worker (a pool of two threads) they also *complete* in FIFO
+  /// order, which is what the comm/compute pipelining in the pencil
+  /// kernel relies on. On a single-thread pool the task runs inline
+  /// (serial fallback). A task exception is captured and rethrown by the
+  /// next wait_submitted().
   ticket submit(std::function<void()> fn);
+  ticket submit(std::function<void()> fn, const task_options& opt);
 
-  /// Block until the task with the given ticket has finished (exact under
-  /// FIFO completion, i.e. at most one worker; otherwise it waits until
-  /// `t` tasks have completed). Rethrows the first captured task exception.
+  /// Drop every still-queued task of `tenant` (tasks already running are
+  /// not interrupted — the campaign layer checks its own cancel flag
+  /// between time slices). Dropped tasks count as completed so pending
+  /// wait_submitted() calls can make progress; returns how many were
+  /// dropped.
+  std::size_t cancel_tenant(std::uint64_t tenant);
+
+  /// Block until `t` submitted tasks have completed (exact ticket
+  /// semantics under FIFO completion, i.e. default options and at most
+  /// one worker; under priorities/cancellation it is a completed-count
+  /// threshold). Rethrows the first captured task exception.
   void wait_submitted(ticket t);
 
   /// Block until every submitted task has finished; same exception
@@ -123,10 +148,28 @@ class thread_pool {
   bool shutdown_ = false;
   std::exception_ptr error_;  // first exception thrown by any chunk
   // Submit-without-join queue, guarded by mutex_. Workers drain it between
-  // fork-join generations (and before exiting on shutdown).
-  std::deque<std::function<void()>> async_queue_;
+  // fork-join generations (and before exiting on shutdown), picking the
+  // highest-priority task and rotating fairly across tenants within a
+  // priority level (pick_queued_locked).
+  struct queued_task {
+    std::function<void()> fn;
+    int priority = 0;
+    std::uint64_t tenant = 0;
+    std::uint64_t seq = 0;  // submission order, for FIFO within a tenant
+  };
+  std::deque<queued_task> async_queue_;
   std::uint64_t async_submitted_ = 0;
   std::uint64_t async_completed_ = 0;
+  // Tenant fairness state: when each tenant was last handed a task, in
+  // service-counter ticks (absent = never served).
+  struct tenant_service {
+    std::uint64_t tenant = 0;
+    std::uint64_t served_at = 0;
+  };
+  std::vector<tenant_service> tenant_service_;
+  std::uint64_t service_clock_ = 0;
+
+  std::function<void()> pick_queued_locked();
 
   void chunk(std::size_t n, int tid, std::size_t& begin, std::size_t& end) const;
   void dispatch_and_wait();

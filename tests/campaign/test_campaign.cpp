@@ -1,0 +1,296 @@
+// Campaign scheduler behavior: completion, priority order and tenant
+// fairness on a single worker, cancellation before and during a run,
+// eviction + readmission round trips, failed-job isolation, dynamic
+// enqueue from inside the campaign, and the shared-cache accounting.
+//
+// Every test uses the 16x16x33 quickstart grid shrunk to a handful of
+// steps: the scheduler is data-movement machinery, so the physics only
+// needs to be real enough to lease workspace and evolve state.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+
+namespace {
+
+using namespace pcf;
+
+campaign::job_spec tiny_job(const std::string& name, long steps,
+                            int priority = 0) {
+  campaign::job_spec j;
+  j.name = name;
+  j.config.nx = 16;
+  j.config.nz = 16;
+  j.config.ny = 33;
+  j.config.re_tau = 180.0;
+  j.config.dt = 1e-4;
+  j.steps = steps;
+  j.priority = priority;
+  return j;
+}
+
+std::string scratch_dir(const std::string& leaf) {
+  const std::string dir = testing::TempDir() + "pcf_campaign_" + leaf;
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+const campaign::job_status& status_of(const campaign::campaign_report& rep,
+                                      std::uint64_t id) {
+  for (const auto& j : rep.jobs)
+    if (j.id == id) return j;
+  throw std::runtime_error("unknown id in report");
+}
+
+}  // namespace
+
+TEST(Campaign, CompletesEveryJobAndSharesFftPlans) {
+  campaign::campaign_config cfg;
+  cfg.workers = 2;
+  cfg.slice_steps = 2;
+  campaign::campaign_server server(cfg);
+
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 4; ++i)
+    ids.push_back(server.enqueue(tiny_job("job" + std::to_string(i), 5)));
+
+  const campaign::campaign_report rep = server.run();
+  ASSERT_EQ(rep.jobs.size(), 4u);
+  for (const auto id : ids) {
+    const auto& j = status_of(rep, id);
+    EXPECT_EQ(j.state, campaign::job_state::done) << j.name;
+    EXPECT_EQ(j.steps_done, 5) << j.name;
+    EXPECT_GT(j.time, 0.0) << j.name;
+    EXPECT_TRUE(j.error.empty()) << j.error;
+  }
+  EXPECT_EQ(rep.total_steps, 20);
+  EXPECT_EQ(rep.evictions, 0u);  // no residency cap configured
+  // Identical grids: every instance after the first finds its FFT plans
+  // in the process-wide cache.
+  EXPECT_GT(rep.plan_cache_hits, 0u);
+  EXPECT_EQ(rep.stranded_blocks, 0u);
+  EXPECT_GT(rep.pool_peak_bytes, 0u);
+}
+
+TEST(Campaign, PriorityRunsFirstAndEqualsInterleaveFairly) {
+  campaign::campaign_config cfg;
+  cfg.workers = 1;  // serialize slices so the service order is observable
+  cfg.slice_steps = 2;
+  campaign::campaign_server server(cfg);
+
+  // Two priority-0 jobs enqueued first, one priority-5 job last.
+  const auto a = server.enqueue(tiny_job("a", 4, 0));
+  const auto b = server.enqueue(tiny_job("b", 4, 0));
+  const auto hi = server.enqueue(tiny_job("hi", 4, 5));
+
+  std::mutex mu;
+  std::vector<std::uint64_t> order;  // tenant id per observed step
+  server.set_step_observer([&](std::uint64_t id, core::channel_dns&) {
+    std::lock_guard<std::mutex> lk(mu);
+    order.push_back(id);
+  });
+
+  const campaign::campaign_report rep = server.run();
+  for (const auto& j : rep.jobs)
+    EXPECT_EQ(j.state, campaign::job_state::done) << j.name;
+
+  ASSERT_EQ(order.size(), 12u);
+  // The high-priority job runs to completion before any priority-0 step.
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(order[i], hi) << "i=" << i;
+  // Within a priority the queue is tenant-fair round-robin: with 2-step
+  // slices the two equal-priority jobs alternate slice by slice.
+  const std::vector<std::uint64_t> expect = {a, a, b, b, a, a, b, b};
+  for (std::size_t i = 0; i < expect.size(); ++i)
+    EXPECT_EQ(order[4 + i], expect[i]) << "i=" << i;
+}
+
+TEST(Campaign, CancelBeforeRunSettlesWithoutScheduling) {
+  campaign::campaign_config cfg;
+  cfg.workers = 2;
+  cfg.slice_steps = 2;
+  campaign::campaign_server server(cfg);
+
+  const auto doomed = server.enqueue(tiny_job("doomed", 50));
+  const auto kept = server.enqueue(tiny_job("kept", 4));
+  EXPECT_TRUE(server.cancel(doomed));
+  EXPECT_FALSE(server.cancel(doomed)) << "already settled";
+  EXPECT_FALSE(server.cancel(9999)) << "unknown id";
+
+  const campaign::campaign_report rep = server.run();
+  const auto& d = status_of(rep, doomed);
+  EXPECT_EQ(d.state, campaign::job_state::cancelled);
+  EXPECT_EQ(d.steps_done, 0);
+  EXPECT_EQ(status_of(rep, kept).state, campaign::job_state::done);
+  EXPECT_EQ(rep.total_steps, 4);
+}
+
+TEST(Campaign, CancelDuringRunStopsAtAStepBoundary) {
+  campaign::campaign_config cfg;
+  cfg.workers = 2;
+  cfg.slice_steps = 4;
+  campaign::campaign_server server(cfg);
+
+  const auto victim = server.enqueue(tiny_job("victim", 1000));
+  const auto bystander = server.enqueue(tiny_job("bystander", 6));
+
+  // The observer runs on the worker thread outside the server mutex, so
+  // calling back into cancel() from it is legal (and is exactly how a
+  // monitoring front-end would stop a diverged run).
+  std::atomic<long> victim_steps{0};
+  server.set_step_observer([&](std::uint64_t id, core::channel_dns&) {
+    if (id == victim && victim_steps.fetch_add(1) + 1 == 3) {
+      EXPECT_TRUE(server.cancel(victim));
+    }
+  });
+
+  const campaign::campaign_report rep = server.run();
+  const auto& v = status_of(rep, victim);
+  EXPECT_EQ(v.state, campaign::job_state::cancelled);
+  EXPECT_GE(v.steps_done, 3);
+  EXPECT_LT(v.steps_done, 1000);
+  EXPECT_EQ(status_of(rep, bystander).state, campaign::job_state::done);
+  EXPECT_EQ(rep.stranded_blocks, 0u);
+}
+
+TEST(Campaign, EvictionSpillsColdTenantsAndReadmitsThem) {
+  const std::string spill = scratch_dir("evict");
+  campaign::campaign_config cfg;
+  cfg.workers = 2;
+  cfg.slice_steps = 2;
+  cfg.max_resident = 1;  // harsher than the worker count: constant churn
+  cfg.spill_dir = spill;
+  campaign::campaign_server server(cfg);
+
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 3; ++i)
+    ids.push_back(server.enqueue(tiny_job("e" + std::to_string(i), 6)));
+
+  const campaign::campaign_report rep = server.run();
+  int evicted_jobs = 0;
+  for (const auto id : ids) {
+    const auto& j = status_of(rep, id);
+    EXPECT_EQ(j.state, campaign::job_state::done) << j.name << " " << j.error;
+    EXPECT_EQ(j.steps_done, 6);
+    if (j.evictions > 0) ++evicted_jobs;
+  }
+  EXPECT_GT(rep.evictions, 0u);
+  EXPECT_EQ(rep.evictions, rep.readmissions)
+      << "every spilled run must come back";
+  EXPECT_GT(evicted_jobs, 0);
+  EXPECT_EQ(rep.stranded_blocks, 0u);
+  // Settled tenants clean up their spill checkpoints.
+  for (const auto& e : std::filesystem::directory_iterator(spill))
+    ADD_FAILURE() << "stale spill file: " << e.path();
+}
+
+TEST(Campaign, FailedJobIsIsolatedFromItsNeighbours) {
+  campaign::campaign_config cfg;
+  cfg.workers = 2;
+  cfg.slice_steps = 2;
+  campaign::campaign_server server(cfg);
+
+  campaign::job_spec bad = tiny_job("bad", 4);
+  bad.config.degree = 99;  // basis construction rejects ny - degree < 1
+  const auto bad_id = server.enqueue(std::move(bad));
+  const auto good_id = server.enqueue(tiny_job("good", 4));
+
+  const campaign::campaign_report rep = server.run();
+  const auto& b = status_of(rep, bad_id);
+  EXPECT_EQ(b.state, campaign::job_state::failed);
+  EXPECT_NE(b.error.find("interval"), std::string::npos) << b.error;
+  EXPECT_EQ(b.steps_done, 0);
+  const auto& g = status_of(rep, good_id);
+  EXPECT_EQ(g.state, campaign::job_state::done) << g.error;
+  EXPECT_EQ(g.steps_done, 4);
+  EXPECT_EQ(rep.stranded_blocks, 0u);
+}
+
+TEST(Campaign, JobsEnqueuedMidRunAreDrainedToo) {
+  campaign::campaign_config cfg;
+  cfg.workers = 2;
+  cfg.slice_steps = 2;
+  campaign::campaign_server server(cfg);
+
+  const auto first = server.enqueue(tiny_job("first", 4));
+  std::atomic<std::uint64_t> late_id{0};
+  std::atomic<bool> spawned{false};
+  server.set_step_observer([&](std::uint64_t id, core::channel_dns&) {
+    if (id == first && !spawned.exchange(true))
+      late_id = server.enqueue(tiny_job("late", 3));
+  });
+
+  const campaign::campaign_report rep = server.run();
+  ASSERT_EQ(rep.jobs.size(), 2u);
+  ASSERT_NE(late_id.load(), 0u);
+  const auto& late = status_of(rep, late_id.load());
+  EXPECT_EQ(late.state, campaign::job_state::done) << late.error;
+  EXPECT_EQ(late.steps_done, 3);
+  EXPECT_EQ(rep.total_steps, 7);
+}
+
+TEST(Campaign, CollectSeriesRecordsOneSamplePerSlice) {
+  campaign::campaign_config cfg;
+  cfg.workers = 1;
+  cfg.slice_steps = 2;
+  cfg.collect_series = true;
+  campaign::campaign_server server(cfg);
+  const auto id = server.enqueue(tiny_job("s", 5));
+
+  const campaign::campaign_report rep = server.run();
+  EXPECT_EQ(status_of(rep, id).state, campaign::job_state::done);
+  const auto& series = server.series(id);
+  ASSERT_EQ(series.size(), 3u);  // slices of 2, 2, 1 steps
+  EXPECT_EQ(series.front().step, 2);
+  EXPECT_EQ(series.back().step, 5);
+  EXPECT_GT(series.back().time, series.front().time);
+  EXPECT_GT(series.back().energy, 0.0);
+  EXPECT_GT(series.back().cfl, 0.0);
+}
+
+TEST(Campaign, StatusReportNamesEveryJob) {
+  campaign::campaign_config cfg;
+  cfg.workers = 1;
+  cfg.slice_steps = 4;
+  campaign::campaign_server server(cfg);
+  server.enqueue(tiny_job("alpha", 2));
+  server.enqueue(tiny_job("beta", 2));
+
+  std::string before = server.status_report();
+  EXPECT_NE(before.find("campaign: 2 jobs"), std::string::npos) << before;
+  EXPECT_NE(before.find("queued 2"), std::string::npos) << before;
+
+  (void)server.run();
+  std::string after = server.status_report();
+  EXPECT_NE(after.find("done 2"), std::string::npos) << after;
+  EXPECT_NE(after.find("alpha"), std::string::npos) << after;
+  EXPECT_NE(after.find("beta"), std::string::npos) << after;
+  EXPECT_NE(after.find("plan cache"), std::string::npos) << after;
+}
+
+TEST(Campaign, RunIsOnceOnlyAndConfigIsValidated) {
+  {
+    campaign::campaign_config cfg;
+    cfg.workers = 1;
+    cfg.slice_steps = 1;
+    campaign::campaign_server server(cfg);
+    server.enqueue(tiny_job("once", 1));
+    (void)server.run();
+    EXPECT_THROW((void)server.run(), std::exception);
+  }
+  {
+    campaign::campaign_config cfg;
+    cfg.max_resident = 2;  // residency cap without a spill_dir
+    EXPECT_THROW(campaign::campaign_server server(cfg), std::exception);
+  }
+  {
+    campaign::campaign_config cfg;
+    cfg.workers = 0;
+    EXPECT_THROW(campaign::campaign_server server(cfg), std::exception);
+  }
+}

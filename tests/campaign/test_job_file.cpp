@@ -1,0 +1,155 @@
+// The campaign job-file format: top-level campaign keys, top-level job
+// defaults inherited by every section, per-section overrides, and the
+// strict line-numbered errors the parser promises.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "campaign/job_file.hpp"
+
+namespace {
+
+using pcf::campaign::job_file;
+using pcf::campaign::parse_job_text;
+
+/// Parse must throw, and the message must carry `needle` (usually the
+/// origin:line prefix or the offending key).
+void expect_error(const std::string& text, const std::string& needle) {
+  try {
+    (void)parse_job_text(text, "spec");
+    FAIL() << "expected an error mentioning '" << needle << "'";
+  } catch (const std::exception& ex) {
+    EXPECT_NE(std::string(ex.what()).find(needle), std::string::npos)
+        << ex.what();
+  }
+}
+
+}  // namespace
+
+TEST(JobFile, CampaignKeysJobDefaultsAndSectionOverrides) {
+  const job_file jf = parse_job_text(
+      "# a sweep\n"
+      "workers = 3\n"
+      "slice_steps = 8\n"
+      "max_resident = 2\n"
+      "memory_budget_mb = 64\n"
+      "spill_dir = /tmp/spill\n"
+      "tuning_cache = cache.tsv\n"
+      "collect_series = yes\n"
+      "\n"
+      "nx = 32          ; defaults every job inherits\n"
+      "nz = 16\n"
+      "ny = 33\n"
+      "dt = 1e-4\n"
+      "steps = 100\n"
+      "perturbation = 2e-3\n"
+      "\n"
+      "[base]\n"
+      "re_tau = 180\n"
+      "\n"
+      "[hot]\n"
+      "re_tau = 590\n"
+      "dt = 5e-5        # override one default\n"
+      "steps = 40\n"
+      "priority = 2\n"
+      "seed = 7\n"
+      "cfl_target = 0.5\n"
+      "dt_min = 1e-5\n"
+      "dt_max = 2e-4\n"
+      "stats_every = 10\n");
+
+  EXPECT_EQ(jf.config.workers, 3);
+  EXPECT_EQ(jf.config.slice_steps, 8);
+  EXPECT_EQ(jf.config.max_resident, 2);
+  EXPECT_EQ(jf.config.memory_budget_bytes, 64ull * 1024 * 1024);
+  EXPECT_EQ(jf.config.spill_dir, "/tmp/spill");
+  EXPECT_EQ(jf.config.tuning_cache, "cache.tsv");
+  EXPECT_TRUE(jf.config.collect_series);
+
+  ASSERT_EQ(jf.jobs.size(), 2u);
+  const auto& base = jf.jobs[0];
+  EXPECT_EQ(base.name, "base");
+  EXPECT_EQ(base.config.nx, 32u);
+  EXPECT_EQ(base.config.nz, 16u);
+  EXPECT_EQ(base.config.ny, 33);
+  EXPECT_DOUBLE_EQ(base.config.re_tau, 180.0);
+  EXPECT_DOUBLE_EQ(base.config.dt, 1e-4);
+  EXPECT_EQ(base.steps, 100);
+  EXPECT_EQ(base.priority, 0);
+  EXPECT_DOUBLE_EQ(base.perturbation, 2e-3);
+  EXPECT_DOUBLE_EQ(base.cfl_target, 0.0) << "defaults untouched";
+
+  const auto& hot = jf.jobs[1];
+  EXPECT_EQ(hot.name, "hot");
+  EXPECT_EQ(hot.config.nx, 32u) << "inherited default";
+  EXPECT_DOUBLE_EQ(hot.config.re_tau, 590.0);
+  EXPECT_DOUBLE_EQ(hot.config.dt, 5e-5);
+  EXPECT_EQ(hot.steps, 40);
+  EXPECT_EQ(hot.priority, 2);
+  EXPECT_EQ(hot.seed, 7u);
+  EXPECT_DOUBLE_EQ(hot.cfl_target, 0.5);
+  EXPECT_DOUBLE_EQ(hot.dt_min, 1e-5);
+  EXPECT_DOUBLE_EQ(hot.dt_max, 2e-4);
+  EXPECT_EQ(hot.stats_every, 10);
+}
+
+TEST(JobFile, DefaultsOnlyApplyToLaterSections) {
+  const job_file jf = parse_job_text(
+      "steps = 5\n"
+      "[early]\n"
+      "re_tau = 180\n");
+  ASSERT_EQ(jf.jobs.size(), 1u);
+  EXPECT_EQ(jf.jobs[0].steps, 5);
+
+  // A job key after the first section belongs to that section, not to the
+  // defaults — a later section without steps is an error.
+  expect_error(
+      "[first]\n"
+      "steps = 5\n"
+      "[second]\n"
+      "re_tau = 360\n",
+      "'second' never sets steps");
+}
+
+TEST(JobFile, BooleansAndNumbersParseStrictly) {
+  const job_file yes = parse_job_text("collect_series = 1\n");
+  EXPECT_TRUE(yes.config.collect_series);
+  const job_file no = parse_job_text("collect_series = false\n");
+  EXPECT_FALSE(no.config.collect_series);
+
+  expect_error("collect_series = maybe\n", "expected a boolean");
+  expect_error("workers = 2.5\n", "expected an integer");
+  expect_error("steps = 10x\n[j]\n", "malformed number");
+  expect_error("dt = \n[j]\nsteps = 1\n", "malformed number");
+}
+
+TEST(JobFile, StructuralErrorsNameTheirLine) {
+  expect_error("bogus_key = 1\n", "spec:1: unknown key 'bogus_key'");
+  expect_error("[j]\nsteps = 1\nworkers = 2\n",
+               "spec:3: unknown job key 'workers'");
+  expect_error("[a]\nsteps = 1\n[a]\n", "spec:3: duplicate job name 'a'");
+  expect_error("[]\n", "empty job name");
+  expect_error("[broken\n", "unterminated section header");
+  expect_error("just words\n", "expected 'key = value'");
+  expect_error(" = 3\n", "empty key");
+  expect_error("[j]\nre_tau = 180\n", "never sets steps");
+}
+
+TEST(JobFile, CommentsAndBlankLinesAreIgnored) {
+  const job_file jf = parse_job_text(
+      "\n"
+      "   \n"
+      "# full-line comment\n"
+      "; also a comment\n"
+      "steps = 3   # trailing comment\n"
+      "[only]      ; section comment\n"
+      "re_tau = 180\n");
+  ASSERT_EQ(jf.jobs.size(), 1u);
+  EXPECT_EQ(jf.jobs[0].name, "only");
+  EXPECT_EQ(jf.jobs[0].steps, 3);
+}
+
+TEST(JobFile, MissingFileThrows) {
+  EXPECT_THROW((void)pcf::campaign::parse_job_file("/nonexistent/x.jobs"),
+               std::runtime_error);
+}

@@ -1,0 +1,201 @@
+// The in-process tuning memo that fronts the on-disk cache: concurrent
+// simulations tuning the same config measure once and share the choice,
+// and distinct configs merging into one cache file cannot drop each
+// other's entries (the load-merge-store race this memo layer fixed).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pencil/autotune.hpp"
+#include "pencil/pencil.hpp"
+
+namespace {
+
+using pcf::pencil::autotune_decomposition;
+using pcf::pencil::autotune_transforms;
+using pcf::pencil::decomp_tune_report;
+using pcf::pencil::decomposition;
+using pcf::pencil::find_tuning_entry;
+using pcf::pencil::grid;
+using pcf::pencil::kernel_config;
+using pcf::pencil::load_tuning_cache;
+using pcf::pencil::make_tune_key;
+using pcf::pencil::tune_options;
+using pcf::pencil::tune_report;
+using pcf::pencil::tuning_memo_reset;
+using pcf::pencil::tuning_memo_statistics;
+using pcf::vmpi::cart2d;
+using pcf::vmpi::communicator;
+using pcf::vmpi::run_world;
+
+std::string cache_path(const std::string& tag) {
+  const std::string p = ::testing::TempDir() + "/pcf_memo_" + tag + ".bin";
+  std::remove(p.c_str());
+  return p;
+}
+
+tune_report tune_once(const grid& g, const std::string& path,
+                      bool force = false) {
+  tune_report rep;
+  run_world(1, [&](communicator& world) {
+    cart2d cart(world, 1, 1);
+    kernel_config base;
+    base.max_batch = 3;
+    tune_options opt;
+    opt.cache_path = path;
+    opt.reps = 1;
+    opt.force_retune = force;
+    rep = autotune_transforms(g, world, cart, base, opt);
+  });
+  return rep;
+}
+
+TEST(TuningMemo, ConcurrentSameKeyCallersMeasureOnceAndAgree) {
+  tuning_memo_reset();
+  const std::string path = cache_path("samekey");
+  const grid g{8, 9, 8};
+
+  // Six independent single-rank worlds (the campaign's tenant shape) tune
+  // the same config against the same cache file at once. The memo makes
+  // one of them the owner; the rest block until it publishes.
+  constexpr int kCallers = 6;
+  std::vector<tune_report> reps(kCallers);
+  {
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kCallers; ++i)
+      threads.emplace_back([&, i] { reps[i] = tune_once(g, path); });
+    for (auto& t : threads) t.join();
+  }
+
+  int measured = 0;
+  for (const tune_report& r : reps) {
+    if (!r.from_cache) {
+      ++measured;
+      EXPECT_FALSE(r.measured.empty());
+    } else {
+      // Served without measuring — by the memo (the file was still being
+      // written or just written by the owner).
+      EXPECT_TRUE(r.measured.empty());
+    }
+    EXPECT_EQ(r.choice, reps[0].choice);
+  }
+  EXPECT_EQ(measured, 1);
+
+  const auto stats = tuning_memo_statistics();
+  EXPECT_EQ(stats.hits, static_cast<std::uint64_t>(kCallers - 1));
+  EXPECT_GE(stats.entries, 1u);
+
+  // Exactly one entry landed in the file: the owner's store, un-raced.
+  const auto entries = load_tuning_cache(path);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].choice, reps[0].choice);
+  std::remove(path.c_str());
+}
+
+TEST(TuningMemo, DistinctKeysMergingIntoOneFileKeepEveryEntry) {
+  tuning_memo_reset();
+  const std::string path = cache_path("merge");
+  // Four distinct configs (different grids), one cache file, all storing
+  // concurrently. Without the per-path file mutex the load-merge-store
+  // cycles race and the last writer drops earlier winners.
+  const std::vector<grid> grids = {
+      {8, 9, 8}, {16, 9, 8}, {8, 9, 16}, {16, 9, 16}};
+  {
+    std::vector<std::thread> threads;
+    for (const grid& g : grids)
+      threads.emplace_back([&, g] { (void)tune_once(g, path); });
+    for (auto& t : threads) t.join();
+  }
+  const auto entries = load_tuning_cache(path);
+  EXPECT_EQ(entries.size(), grids.size());
+  for (const grid& g : grids) {
+    kernel_config base;
+    base.max_batch = 3;
+    EXPECT_NE(find_tuning_entry(entries, make_tune_key(g, base, 1, 1)),
+              nullptr)
+        << "entry for nx=" << g.nx << " nz=" << g.nz << " was dropped";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TuningMemo, MemoFrontsTheFileCache) {
+  tuning_memo_reset();
+  const std::string path = cache_path("tiers");
+  const grid g{8, 9, 8};
+
+  const tune_report cold = tune_once(g, path);
+  EXPECT_FALSE(cold.from_cache);
+  EXPECT_FALSE(cold.from_memo);
+
+  // Warm: served by the memo, no file I/O.
+  const tune_report warm = tune_once(g, path);
+  EXPECT_TRUE(warm.from_cache);
+  EXPECT_TRUE(warm.from_memo);
+  EXPECT_EQ(warm.choice, cold.choice);
+
+  // Memo dropped: falls through to the file tier, which re-seeds the memo.
+  tuning_memo_reset();
+  const tune_report file = tune_once(g, path);
+  EXPECT_TRUE(file.from_cache);
+  EXPECT_FALSE(file.from_memo);
+  EXPECT_EQ(file.choice, cold.choice);
+
+  const tune_report reseeded = tune_once(g, path);
+  EXPECT_TRUE(reseeded.from_memo);
+  std::remove(path.c_str());
+}
+
+TEST(TuningMemo, ForceRetuneRemeasuresAndRepublishes) {
+  tuning_memo_reset();
+  const std::string path = cache_path("force");
+  const grid g{8, 9, 8};
+
+  (void)tune_once(g, path);
+  const tune_report forced = tune_once(g, path, /*force=*/true);
+  EXPECT_FALSE(forced.from_cache);
+  EXPECT_FALSE(forced.measured.empty());
+
+  // The re-measured choice was republished into the memo.
+  const tune_report warm = tune_once(g, path);
+  EXPECT_TRUE(warm.from_memo);
+  EXPECT_EQ(warm.choice, forced.choice);
+  std::remove(path.c_str());
+}
+
+TEST(TuningMemo, DecompositionTuningSharesTheMemo) {
+  tuning_memo_reset();
+  const std::string path = cache_path("decomp");
+  run_world(4, [&](communicator& world) {
+    const grid g{8, 9, 8};
+    kernel_config base;
+    base.max_batch = 3;
+    tune_options opt;
+    opt.cache_path = path;
+    opt.reps = 1;
+
+    const decomp_tune_report cold = autotune_decomposition(
+        g, world, decomposition::tuned, 2, 2, 0, base, opt);
+    EXPECT_FALSE(cold.from_cache);
+
+    const decomp_tune_report warm = autotune_decomposition(
+        g, world, decomposition::tuned, 2, 2, 0, base, opt);
+    EXPECT_TRUE(warm.from_cache);
+    EXPECT_TRUE(warm.from_memo);
+    EXPECT_EQ(warm.plan, cold.plan);
+
+    if (world.rank() == 0) tuning_memo_reset();
+    world.barrier();
+    const decomp_tune_report file = autotune_decomposition(
+        g, world, decomposition::tuned, 2, 2, 0, base, opt);
+    EXPECT_TRUE(file.from_cache);
+    EXPECT_FALSE(file.from_memo);
+    EXPECT_EQ(file.plan, cold.plan);
+  });
+  std::remove(path.c_str());
+}
+
+}  // namespace

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <future>
 #include <thread>
 #include <vector>
 
@@ -225,6 +226,102 @@ TEST(BlockPool, ConcurrentAcquireReleaseStress) {
   EXPECT_EQ(st.blocks_leased, 0u);
   EXPECT_EQ(st.blocks_cached, 0u);
   EXPECT_EQ(st.leases, static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(st.releases, st.leases);
+  pool.trim();
+  EXPECT_EQ(pool.stats().blocks_total, 0u);
+}
+
+TEST(BlockPool, ThreadExitFlushesCachedRunsBackToPool) {
+  auto cfg = small_cfg();
+  cfg.thread_cache_blocks = 16;
+  block_pool pool(cfg);
+  std::thread worker([&pool] {
+    auto l = pool.acquire(3 * 4096);
+    ASSERT_TRUE(l);
+    pool.release(l);  // parks in THIS thread's cache
+    EXPECT_EQ(pool.stats().blocks_cached, 3u);
+  });
+  worker.join();
+  // The exit hook must have returned the parked run to the bitmaps: no
+  // stranded blocks, and the capacity is reusable without a manual
+  // flush_thread_caches().
+  const auto st = pool.stats();
+  EXPECT_EQ(st.blocks_cached, 0u);
+  EXPECT_EQ(st.blocks_leased, 0u);
+  EXPECT_EQ(st.exit_flushed_blocks, 3u);
+  pool.trim();
+  EXPECT_EQ(pool.stats().blocks_total, 0u);
+}
+
+TEST(BlockPool, ThreadExitAfterPoolDestructionIsHarmless) {
+  std::promise<void> parked, pool_gone;
+  std::thread worker;
+  {
+    auto cfg = small_cfg();
+    cfg.thread_cache_blocks = 16;
+    block_pool pool(cfg);
+    worker = std::thread([&pool, &parked, &pool_gone] {
+      auto l = pool.acquire(4096);
+      pool.release(l);  // cached on this thread
+      parked.set_value();
+      pool_gone.get_future().wait();  // outlive the pool
+    });
+    parked.get_future().wait();
+  }  // pool destroyed with the worker's cache still populated
+  pool_gone.set_value();
+  worker.join();  // exit hook finds no live pool for the id: a no-op
+}
+
+// Satellite of the campaign work: many "simulations" time-slicing one
+// pool, each cycling suspend (release every lane) / resume (reacquire,
+// possibly different blocks) while neighbours do the same — the
+// lease/release interleaving the campaign scheduler produces. Must be
+// TSan-clean and leave zero stranded blocks.
+TEST(BlockPool, InterleavedSuspendResumeCyclesAcrossManyThreads) {
+  auto cfg = small_cfg();
+  cfg.segment_blocks = 32;
+  cfg.thread_cache_blocks = 8;
+  block_pool pool(cfg);
+  constexpr int kThreads = 8;  // >= 8 concurrent tenants
+  constexpr int kCycles = 150;
+  std::vector<std::thread> ts;
+  ts.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&pool, t] {
+      pcf::rng r(static_cast<std::uint64_t>(t) * 7919 + 1);
+      // One tenant's workspace: a few lanes of different sizes, resumed
+      // and suspended as a unit like field_workspace::reacquire/release.
+      constexpr int kLanes = 3;
+      block_pool::lease lanes[kLanes];
+      for (int c = 0; c < kCycles; ++c) {
+        for (int l = 0; l < kLanes; ++l) {
+          const auto blocks =
+              1 + static_cast<std::size_t>(r.uniform(0.0, 2.0)) +
+              static_cast<std::size_t>(l);
+          lanes[l] = pool.acquire(blocks * 4096);
+          ASSERT_TRUE(lanes[l]);
+          lanes[l].data()[0] = static_cast<unsigned char>(t);
+          lanes[l].data()[lanes[l].bytes() - 1] =
+              static_cast<unsigned char>(t);
+        }
+        for (int l = 0; l < kLanes; ++l) {
+          EXPECT_EQ(lanes[l].data()[0], static_cast<unsigned char>(t));
+          EXPECT_EQ(lanes[l].data()[lanes[l].bytes() - 1],
+                    static_cast<unsigned char>(t));
+        }
+        // Suspend in LIFO order, as the workspace arena does.
+        for (int l = kLanes - 1; l >= 0; --l) pool.release(lanes[l]);
+        if (t == 0 && c % 32 == 31) pool.flush_thread_caches();
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  // Worker-exit hooks + bitmap accounting: nothing leased, nothing
+  // stranded in caches, all capacity reclaimable.
+  const auto st = pool.stats();
+  EXPECT_EQ(st.blocks_leased, 0u);
+  EXPECT_EQ(st.blocks_cached, 0u);
+  EXPECT_EQ(st.leases, static_cast<std::uint64_t>(kThreads) * kCycles * 3);
   EXPECT_EQ(st.releases, st.leases);
   pool.trim();
   EXPECT_EQ(pool.stats().blocks_total, 0u);

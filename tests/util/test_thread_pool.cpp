@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <string>
@@ -226,6 +228,118 @@ TEST(ThreadPoolSubmit, DestructorDrainsQueuedTasks) {
     // No wait: destruction must still execute everything queued.
   }
   EXPECT_EQ(ran.load(), 8);
+}
+
+// --- priority / tenant-fairness / cancellation (the campaign work queue) ---
+
+/// Holds the single worker of a pool(2) inside a task until release(), so
+/// everything submitted meanwhile queues up and the scheduling decision is
+/// observable in the execution order.
+class worker_gate {
+ public:
+  explicit worker_gate(thread_pool& pool) {
+    pool.submit([this] {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return open_; });
+    });
+  }
+  void release() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+TEST(ThreadPoolSubmit, HigherPriorityTasksStartFirst) {
+  thread_pool pool(2);
+  worker_gate gate(pool);
+  std::vector<std::string> order;
+  auto record = [&order](std::string tag) {
+    return [&order, tag] { order.push_back(tag); };
+  };
+  pool.submit(record("low0"), {.priority = 0});
+  pool.submit(record("low1"), {.priority = 0});
+  pool.submit(record("high0"), {.priority = 5});
+  pool.submit(record("high1"), {.priority = 5});
+  gate.release();
+  pool.wait_submitted();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], "high0");
+  EXPECT_EQ(order[1], "high1");
+  EXPECT_EQ(order[2], "low0");
+  EXPECT_EQ(order[3], "low1");
+}
+
+TEST(ThreadPoolSubmit, TenantsAreServedRoundRobinWithinAPriority) {
+  thread_pool pool(2);
+  worker_gate gate(pool);
+  std::vector<std::string> order;
+  auto record = [&order](std::string tag) {
+    return [&order, tag] { order.push_back(tag); };
+  };
+  // Tenant 1 floods the queue before tenant 2 submits anything; fairness
+  // must still alternate them instead of draining tenant 1 first.
+  for (int i = 0; i < 3; ++i)
+    pool.submit(record("a" + std::to_string(i)), {.tenant = 1});
+  for (int i = 0; i < 3; ++i)
+    pool.submit(record("b" + std::to_string(i)), {.tenant = 2});
+  gate.release();
+  pool.wait_submitted();
+  const std::vector<std::string> want = {"a0", "b0", "a1", "b1", "a2", "b2"};
+  EXPECT_EQ(order, want);
+}
+
+TEST(ThreadPoolSubmit, PriorityBeatsFairnessAcrossLevels) {
+  thread_pool pool(2);
+  worker_gate gate(pool);
+  std::vector<std::string> order;
+  auto record = [&order](std::string tag) {
+    return [&order, tag] { order.push_back(tag); };
+  };
+  pool.submit(record("bg"), {.priority = 0, .tenant = 1});
+  pool.submit(record("urgent"), {.priority = 1, .tenant = 2});
+  gate.release();
+  pool.wait_submitted();
+  const std::vector<std::string> want = {"urgent", "bg"};
+  EXPECT_EQ(order, want);
+}
+
+TEST(ThreadPoolSubmit, CancelTenantDropsOnlyThatTenantsQueuedTasks) {
+  thread_pool pool(2);
+  worker_gate gate(pool);
+  std::atomic<int> ran1{0}, ran2{0};
+  for (int i = 0; i < 4; ++i)
+    pool.submit([&ran1] { ran1.fetch_add(1); }, {.tenant = 1});
+  for (int i = 0; i < 3; ++i)
+    pool.submit([&ran2] { ran2.fetch_add(1); }, {.tenant = 2});
+  EXPECT_EQ(pool.cancel_tenant(1), 4u);
+  EXPECT_EQ(pool.cancel_tenant(1), 0u);  // idempotent once drained
+  gate.release();
+  pool.wait_submitted();  // must not hang: cancelled tasks count completed
+  EXPECT_EQ(ran1.load(), 0);
+  EXPECT_EQ(ran2.load(), 3);
+}
+
+TEST(ThreadPoolSubmit, DefaultOptionsKeepFifoCompletionWithOneWorker) {
+  thread_pool pool(2);
+  std::vector<int> order;
+  std::mutex mu;
+  for (int i = 0; i < 16; ++i)
+    pool.submit([&, i] {
+      std::lock_guard<std::mutex> lk(mu);
+      order.push_back(i);
+    });
+  pool.wait_submitted();
+  std::vector<int> want(16);
+  std::iota(want.begin(), want.end(), 0);
+  EXPECT_EQ(order, want);
 }
 
 }  // namespace
