@@ -40,6 +40,10 @@ std::uint32_t step_fingerprint::combined() const {
   c = crc32_update(c, &crc_om, sizeof(crc_om));
   c = crc32_update(c, &crc_phi, sizeof(crc_phi));
   c = crc32_update(c, &crc_mean, sizeof(crc_mean));
+  // Scenario sections join the digest only when present, so default-
+  // channel combined values (and their golden CSVs) stay frozen.
+  if (crc_scalars != 0)
+    c = crc32_update(c, &crc_scalars, sizeof(crc_scalars));
   return crc32_final(c);
 }
 
@@ -65,7 +69,7 @@ step_fingerprint fingerprint(core::channel_dns& dns,
                                        sizeof(double) + sizeof(long)));
   std::uint32_t meta[2] = {0, 0};
   is.read(reinterpret_cast<char*>(meta), sizeof(meta));
-  PCF_REQUIRE(!is.fail() && meta[0] == 4,
+  PCF_REQUIRE(!is.fail() && meta[0] >= 4,
               "fingerprint scratch checkpoint has unexpected layout");
   const char* names[4] = {"c_v", "c_om", "c_phi", "mean"};
   std::uint32_t* out[4] = {&fp.crc_v, &fp.crc_om, &fp.crc_phi, &fp.crc_mean};
@@ -79,6 +83,21 @@ step_fingerprint fingerprint(core::channel_dns& dns,
                     names[t] + "' missing");
     *out[t] = h.crc;
     is.seekg(static_cast<std::streamoff>(h.bytes), std::ios::cur);
+  }
+  // Scenario sections (passive scalars, flow-rate forcing state) follow
+  // the frozen four; fold their CRCs in checkpoint order. Stays 0 when
+  // there are none.
+  if (meta[0] > 4) {
+    std::uint32_t c = crc32_init();
+    for (std::uint32_t t = 4; t < meta[0]; ++t) {
+      section_header h{};
+      is.read(reinterpret_cast<char*>(&h), sizeof(h));
+      PCF_REQUIRE(!is.fail(),
+                  "fingerprint scratch checkpoint scenario section missing");
+      c = crc32_update(c, &h.crc, sizeof(h.crc));
+      is.seekg(static_cast<std::streamoff>(h.bytes), std::ios::cur);
+    }
+    fp.crc_scalars = crc32_final(c);
   }
   return fp;
 }
@@ -150,10 +169,14 @@ std::vector<divergence> compare(const trace& expected, const trace& actual) {
       d.field = "c_phi";
       d.expected = e.crc_phi;
       d.actual = a.crc_phi;
-    } else {
+    } else if (e.crc_mean != a.crc_mean) {
       d.field = "mean";
       d.expected = e.crc_mean;
       d.actual = a.crc_mean;
+    } else {
+      d.field = "scalars";
+      d.expected = e.crc_scalars;
+      d.actual = a.crc_scalars;
     }
     divs.push_back(d);
   }
@@ -174,12 +197,23 @@ std::string describe(const std::vector<divergence>& divs) {
 void write_trace_csv(const std::string& path, const trace& t) {
   std::ofstream os(path);
   PCF_REQUIRE(os.good(), "cannot open trace file for writing: " + path);
-  os << "step,time_bits,dt_bits,crc_v,crc_om,crc_phi,crc_mean,combined\n";
+  // The extended header (with crc_scalars) is written only when some row
+  // carries scenario state, so default-channel golden CSVs keep their
+  // frozen byte layout.
+  bool scalars = false;
+  for (const auto& fp : t.steps) scalars = scalars || fp.crc_scalars != 0;
+  os << (scalars ? "step,time_bits,dt_bits,crc_v,crc_om,crc_phi,crc_mean,"
+                   "crc_scalars,combined\n"
+                 : "step,time_bits,dt_bits,crc_v,crc_om,crc_phi,crc_mean,"
+                   "combined\n");
   os << std::hex;
-  for (const auto& fp : t.steps)
+  for (const auto& fp : t.steps) {
     os << std::dec << fp.step << std::hex << ',' << fp.time_bits << ','
        << fp.dt_bits << ',' << fp.crc_v << ',' << fp.crc_om << ','
-       << fp.crc_phi << ',' << fp.crc_mean << ',' << fp.combined() << '\n';
+       << fp.crc_phi << ',' << fp.crc_mean << ',';
+    if (scalars) os << fp.crc_scalars << ',';
+    os << fp.combined() << '\n';
+  }
   PCF_REQUIRE(os.good(), "trace write failed: " + path);
 }
 
@@ -187,7 +221,13 @@ trace read_trace_csv(const std::string& path) {
   std::ifstream is(path);
   PCF_REQUIRE(is.good(), "cannot open trace file for reading: " + path);
   std::string line;
-  PCF_REQUIRE(static_cast<bool>(std::getline(is, line)) &&
+  PCF_REQUIRE(static_cast<bool>(std::getline(is, line)),
+              "trace file header missing: " + path);
+  const bool scalars =
+      line ==
+      "step,time_bits,dt_bits,crc_v,crc_om,crc_phi,crc_mean,crc_scalars,"
+      "combined";
+  PCF_REQUIRE(scalars ||
                   line ==
                       "step,time_bits,dt_bits,crc_v,crc_om,crc_phi,crc_mean,"
                       "combined",
@@ -201,7 +241,9 @@ trace read_trace_csv(const std::string& path) {
     std::uint64_t combined = 0;
     ls >> std::dec >> fp.step >> c >> std::hex >> fp.time_bits >> c >>
         fp.dt_bits >> c >> fp.crc_v >> c >> fp.crc_om >> c >> fp.crc_phi >>
-        c >> fp.crc_mean >> c >> combined;
+        c >> fp.crc_mean >> c;
+    if (scalars) ls >> fp.crc_scalars >> c;
+    ls >> combined;
     PCF_REQUIRE(!ls.fail(), "malformed trace row in " + path + ": " + line);
     PCF_REQUIRE(combined == fp.combined(),
                 "trace row self-check failed in " + path + ": " + line);

@@ -32,9 +32,14 @@ struct step_fingerprint {
   std::uint32_t crc_om = 0;    // omega_y-hat
   std::uint32_t crc_phi = 0;   // phi-hat
   std::uint32_t crc_mean = 0;  // mean U/W profiles
+  // Fold of every scenario section CRC (passive scalars, flow-rate
+  // forcing state) in checkpoint order; 0 for the default scenario, so
+  // default-channel golden traces are unchanged by the scenario layer.
+  std::uint32_t crc_scalars = 0;
 
   /// One CRC-32 over every field above — the per-step value a golden
-  /// trace pins.
+  /// trace pins. crc_scalars participates only when nonzero, keeping the
+  /// default channel's combined values frozen.
   [[nodiscard]] std::uint32_t combined() const;
 
   bool operator==(const step_fingerprint&) const = default;
@@ -59,7 +64,8 @@ struct trace {
 
 /// One point of disagreement between two traces: the row, the step count
 /// recorded there, and the first field that differs ("rows" for a length
-/// mismatch, else "step", "time", "dt", "c_v", "c_om", "c_phi" or "mean").
+/// mismatch, else "step", "time", "dt", "c_v", "c_om", "c_phi", "mean" or
+/// "scalars").
 struct divergence {
   std::size_t row = 0;
   long step = 0;

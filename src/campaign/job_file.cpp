@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <vector>
 
 namespace pcf::campaign {
 
@@ -38,12 +39,25 @@ double parse_num(const std::string& origin, int line, const std::string& key,
 
 long parse_int(const std::string& origin, int line, const std::string& key,
                const std::string& value) {
-  const double v = parse_num(origin, line, key, value);
-  const long i = static_cast<long>(v);
-  if (static_cast<double>(i) != v)
+  // Parsed directly as an integer, NOT through parse_num: a double cannot
+  // represent every long (anything above 2^53 loses bits), so a
+  // stod-then-truncate round trip would silently corrupt large values
+  // like seeds. std::stol also rejects "1e3" / "3.5" spellings, which are
+  // numbers but not integers.
+  std::size_t used = 0;
+  long v = 0;
+  try {
+    v = std::stol(value, &used, 10);
+  } catch (const std::out_of_range&) {
+    fail(origin, line, "key '" + key + "': integer out of range '" + value +
+                           "'");
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (value.empty() || used != value.size())
     fail(origin, line, "key '" + key + "': expected an integer, got '" +
                            value + "'");
-  return i;
+  return v;
 }
 
 bool parse_bool(const std::string& origin, int line, const std::string& key,
@@ -85,6 +99,41 @@ bool apply_job_key(job_spec& j, const std::string& key,
     j.config.cache_solvers = parse_bool(origin, line, key, value);
   else if (key == "autotune")
     j.config.autotune = parse_bool(origin, line, key, value);
+  else if (key == "wall_u_lo") j.config.scenario.wall_u_lo = num();
+  else if (key == "wall_u_hi") j.config.scenario.wall_u_hi = num();
+  else if (key == "wall_w_lo") j.config.scenario.wall_w_lo = num();
+  else if (key == "wall_w_hi") j.config.scenario.wall_w_hi = num();
+  else if (key == "target_bulk") j.config.scenario.target_bulk = num();
+  else if (key == "forcing_mode") {
+    if (value == "pressure_gradient")
+      j.config.scenario.forcing = core::forcing_mode::pressure_gradient;
+    else if (value == "flow_rate")
+      j.config.scenario.forcing = core::forcing_mode::flow_rate;
+    else
+      fail(origin, line,
+           "key 'forcing_mode': expected 'pressure_gradient' or "
+           "'flow_rate', got '" +
+               value + "'");
+  } else if (key == "scalar") {
+    // Repeatable: each occurrence appends one passive scalar, given as
+    // "<prandtl>" or "<prandtl> <wall_lo> <wall_hi>".
+    std::istringstream ss(value);
+    std::vector<std::string> tok;
+    std::string w;
+    while (ss >> w) tok.push_back(w);
+    if (tok.size() != 1 && tok.size() != 3)
+      fail(origin, line,
+           "key 'scalar': expected '<prandtl> [<wall_lo> <wall_hi>]', "
+           "got '" +
+               value + "'");
+    core::scalar_spec sp;
+    sp.prandtl = parse_num(origin, line, "scalar.prandtl", tok[0]);
+    if (tok.size() == 3) {
+      sp.wall_lo = parse_num(origin, line, "scalar.wall_lo", tok[1]);
+      sp.wall_hi = parse_num(origin, line, "scalar.wall_hi", tok[2]);
+    }
+    j.config.scenario.scalars.push_back(sp);
+  }
   else if (key == "steps") j.steps = integer();
   else if (key == "priority") j.priority = static_cast<int>(integer());
   else if (key == "perturbation") j.perturbation = num();
@@ -167,10 +216,19 @@ job_file parse_job_text(const std::string& text, const std::string& origin) {
     }
   }
 
-  for (const job_spec& j : out.jobs)
+  for (const job_spec& j : out.jobs) {
     if (j.steps < 1)
       throw std::runtime_error(origin + ": job '" + j.name +
                                "' never sets steps >= 1");
+    // Reject impossible configurations at parse time, naming the job, so
+    // a bad campaign file fails before any simulation is constructed.
+    try {
+      j.config.validate();
+    } catch (const std::exception& e) {
+      throw std::runtime_error(origin + ": job '" + j.name + "': " +
+                               e.what());
+    }
+  }
   return out;
 }
 

@@ -86,6 +86,15 @@ void require_eof(std::istream& is) {
               "trailing garbage after checkpoint payload");
 }
 
+/// Scenario sections ride after the frozen default layout: "sc<i>" /
+/// "scm<i>" per passive scalar (fluctuation lines + mean profile) and a
+/// trailing "frc" pair {captured target, last forcing} under constant
+/// flow rate. A default-scenario run writes none of them, so its files
+/// stay byte-identical to the pre-scenario format.
+std::string sc_name(const char* stem, std::size_t i) {
+  return std::string(stem) + std::to_string(i);
+}
+
 }  // namespace
 
 void channel_dns::save_checkpoint(const std::string& path) const {
@@ -99,13 +108,28 @@ void channel_dns::save_checkpoint(const std::string& path) const {
   os.write(dims, sizeof(dims));
   os.write(&s.time, sizeof(s.time));
   os.write(&s.steps, sizeof(s.steps));
-  const std::uint32_t meta[2] = {5, 0};  // section count, reserved
+  const std::size_t nsc = st.scalars.size();
+  const bool fr = s.cfg.scenario.constant_flow_rate();
+  const std::uint32_t meta[2] = {
+      static_cast<std::uint32_t>(5 + 2 * nsc + (fr ? 1 : 0)), 0};
   os.write(meta, sizeof(meta));
   write_section(os, "c_v", st.c_v.data(), st.c_v.size() * sizeof(cplx));
   write_section(os, "c_om", st.c_om.data(), st.c_om.size() * sizeof(cplx));
   write_section(os, "c_phi", st.c_phi.data(), st.c_phi.size() * sizeof(cplx));
   write_section(os, "c_U", st.c_U.data(), st.c_U.size() * sizeof(double));
   write_section(os, "c_W", st.c_W.data(), st.c_W.size() * sizeof(double));
+  for (std::size_t i = 0; i < nsc; ++i) {
+    const auto& sc = st.scalars[i];
+    write_section(os, sc_name("sc", i).c_str(), sc.c_th.data(),
+                  sc.c_th.size() * sizeof(cplx));
+    write_section(os, sc_name("scm", i).c_str(), sc.c_T.data(),
+                  sc.c_T.size() * sizeof(double));
+  }
+  if (fr) {
+    const double frc[2] = {s.mean_flow.flow_target(),
+                           s.mean_flow.last_forcing()};
+    write_section(os, "frc", frc, sizeof(frc));
+  }
   os.commit();
 }
 
@@ -141,9 +165,11 @@ void channel_dns::load_checkpoint(const std::string& path) {
     get(st.c_W.data(), st.c_W.size() * sizeof(double));
     PCF_REQUIRE(is.good(), "checkpoint read failed");
   } else {
+    const std::size_t nsc = st.scalars.size();
+    const bool fr = s.cfg.scenario.constant_flow_rate();
     std::uint32_t meta[2] = {0, 0};
     get(meta, sizeof(meta));
-    PCF_REQUIRE(!is.fail() && meta[0] == 5,
+    PCF_REQUIRE(!is.fail() && meta[0] == 5 + 2 * nsc + (fr ? 1u : 0u),
                 "checkpoint section count mismatch");
     read_section(is, "c_v", st.c_v.data(), st.c_v.size() * sizeof(cplx));
     read_section(is, "c_om", st.c_om.data(), st.c_om.size() * sizeof(cplx));
@@ -151,12 +177,28 @@ void channel_dns::load_checkpoint(const std::string& path) {
                  st.c_phi.size() * sizeof(cplx));
     read_section(is, "c_U", st.c_U.data(), st.c_U.size() * sizeof(double));
     read_section(is, "c_W", st.c_W.data(), st.c_W.size() * sizeof(double));
+    for (std::size_t i = 0; i < nsc; ++i) {
+      auto& sc = st.scalars[i];
+      read_section(is, sc_name("sc", i).c_str(), sc.c_th.data(),
+                   sc.c_th.size() * sizeof(cplx));
+      read_section(is, sc_name("scm", i).c_str(), sc.c_T.data(),
+                   sc.c_T.size() * sizeof(double));
+    }
+    if (fr) {
+      double frc[2] = {0.0, 0.0};
+      read_section(is, "frc", frc, sizeof(frc));
+      s.mean_flow.restore_forcing(frc[0], frc[1]);
+    }
   }
   require_eof(is);
   st.hv_prev.fill(cplx{0, 0});
   st.hg_prev.fill(cplx{0, 0});
   std::fill(st.hU_prev.begin(), st.hU_prev.end(), 0.0);
   std::fill(st.hW_prev.begin(), st.hW_prev.end(), 0.0);
+  for (auto& sc : st.scalars) {
+    sc.hth_prev.fill(cplx{0, 0});
+    std::fill(sc.hT_prev.begin(), sc.hT_prev.end(), 0.0);
+  }
   // The restored run may step with a dt the caller changes before the first
   // step (the runner's reduced-dt retry does); drop the factored bands so
   // they are rebuilt against the dt actually in effect.
@@ -169,7 +211,10 @@ void channel_dns::save_checkpoint_global(const std::string& path) {
   const std::size_t n = s.modes.n;
   const std::size_t modes_g = s.cfg.nx / 2 * s.cfg.nz;
   const std::size_t per = modes_g * n;
-  std::vector<cplx> local(3 * per, cplx{0, 0}), global(3 * per);
+  const std::size_t nsc = st.scalars.size();
+  const bool fr = s.cfg.scenario.constant_flow_rate();
+  std::vector<cplx> local((3 + nsc) * per, cplx{0, 0}),
+      global((3 + nsc) * per);
   for (std::size_t m = 0; m < s.modes.nmodes; ++m) {
     const std::size_t jx = s.d.xs.offset + m / s.d.zs.count;
     const std::size_t jz = s.d.zs.offset + m % s.d.zs.count;
@@ -177,6 +222,9 @@ void channel_dns::save_checkpoint_global(const std::string& path) {
     std::copy_n(s.line(st.c_v, m), n, local.data() + g);
     std::copy_n(s.line(st.c_om, m), n, local.data() + per + g);
     std::copy_n(s.line(st.c_phi, m), n, local.data() + 2 * per + g);
+    for (std::size_t i = 0; i < nsc; ++i)
+      std::copy_n(s.line(st.scalars[i].c_th, m), n,
+                  local.data() + (3 + i) * per + g);
   }
   // Each slot has exactly one owner, so gather by bitwise OR over the
   // raw words: it reproduces the owner's bits exactly. A floating-point
@@ -185,11 +233,22 @@ void channel_dns::save_checkpoint_global(const std::string& path) {
   s.world.allreduce_bor(reinterpret_cast<const std::uint64_t*>(local.data()),
                         reinterpret_cast<std::uint64_t*>(global.data()),
                         2 * local.size());
-  std::vector<double> mean_l(2 * n, 0.0), mean_g(2 * n);
+  // The mean block gathers U, W, every scalar's mean profile and (under
+  // constant flow rate) the {target, last forcing} pair, all owned by the
+  // mean rank.
+  const std::size_t mean_elems = (2 + nsc) * n + (fr ? 2 : 0);
+  std::vector<double> mean_l(mean_elems, 0.0), mean_g(mean_elems);
   if (s.modes.has_mean) {
     std::copy(st.c_U.begin(), st.c_U.end(), mean_l.begin());
     std::copy(st.c_W.begin(), st.c_W.end(),
               mean_l.begin() + static_cast<std::ptrdiff_t>(n));
+    for (std::size_t i = 0; i < nsc; ++i)
+      std::copy(st.scalars[i].c_T.begin(), st.scalars[i].c_T.end(),
+                mean_l.begin() + static_cast<std::ptrdiff_t>((2 + i) * n));
+    if (fr) {
+      mean_l[(2 + nsc) * n] = s.mean_flow.flow_target();
+      mean_l[(2 + nsc) * n + 1] = s.mean_flow.last_forcing();
+    }
   }
   s.world.allreduce_bor(reinterpret_cast<const std::uint64_t*>(mean_l.data()),
                         reinterpret_cast<std::uint64_t*>(mean_g.data()),
@@ -203,12 +262,22 @@ void channel_dns::save_checkpoint_global(const std::string& path) {
     os.write(dims, sizeof(dims));
     os.write(&s.time, sizeof(s.time));
     os.write(&s.steps, sizeof(s.steps));
-    const std::uint32_t meta[2] = {4, 0};
+    const std::uint32_t meta[2] = {
+        static_cast<std::uint32_t>(4 + 2 * nsc + (fr ? 1 : 0)), 0};
     os.write(meta, sizeof(meta));
     write_section(os, "c_v", global.data(), per * sizeof(cplx));
     write_section(os, "c_om", global.data() + per, per * sizeof(cplx));
     write_section(os, "c_phi", global.data() + 2 * per, per * sizeof(cplx));
-    write_section(os, "mean", mean_g.data(), mean_g.size() * sizeof(double));
+    write_section(os, "mean", mean_g.data(), 2 * n * sizeof(double));
+    for (std::size_t i = 0; i < nsc; ++i) {
+      write_section(os, sc_name("sc", i).c_str(),
+                    global.data() + (3 + i) * per, per * sizeof(cplx));
+      write_section(os, sc_name("scm", i).c_str(),
+                    mean_g.data() + (2 + i) * n, n * sizeof(double));
+    }
+    if (fr)
+      write_section(os, "frc", mean_g.data() + (2 + nsc) * n,
+                    2 * sizeof(double));
     os.commit();
   }
   s.world.barrier();
@@ -221,8 +290,10 @@ void channel_dns::load_checkpoint_global(const std::string& path) {
   const std::size_t n = s.modes.n;
   const std::size_t modes_g = s.cfg.nx / 2 * s.cfg.nz;
   const std::size_t per = modes_g * n;
-  std::vector<cplx> global(3 * per);
-  std::vector<double> mean_g(2 * n);
+  const std::size_t nsc = st.scalars.size();
+  const bool fr = s.cfg.scenario.constant_flow_rate();
+  std::vector<cplx> global((3 + nsc) * per);
+  std::vector<double> mean_g((2 + nsc) * n + (fr ? 2 : 0));
   // Rank 0 reads and verifies; success is agreed on *before* any payload
   // broadcast so a corrupt file makes every rank throw instead of leaving
   // ranks 1..P-1 blocked in a collective.
@@ -247,6 +318,8 @@ void channel_dns::load_checkpoint_global(const std::string& path) {
       is.read(reinterpret_cast<char*>(&s.time), sizeof(s.time));
       is.read(reinterpret_cast<char*>(&s.steps), sizeof(s.steps));
       if (magic == kCheckpointMagicV1 + 1) {
+        PCF_REQUIRE(nsc == 0 && !fr,
+                    "v1 global checkpoint has no scenario sections");
         is.read(reinterpret_cast<char*>(global.data()),
                 static_cast<std::streamsize>(global.size() * sizeof(cplx)));
         is.read(reinterpret_cast<char*>(mean_g.data()),
@@ -255,14 +328,22 @@ void channel_dns::load_checkpoint_global(const std::string& path) {
       } else {
         std::uint32_t meta[2] = {0, 0};
         is.read(reinterpret_cast<char*>(meta), sizeof(meta));
-        PCF_REQUIRE(!is.fail() && meta[0] == 4,
+        PCF_REQUIRE(!is.fail() && meta[0] == 4 + 2 * nsc + (fr ? 1u : 0u),
                     "global checkpoint section count mismatch");
         read_section(is, "c_v", global.data(), per * sizeof(cplx));
         read_section(is, "c_om", global.data() + per, per * sizeof(cplx));
         read_section(is, "c_phi", global.data() + 2 * per,
                      per * sizeof(cplx));
-        read_section(is, "mean", mean_g.data(),
-                     mean_g.size() * sizeof(double));
+        read_section(is, "mean", mean_g.data(), 2 * n * sizeof(double));
+        for (std::size_t i = 0; i < nsc; ++i) {
+          read_section(is, sc_name("sc", i).c_str(),
+                       global.data() + (3 + i) * per, per * sizeof(cplx));
+          read_section(is, sc_name("scm", i).c_str(),
+                       mean_g.data() + (2 + i) * n, n * sizeof(double));
+        }
+        if (fr)
+          read_section(is, "frc", mean_g.data() + (2 + nsc) * n,
+                       2 * sizeof(double));
       }
       require_eof(is);
     } catch (const std::exception& e) {
@@ -289,29 +370,47 @@ void channel_dns::load_checkpoint_global(const std::string& path) {
     std::copy_n(global.data() + g, n, s.line(st.c_v, m));
     std::copy_n(global.data() + per + g, n, s.line(st.c_om, m));
     std::copy_n(global.data() + 2 * per + g, n, s.line(st.c_phi, m));
+    for (std::size_t i = 0; i < nsc; ++i)
+      std::copy_n(global.data() + (3 + i) * per + g, n,
+                  s.line(st.scalars[i].c_th, m));
   }
   if (s.modes.has_mean) {
     std::copy_n(mean_g.data(), n, st.c_U.begin());
     std::copy_n(mean_g.data() + n, n, st.c_W.begin());
+    for (std::size_t i = 0; i < nsc; ++i)
+      std::copy_n(mean_g.data() + (2 + i) * n, n,
+                  st.scalars[i].c_T.begin());
   }
+  if (fr)
+    s.mean_flow.restore_forcing(mean_g[(2 + nsc) * n],
+                                mean_g[(2 + nsc) * n + 1]);
   st.hv_prev.fill(cplx{0, 0});
   st.hg_prev.fill(cplx{0, 0});
   std::fill(st.hU_prev.begin(), st.hU_prev.end(), 0.0);
   std::fill(st.hW_prev.begin(), st.hW_prev.end(), 0.0);
+  for (auto& sc : st.scalars) {
+    sc.hth_prev.fill(cplx{0, 0});
+    std::fill(sc.hT_prev.begin(), sc.hT_prev.end(), 0.0);
+  }
   s.invalidate_solvers();
 }
 
 namespace {
 
-// Parallel single-file v2 layout: fixed header, a 4-entry section table
-// (c_v, c_om, c_phi, mean), then the payloads at fixed offsets so every
-// rank can write its modes in place, MPI-IO style.
+// Parallel single-file v2 layout: fixed header, a section table (c_v,
+// c_om, c_phi, one "sc<i>" per scalar, mean, one "scm<i>" per scalar,
+// "frc" under constant flow rate — 4 entries for the default scenario),
+// then the payloads at fixed offsets so every rank can write its modes in
+// place, MPI-IO style. The distributed field payloads come first in table
+// order; the rank-0-owned mean/scalar-mean/forcing blocks form the tail.
 constexpr std::size_t kParallelV1Header =
     sizeof(std::uint64_t) * 4 + sizeof(double) + sizeof(long);
 constexpr std::size_t kParallelV2Header =
     kParallelV1Header + 2 * sizeof(std::uint32_t);
-constexpr std::size_t kParallelV2Payload =
-    kParallelV2Header + 4 * sizeof(section_header);
+
+std::size_t parallel_payload_base(std::size_t nsections) {
+  return kParallelV2Header + nsections * sizeof(section_header);
+}
 
 }  // namespace
 
@@ -322,11 +421,25 @@ void channel_dns::save_checkpoint_parallel(const std::string& path) {
   const std::size_t modes_g = s.cfg.nx / 2 * s.cfg.nz;
   const std::size_t per = modes_g * n;  // elements per field section
   const std::size_t line_bytes = n * sizeof(cplx);
-  std::vector<double> mean_l(2 * n, 0.0), mean_g(2 * n);
+  const std::size_t nsc = st.scalars.size();
+  const bool fr = s.cfg.scenario.constant_flow_rate();
+  const std::size_t nfields = 3 + nsc;
+  const std::size_t nsections = nfields + 1 + nsc + (fr ? 1 : 0);
+  const std::size_t payload = parallel_payload_base(nsections);
+  const std::size_t tail = payload + nfields * per * sizeof(cplx);
+  const std::size_t mean_elems = (2 + nsc) * n + (fr ? 2 : 0);
+  std::vector<double> mean_l(mean_elems, 0.0), mean_g(mean_elems);
   if (s.modes.has_mean) {
     std::copy(st.c_U.begin(), st.c_U.end(), mean_l.begin());
     std::copy(st.c_W.begin(), st.c_W.end(),
               mean_l.begin() + static_cast<std::ptrdiff_t>(n));
+    for (std::size_t i = 0; i < nsc; ++i)
+      std::copy(st.scalars[i].c_T.begin(), st.scalars[i].c_T.end(),
+                mean_l.begin() + static_cast<std::ptrdiff_t>((2 + i) * n));
+    if (fr) {
+      mean_l[(2 + nsc) * n] = s.mean_flow.flow_target();
+      mean_l[(2 + nsc) * n + 1] = s.mean_flow.last_forcing();
+    }
   }
   // Bitwise-OR gather, not a sum: the mean profile is owned by a single
   // rank and a sum would flip any -0.0 coefficient to +0.0 (see
@@ -339,14 +452,18 @@ void channel_dns::save_checkpoint_parallel(const std::string& path) {
   // own mode lines; rank 0 stitches them together in global offset order
   // with crc32_combine. The u32 values ride in doubles through the
   // existing sum reduction — each line has exactly one owner.
-  const aligned_buffer<cplx>* fields[3] = {&st.c_v, &st.c_om, &st.c_phi};
-  std::vector<double> crc_l(3 * modes_g, 0.0), crc_g(3 * modes_g);
+  std::vector<const aligned_buffer<cplx>*> fields = {&st.c_v, &st.c_om,
+                                                     &st.c_phi};
+  for (std::size_t i = 0; i < nsc; ++i)
+    fields.push_back(&st.scalars[i].c_th);
+  std::vector<double> crc_l(nfields * modes_g, 0.0),
+      crc_g(nfields * modes_g);
   for (std::size_t m = 0; m < s.modes.nmodes; ++m) {
     const std::size_t jx = s.d.xs.offset + m / s.d.zs.count;
     const std::size_t jz = s.d.zs.offset + m % s.d.zs.count;
     const std::size_t line = jx * s.cfg.nz + jz;
-    for (int f = 0; f < 3; ++f)
-      crc_l[static_cast<std::size_t>(f) * modes_g + line] = static_cast<double>(
+    for (std::size_t f = 0; f < nfields; ++f)
+      crc_l[f * modes_g + line] = static_cast<double>(
           crc32(fields[f]->data() + m * n, line_bytes));
   }
   s.world.allreduce_sum(crc_l.data(), crc_g.data(), crc_l.size());
@@ -361,28 +478,38 @@ void channel_dns::save_checkpoint_parallel(const std::string& path) {
     owner->write(dims, sizeof(dims));
     owner->write(&s.time, sizeof(s.time));
     owner->write(&s.steps, sizeof(s.steps));
-    const std::uint32_t meta[2] = {4, 0};
+    const std::uint32_t meta[2] = {static_cast<std::uint32_t>(nsections), 0};
     owner->write(meta, sizeof(meta));
-    const char* names[3] = {"c_v", "c_om", "c_phi"};
-    for (int f = 0; f < 3; ++f) {
+    std::vector<std::string> names = {"c_v", "c_om", "c_phi"};
+    for (std::size_t i = 0; i < nsc; ++i) names.push_back(sc_name("sc", i));
+    for (std::size_t f = 0; f < nfields; ++f) {
       std::uint32_t crc = 0;  // crc32 of the empty prefix
       for (std::size_t line = 0; line < modes_g; ++line)
         crc = crc32_combine(
-            crc,
-            static_cast<std::uint32_t>(
-                crc_g[static_cast<std::size_t>(f) * modes_g + line]),
+            crc, static_cast<std::uint32_t>(crc_g[f * modes_g + line]),
             line_bytes);
       const section_header h =
-          make_section_header(names[f], per * sizeof(cplx), crc);
+          make_section_header(names[f].c_str(), per * sizeof(cplx), crc);
       owner->write(&h, sizeof(h));
     }
     const section_header hm = make_section_header(
-        "mean", mean_g.size() * sizeof(double),
-        crc32(mean_g.data(), mean_g.size() * sizeof(double)));
+        "mean", 2 * n * sizeof(double),
+        crc32(mean_g.data(), 2 * n * sizeof(double)));
     owner->write(&hm, sizeof(hm));
+    for (std::size_t i = 0; i < nsc; ++i) {
+      const section_header hs = make_section_header(
+          sc_name("scm", i).c_str(), n * sizeof(double),
+          crc32(mean_g.data() + (2 + i) * n, n * sizeof(double)));
+      owner->write(&hs, sizeof(hs));
+    }
+    if (fr) {
+      const section_header hf = make_section_header(
+          "frc", 2 * sizeof(double),
+          crc32(mean_g.data() + (2 + nsc) * n, 2 * sizeof(double)));
+      owner->write(&hf, sizeof(hf));
+    }
     // The means live at the tail; writing them first also sizes the file.
-    owner->write_at(kParallelV2Payload + 3 * per * sizeof(cplx),
-                    mean_g.data(), mean_g.size() * sizeof(double));
+    owner->write_at(tail, mean_g.data(), mean_g.size() * sizeof(double));
     owner->flush();
   }
   s.world.barrier();
@@ -395,9 +522,8 @@ void channel_dns::save_checkpoint_parallel(const std::string& path) {
       const std::size_t jx = s.d.xs.offset + m / s.d.zs.count;
       const std::size_t jz = s.d.zs.offset + m % s.d.zs.count;
       const std::size_t g = (jx * s.cfg.nz + jz) * n;
-      for (int f = 0; f < 3; ++f)
-        os.write_at(kParallelV2Payload +
-                        (static_cast<std::size_t>(f) * per + g) * sizeof(cplx),
+      for (std::size_t f = 0; f < nfields; ++f)
+        os.write_at(payload + (f * per + g) * sizeof(cplx),
                     fields[f]->data() + m * n, line_bytes);
     }
     if (joiner) joiner->close();
@@ -431,10 +557,18 @@ void channel_dns::load_checkpoint_parallel(const std::string& path) {
   is.read(reinterpret_cast<char*>(&s.time), sizeof(s.time));
   is.read(reinterpret_cast<char*>(&s.steps), sizeof(s.steps));
   const bool v1 = magic == kCheckpointMagicV1 + 2;
-  const std::size_t payload = v1 ? kParallelV1Header : kParallelV2Payload;
-  const std::size_t mean_bytes = 2 * n * sizeof(double);
+  const std::size_t nsc = st.scalars.size();
+  const bool fr = s.cfg.scenario.constant_flow_rate();
+  PCF_REQUIRE(!v1 || (nsc == 0 && !fr),
+              "v1 parallel checkpoint has no scenario sections");
+  const std::size_t nfields = 3 + nsc;
+  const std::size_t nsections = nfields + 1 + nsc + (fr ? 1 : 0);
+  const std::size_t payload =
+      v1 ? kParallelV1Header : parallel_payload_base(nsections);
+  const std::size_t mean_elems = (2 + nsc) * n + (fr ? 2 : 0);
+  const std::size_t tail_bytes = mean_elems * sizeof(double);
   const auto expected_size = static_cast<std::streamoff>(
-      payload + 3 * per * sizeof(cplx) + mean_bytes);
+      payload + nfields * per * sizeof(cplx) + tail_bytes);
   // Every rank runs the identical verification on the shared file, so all
   // ranks reach the same accept/reject decision without extra collectives.
   is.seekg(0, std::ios::end);
@@ -442,20 +576,36 @@ void channel_dns::load_checkpoint_parallel(const std::string& path) {
               is.tellg() < expected_size
                   ? "parallel checkpoint truncated"
                   : "trailing garbage after checkpoint payload");
-  section_header table[4];
   if (!v1) {
     std::uint32_t meta[2] = {0, 0};
     is.seekg(static_cast<std::streamoff>(kParallelV1Header));
     is.read(reinterpret_cast<char*>(meta), sizeof(meta));
-    PCF_REQUIRE(!is.fail() && meta[0] == 4,
+    PCF_REQUIRE(!is.fail() && meta[0] == nsections,
                 "parallel checkpoint section count mismatch");
-    is.read(reinterpret_cast<char*>(table), sizeof(table));
+    std::vector<section_header> table(nsections);
+    is.read(reinterpret_cast<char*>(table.data()),
+            static_cast<std::streamsize>(nsections * sizeof(section_header)));
     PCF_REQUIRE(!is.fail(), "parallel checkpoint section table truncated");
-    const char* names[4] = {"c_v", "c_om", "c_phi", "mean"};
-    const std::size_t sizes[4] = {per * sizeof(cplx), per * sizeof(cplx),
-                                  per * sizeof(cplx), mean_bytes};
+    // File layout order == table order: the distributed field payloads,
+    // then the rank-0-owned mean / scalar-mean / forcing tail blocks.
+    std::vector<std::string> names = {"c_v", "c_om", "c_phi"};
+    std::vector<std::size_t> sizes(3, per * sizeof(cplx));
+    for (std::size_t i = 0; i < nsc; ++i) {
+      names.push_back(sc_name("sc", i));
+      sizes.push_back(per * sizeof(cplx));
+    }
+    names.push_back("mean");
+    sizes.push_back(2 * n * sizeof(double));
+    for (std::size_t i = 0; i < nsc; ++i) {
+      names.push_back(sc_name("scm", i));
+      sizes.push_back(n * sizeof(double));
+    }
+    if (fr) {
+      names.push_back("frc");
+      sizes.push_back(2 * sizeof(double));
+    }
     std::vector<char> buf(1 << 20);
-    for (int t = 0; t < 4; ++t) {
+    for (std::size_t t = 0; t < nsections; ++t) {
       PCF_REQUIRE(section_name(table[t]) == names[t] &&
                       table[t].bytes == sizes[t],
                   "checkpoint section '" + section_name(table[t]) +
@@ -465,41 +615,54 @@ void channel_dns::load_checkpoint_parallel(const std::string& path) {
       while (left > 0) {
         const std::size_t chunk = std::min(left, buf.size());
         is.read(buf.data(), static_cast<std::streamsize>(chunk));
-        PCF_REQUIRE(!is.fail(), std::string("checkpoint section '") +
-                                    names[t] + "' truncated");
+        PCF_REQUIRE(!is.fail(), "checkpoint section '" + names[t] +
+                                    "' truncated");
         crc = crc32_update(crc, buf.data(), chunk);
         left -= chunk;
       }
       PCF_REQUIRE(crc32_final(crc) == table[t].crc,
-                  std::string("checkpoint section '") + names[t] +
-                      "' CRC mismatch");
+                  "checkpoint section '" + names[t] + "' CRC mismatch");
     }
   }
+  std::vector<aligned_buffer<cplx>*> fields = {&st.c_v, &st.c_om,
+                                               &st.c_phi};
+  for (std::size_t i = 0; i < nsc; ++i)
+    fields.push_back(&st.scalars[i].c_th);
   for (std::size_t m = 0; m < s.modes.nmodes; ++m) {
     const std::size_t jx = s.d.xs.offset + m / s.d.zs.count;
     const std::size_t jz = s.d.zs.offset + m % s.d.zs.count;
     const std::size_t g = (jx * s.cfg.nz + jz) * n;
-    aligned_buffer<cplx>* fields[3] = {&st.c_v, &st.c_om, &st.c_phi};
-    for (int f = 0; f < 3; ++f) {
-      is.seekg(static_cast<std::streamoff>(
-          payload + (static_cast<std::size_t>(f) * per + g) * sizeof(cplx)));
+    for (std::size_t f = 0; f < nfields; ++f) {
+      is.seekg(static_cast<std::streamoff>(payload +
+                                           (f * per + g) * sizeof(cplx)));
       is.read(reinterpret_cast<char*>(fields[f]->data() + m * n),
               static_cast<std::streamsize>(n * sizeof(cplx)));
     }
   }
-  std::vector<double> mean_g(2 * n);
-  is.seekg(static_cast<std::streamoff>(payload + 3 * per * sizeof(cplx)));
+  std::vector<double> mean_g(mean_elems);
+  is.seekg(
+      static_cast<std::streamoff>(payload + nfields * per * sizeof(cplx)));
   is.read(reinterpret_cast<char*>(mean_g.data()),
-          static_cast<std::streamsize>(mean_bytes));
+          static_cast<std::streamsize>(tail_bytes));
   PCF_REQUIRE(is.good(), "parallel checkpoint read failed");
   if (s.modes.has_mean) {
     std::copy_n(mean_g.data(), n, st.c_U.begin());
     std::copy_n(mean_g.data() + n, n, st.c_W.begin());
+    for (std::size_t i = 0; i < nsc; ++i)
+      std::copy_n(mean_g.data() + (2 + i) * n, n,
+                  st.scalars[i].c_T.begin());
   }
+  if (fr)
+    s.mean_flow.restore_forcing(mean_g[(2 + nsc) * n],
+                                mean_g[(2 + nsc) * n + 1]);
   st.hv_prev.fill(cplx{0, 0});
   st.hg_prev.fill(cplx{0, 0});
   std::fill(st.hU_prev.begin(), st.hU_prev.end(), 0.0);
   std::fill(st.hW_prev.begin(), st.hW_prev.end(), 0.0);
+  for (auto& sc : st.scalars) {
+    sc.hth_prev.fill(cplx{0, 0});
+    std::fill(sc.hT_prev.begin(), sc.hT_prev.end(), 0.0);
+  }
   s.invalidate_solvers();
   s.world.barrier();
 }

@@ -93,10 +93,10 @@ mode_solver::mode_solver(const wall_normal_operators& ops, double c,
                   v12_.data(), minv_);
 }
 
-void mode_solver::solve_dirichlet(cplx* rhs) const {
+void mode_solver::solve_dirichlet(cplx* rhs, cplx lo, cplx hi) const {
   const auto n = static_cast<std::size_t>(ops_.n());
-  rhs[0] = cplx{0.0, 0.0};
-  rhs[n - 1] = cplx{0.0, 0.0};
+  rhs[0] = lo;
+  rhs[n - 1] = hi;
   helm_.solve(rhs);
 }
 
@@ -202,6 +202,56 @@ void solver_arena::solve_block(int m, cplx* panel, cplx* c_om, cplx* c_phi,
       slab_.data() + minv_off_ + static_cast<std::size_t>(m) * 4);
   fused_solve(*ops_, hv, pv, phi12_at(m), v12_at(m), minv, panel, c_om,
               c_phi, c_v);
+}
+
+void scalar_arena::build(const wall_normal_operators& ops, double c,
+                         const std::vector<double>& k2s, thread_pool& pool) {
+  const int nm = static_cast<int>(k2s.size());
+  const int n = ops.n();
+  const int h = ops.A0().half_bandwidth();
+  const auto be = static_cast<std::size_t>(n) *
+                  static_cast<std::size_t>(2 * h + 1);
+  if (nm != nm_ || n != n_ || h != h_) {
+    nm_ = nm;
+    n_ = n;
+    h_ = h;
+    be_ = be;
+    slab_.assign(static_cast<std::size_t>(nm) * be_, 0.0);
+    active_.assign(static_cast<std::size_t>(nm), 0);
+  }
+  ops_ = &ops;
+  c_ = c;
+  built_ = false;
+
+  double* slab = slab_.data();
+  pool.run(static_cast<std::size_t>(nm), [&](std::size_t lo, std::size_t hi) {
+    banded::compact_banded H(n, h);
+    for (std::size_t m = lo; m < hi; ++m) {
+      const double k2 = k2s[m];
+      if (!(k2 > 0.0)) {
+        active_[m] = 0;
+        continue;
+      }
+      ops.helmholtz_into(H, c, k2);
+      H.factorize();
+      std::copy(H.data(), H.data() + be_, slab + m * be_);
+      active_[m] = 1;
+    }
+  });
+  built_ = true;
+}
+
+void scalar_arena::solve(int m, cplx* panel, std::size_t count, cplx lo,
+                         cplx hi) const {
+  PCF_REQUIRE(active(m), "scalar solve on an unbuilt or inactive mode slot");
+  const auto n = static_cast<std::size_t>(n_);
+  for (std::size_t r = 0; r < count; ++r) {
+    panel[r * n] = lo;
+    panel[(r + 1) * n - 1] = hi;
+  }
+  banded::banded_view hv(slab_.data() + static_cast<std::size_t>(m) * be_,
+                         n_, h_);
+  hv.solve_many(panel, count, n);
 }
 
 }  // namespace pcf::core

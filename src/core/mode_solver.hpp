@@ -59,9 +59,14 @@ class mode_solver {
   /// @param k2    kx^2 + kz^2 (> 0)
   mode_solver(const wall_normal_operators& ops, double c, double k2);
 
-  /// Solve the Helmholtz system with homogeneous Dirichlet data already
-  /// placed in rows 0 / n-1 of rhs (in place; rhs -> spline coefficients).
-  void solve_dirichlet(cplx* rhs) const;
+  /// Solve the Helmholtz system with Dirichlet wall data lo / hi (in
+  /// place; rhs -> spline coefficients). The operator's boundary rows are
+  /// identity rows folded into the band, so writing the wall value into
+  /// rows 0 / n-1 of the right-hand side imposes it exactly: on a clamped
+  /// spline the first/last coefficient IS the wall value. The defaults
+  /// keep the homogeneous no-slip behavior.
+  void solve_dirichlet(cplx* rhs, cplx lo = cplx{0.0, 0.0},
+                       cplx hi = cplx{0.0, 0.0}) const;
 
   /// Advance phi and recover v with the influence-matrix correction:
   /// on input rhs_phi holds the interior right-hand side (rows 0 / n-1 are
@@ -164,6 +169,61 @@ class solver_arena {
   // minv], each section packed by mode slot.
   std::size_t helm_off_ = 0, pois_off_ = 0, phi_off_ = 0, v_off_ = 0,
               minv_off_ = 0;
+  std::vector<double> slab_;
+  std::vector<unsigned char> active_;
+  bool built_ = false;
+};
+
+/// Contiguous arena of factored per-mode *scalar* Helmholtz operators for
+/// one diffusive coefficient beta_i * kappa * dt. Passive-scalar transport
+/// needs only the Dirichlet Helmholtz solve — no influence correction, no
+/// Poisson recovery — so the slab holds just the factored bands (roughly a
+/// fifth of solver_arena's storage per mode). solve() takes `count`
+/// contiguous complex right-hand sides through one blocked multi-RHS band
+/// pass (2 * count real lanes), so scalars sharing a Prandtl number share
+/// one pass. Same lifetime rules as solver_arena.
+class scalar_arena {
+ public:
+  scalar_arena() = default;
+
+  /// Build (or rebuild) over k2s.size() mode slots; slot m is active iff
+  /// k2s[m] > 0. Assembly and factorization run chunk-parallel on pool.
+  void build(const wall_normal_operators& ops, double c,
+             const std::vector<double>& k2s, thread_pool& pool);
+
+  /// Forget the built contents (storage is kept for the next build()).
+  void clear() { built_ = false; }
+
+  /// Forget the contents AND free the slab (the suspend path).
+  void reset() {
+    built_ = false;
+    nm_ = 0;
+    slab_.clear();
+    slab_.shrink_to_fit();
+    active_.clear();
+    active_.shrink_to_fit();
+  }
+
+  [[nodiscard]] bool built() const { return built_; }
+  [[nodiscard]] double coeff() const { return c_; }
+  [[nodiscard]] bool active(int m) const {
+    return built_ && m >= 0 && m < nm_ &&
+           active_[static_cast<std::size_t>(m)] != 0;
+  }
+
+  /// Dirichlet solve of `count` contiguous n-entry complex right-hand
+  /// sides for mode slot m: every RHS gets wall values lo / hi written
+  /// into its boundary rows (a wall-uniform scalar's fluctuation modes use
+  /// the homogeneous defaults), then one blocked band pass covers all of
+  /// them. In place; outputs are spline-coefficient lines.
+  void solve(int m, cplx* panel, std::size_t count,
+             cplx lo = cplx{0.0, 0.0}, cplx hi = cplx{0.0, 0.0}) const;
+
+ private:
+  const wall_normal_operators* ops_ = nullptr;
+  double c_ = 0.0;
+  int nm_ = 0, n_ = 0, h_ = 0;
+  std::size_t be_ = 0;  // stored band elements per factored operator
   std::vector<double> slab_;
   std::vector<unsigned char> active_;
   bool built_ = false;

@@ -309,4 +309,78 @@ void channel_dns::physical_vorticity_z(std::vector<double>& wz) {
   wz.assign(s.state.f1.begin(), s.state.f1.end());
 }
 
+std::size_t channel_dns::num_scalars() const {
+  return impl_->cfg.scenario.scalars.size();
+}
+
+std::vector<double> channel_dns::scalar_profile(std::size_t sc) {
+  auto& s = *impl_;
+  s.ensure_resumed();
+  PCF_REQUIRE(sc < s.state.scalars.size(), "scalar index out of range");
+  const std::size_t n = s.modes.n;
+  workspace_lane::scope scratch(s.ws.shared());
+  double* local = s.ws.shared().alloc<double>(n);
+  std::fill_n(local, n, 0.0);
+  if (s.modes.has_mean)
+    s.ops.to_points(s.state.scalars[sc].c_T.data(), local);
+  std::vector<double> global(n, 0.0);
+  s.world.allreduce_sum(local, global.data(), n);
+  return global;
+}
+
+void channel_dns::set_scalar_profile(std::size_t sc,
+                                     const std::vector<double>& values) {
+  auto& s = *impl_;
+  PCF_REQUIRE(sc < s.state.scalars.size(), "scalar index out of range");
+  PCF_REQUIRE(values.size() == s.modes.n, "profile size mismatch");
+  if (!s.modes.has_mean) return;
+  auto& th = s.state.scalars[sc].c_T;
+  std::copy(values.begin(), values.end(), th.begin());
+  s.ops.to_coefficients(th.data());
+}
+
+double channel_dns::scalar_wall_flux(std::size_t sc) {
+  auto& s = *impl_;
+  PCF_REQUIRE(sc < s.state.scalars.size(), "scalar index out of range");
+  const double kappa =
+      1.0 / (s.cfg.re_tau * s.cfg.scenario.scalars[sc].prandtl);
+  double local = 0.0;
+  if (s.modes.has_mean)
+    local = kappa * s.ops.dspline_lower(s.state.scalars[sc].c_T.data());
+  double global = 0.0;
+  s.world.allreduce_sum(&local, &global, 1);
+  return global;
+}
+
+std::vector<cplx> channel_dns::mode_scalar(std::size_t sc, std::size_t jx,
+                                           std::size_t jz) {
+  auto& s = *impl_;
+  PCF_REQUIRE(sc < s.state.scalars.size(), "scalar index out of range");
+  if (jx < s.d.xs.offset || jx >= s.d.xs.offset + s.d.xs.count ||
+      jz < s.d.zs.offset || jz >= s.d.zs.offset + s.d.zs.count)
+    return {};
+  const std::size_t m =
+      (jx - s.d.xs.offset) * s.d.zs.count + (jz - s.d.zs.offset);
+  auto& th = s.state.scalars[sc].c_th;
+  return std::vector<cplx>(s.line(th, m), s.line(th, m) + s.modes.n);
+}
+
+double channel_dns::current_forcing() {
+  auto& s = *impl_;
+  if (!s.cfg.scenario.constant_flow_rate()) return s.cfg.forcing;
+  double local = s.modes.has_mean ? s.mean_flow.last_forcing() : 0.0;
+  double global = 0.0;
+  s.world.allreduce_sum(&local, &global, 1);
+  return global;
+}
+
+double channel_dns::flow_rate_target() {
+  auto& s = *impl_;
+  if (!s.cfg.scenario.constant_flow_rate()) return 0.0;
+  double local = s.modes.has_mean ? s.mean_flow.flow_target() : 0.0;
+  double global = 0.0;
+  s.world.allreduce_sum(&local, &global, 1);
+  return global;
+}
+
 }  // namespace pcf::core

@@ -14,7 +14,7 @@
 namespace pcf::core {
 
 channel_dns::channel_dns(const channel_config& cfg, vmpi::communicator& world)
-    : impl_(new impl(cfg, world)) {}
+    : impl_((cfg.validate(), new impl(cfg, world))) {}
 channel_dns::~channel_dns() = default;
 
 const channel_config& channel_dns::config() const { return impl_->cfg; }
@@ -53,7 +53,35 @@ void channel_dns::initialize(double perturbation, std::uint64_t seed) {
                                  (yp / 11.0) * std::exp(-yp / 3.0)));
       }
     }
+    const auto& scen = s.cfg.scenario;
+    if (scen.wall_u_lo != 0.0 || scen.wall_u_hi != 0.0) {
+      // Plane Couette contribution: the linear profile carrying the wall
+      // velocities rides on top of the pressure-driven base (the laminar
+      // steady state of the combined scenario is exactly the
+      // superposition). Guarded so the classical channel's start is
+      // bit-identical.
+      for (std::size_t i = 0; i < n; ++i)
+        s.state.c_U[i] += scen.wall_u_lo * 0.5 * (1.0 - pts[i]) +
+                          scen.wall_u_hi * 0.5 * (1.0 + pts[i]);
+    }
     s.ops.to_coefficients(s.state.c_U.data());
+    if (scen.wall_w_lo != 0.0 || scen.wall_w_hi != 0.0) {
+      for (std::size_t i = 0; i < n; ++i)
+        s.state.c_W[i] = scen.wall_w_lo * 0.5 * (1.0 - pts[i]) +
+                         scen.wall_w_hi * 0.5 * (1.0 + pts[i]);
+      s.ops.to_coefficients(s.state.c_W.data());
+    }
+    // Scalar means start on the steady conduction profile (linear between
+    // the wall values); fluctuations start at zero and develop through
+    // advection by the velocity perturbations.
+    for (std::size_t sc = 0; sc < s.state.scalars.size(); ++sc) {
+      const auto& spec = scen.scalars[sc];
+      auto& th = s.state.scalars[sc].c_T;
+      for (std::size_t i = 0; i < n; ++i)
+        th[i] = spec.wall_lo * 0.5 * (1.0 - pts[i]) +
+                spec.wall_hi * 0.5 * (1.0 + pts[i]);
+      s.ops.to_coefficients(th.data());
+    }
   }
 
   if (perturbation > 0.0) {

@@ -29,6 +29,64 @@
 
 namespace pcf::core {
 
+/// Upper bound on configured passive scalars. The nonlinear stage carries
+/// the scalar fields in fixed-size pointer arrays so the hot loops stay
+/// allocation-free; validate() enforces the bound.
+inline constexpr std::size_t kMaxScalars = 8;
+
+/// One passive scalar: advected by the resolved velocity field with
+/// diffusivity kappa = 1 / (re_tau * prandtl) and Dirichlet wall values
+/// theta(-1) = wall_lo, theta(+1) = wall_hi. The initial mean profile is
+/// the linear conduction solution between the wall values.
+struct scalar_spec {
+  double prandtl = 1.0;
+  double wall_lo = 0.0;
+  double wall_hi = 0.0;
+};
+
+/// How the mean streamwise momentum is driven.
+enum class forcing_mode {
+  /// Constant mean pressure gradient -dP/dx = channel_config::forcing
+  /// (the classical friction-units channel; F is a constant).
+  pressure_gradient,
+  /// Constant flow rate: every substep solves once without forcing, once
+  /// for the forcing response, and picks F so the bulk velocity equals the
+  /// target exactly (linearity of the mean Helmholtz solve). The applied F
+  /// is an observable (channel_dns::current_forcing).
+  flow_rate,
+};
+
+/// The scenario layer: wall boundary values, the forcing mode and the
+/// passive-scalar list. The default-constructed value is the classical
+/// constant-pressure-gradient Poiseuille channel, and a default scenario
+/// leaves every code path and every checkpoint byte exactly as before.
+struct scenario_config {
+  // Streamwise / spanwise wall velocities: u(-1) = wall_u_lo, u(+1) =
+  // wall_u_hi (plane Couette: wall_u_lo = -U_w, wall_u_hi = +U_w). The
+  // walls are uniform in x and z, so moving walls live entirely in the
+  // mean (0, 0) mode; fluctuations keep homogeneous no-slip conditions.
+  double wall_u_lo = 0.0, wall_u_hi = 0.0;
+  double wall_w_lo = 0.0, wall_w_hi = 0.0;
+
+  forcing_mode forcing = forcing_mode::pressure_gradient;
+  // flow_rate only: the bulk velocity to hold. <= 0 captures the bulk of
+  // the state at the first advanced substep and holds that.
+  double target_bulk = 0.0;
+
+  std::vector<scalar_spec> scalars;
+
+  [[nodiscard]] bool moving_walls() const {
+    return wall_u_lo != 0.0 || wall_u_hi != 0.0 || wall_w_lo != 0.0 ||
+           wall_w_hi != 0.0;
+  }
+  [[nodiscard]] bool constant_flow_rate() const {
+    return forcing == forcing_mode::flow_rate;
+  }
+  [[nodiscard]] bool is_default() const {
+    return !moving_walls() && !constant_flow_rate() && scalars.empty();
+  }
+};
+
 struct channel_config {
   // Resolution: nx/nz Fourier modes (nx % 4 == 0, nz % 2 == 0), ny B-spline
   // basis functions of the given degree.
@@ -108,6 +166,18 @@ struct channel_config {
   // `autotune`, to the measured winner.
   pencil::exchange_strategy strategy_a = pencil::exchange_strategy::auto_plan;
   pencil::exchange_strategy strategy_b = pencil::exchange_strategy::auto_plan;
+
+  // Scenario layer: wall BC values, forcing mode, passive scalars. The
+  // default is the classical channel and changes nothing.
+  scenario_config scenario;
+
+  /// Check every documented constraint (grid divisibility, ny/degree
+  /// compatibility, positive physics parameters, scenario sanity) and
+  /// throw a precondition_error naming the offending key. Called by the
+  /// channel_dns constructor and the campaign job-file loader, so a bad
+  /// config fails at the boundary with an actionable message instead of
+  /// deep in the pencil/bspline layers.
+  void validate() const;
 };
 
 /// One-dimensional energy spectra at one wall-normal location.
@@ -252,6 +322,30 @@ class channel_dns {
   /// empty if this rank does not own the mode.
   std::vector<std::complex<double>> mode_v(std::size_t jx, std::size_t jz);
   std::vector<std::complex<double>> mode_omega(std::size_t jx, std::size_t jz);
+
+  // --- scenario observables -----------------------------------------------
+  /// Number of configured passive scalars.
+  [[nodiscard]] std::size_t num_scalars() const;
+  /// Mean profile of scalar s at the collocation points (valid on every
+  /// rank; reduced internally).
+  std::vector<double> scalar_profile(std::size_t s);
+  /// Replace the mean profile of scalar s (values at collocation points;
+  /// the wall values are re-imposed by the next substep's BC rows). No-op
+  /// on ranks not owning the mean mode.
+  void set_scalar_profile(std::size_t s, const std::vector<double>& values);
+  /// Wall flux kappa d<theta>/dy of scalar s at the lower wall.
+  double scalar_wall_flux(std::size_t s);
+  /// Spline coefficients of theta-hat for global mode (jx, jz); empty if
+  /// this rank does not own the mode.
+  std::vector<std::complex<double>> mode_scalar(std::size_t s, std::size_t jx,
+                                                std::size_t jz);
+  /// The mean streamwise forcing in effect: the configured constant for
+  /// pressure-gradient driving; under constant flow rate, the F applied at
+  /// the last advanced substep (0 before the first step). Collective.
+  double current_forcing();
+  /// The resolved flow-rate target bulk velocity (0 until captured /
+  /// when pressure-gradient driven). Collective.
+  double flow_rate_target();
 
   // --- checkpointing ---------------------------------------------------------
   // All three formats write crash-safely (temp file + atomic rename, so an

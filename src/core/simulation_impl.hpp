@@ -84,7 +84,8 @@ struct channel_dns::impl {
         ops(cfg.ny, cfg.degree, cfg.stretch),
         adv_pool(std::max(1, cfg.advance_threads)),
         modes(make_mode_tables(cfg, d)),
-        state(modes, d.x_pencil_real_elems(), ws),
+        state(modes, d.x_pencil_real_elems(), ws,
+              cfg.scenario.scalars.size()),
         stats_acc(d.yb.count, d.yb.offset, modes.n),
         timers(world.size() == 1),
         ph_step(timers.add("step")),

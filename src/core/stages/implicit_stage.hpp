@@ -13,13 +13,18 @@ namespace pcf::core {
 class implicit_stage {
  public:
   /// Registers "implicit" (with child "build") under `parent` and checks a
-  /// permanent 3n-complex solve panel (2n RHS + n operator scratch) out of
-  /// every thread lane, so the mode loop never allocates.
+  /// permanent (3 + S)n-complex solve panel (2n RHS + n operator scratch +
+  /// one RHS row per passive scalar) out of every thread lane, so the mode
+  /// loop never allocates.
   implicit_stage(stage_context& ctx, phase_timer::id parent);
 
   /// Advance every non-mean mode through substep i. Reads h_v from
   /// state.u_s and h_g from state.v_s (where the nonlinear stage leaves
   /// them), updates c_om / c_phi / c_v and saves the nonlinear history.
+  /// Passive scalars advance through the same loop: their diffusive
+  /// Helmholtz solves are packed into the panel's scalar rows, grouped by
+  /// Prandtl number so equal-diffusivity scalars share one blocked
+  /// multi-RHS band pass.
   void run(int i);
 
   /// Drop the cached per-substep solver arenas (call when dt changes).
@@ -38,6 +43,17 @@ class implicit_stage {
   // One contiguous solver arena per RK substep index, since cb = beta_i dt
   // nu differs per substep; valid while dt is fixed.
   solver_arena arena_[3];
+  // Scalars grouped by Prandtl number; `order_` lists scalar indices
+  // group-major so each group's panel rows are contiguous.
+  struct scalar_group {
+    double kappa = 0.0;                // 1 / (re_tau * prandtl)
+    std::size_t start = 0, count = 0;  // slice of order_
+  };
+  std::vector<scalar_group> groups_;
+  std::vector<std::size_t> order_;
+  // Per-substep, per-group factored scalar Helmholtz arenas (coefficient
+  // beta_i dt kappa_g differs per substep and per group).
+  std::vector<scalar_arena> sc_arena_[3];
   std::vector<cplx*> panels_;  // per-thread-lane permanent solve panels
   phase_timer::id ph_run_, ph_build_;
 };

@@ -1,9 +1,16 @@
 // Mean-flow stage of an RK3 substep (paper step (j)): the (0, 0) mode's
-// U and W profiles advance through a real Helmholtz solve with the
-// constant pressure-gradient forcing.
+// U and W profiles advance through a real Helmholtz solve, with the
+// forcing applied to the interior rows only — the identity boundary rows
+// carry the wall velocities (0 for the classical channel, the scenario's
+// moving-wall values for plane Couette). Under constant-flow-rate forcing
+// the substep solves once without forcing and once for the forcing
+// response, then picks F by linearity so the bulk velocity lands on the
+// target exactly. Configured passive-scalar means advance through the
+// same solve shape with their own diffusivities and wall values.
 #pragma once
 
 #include <optional>
+#include <vector>
 
 #include "banded/compact.hpp"
 #include "core/stages/stage_context.hpp"
@@ -18,12 +25,29 @@ class mean_flow_stage {
 
   /// Advance the mean profiles through substep i. Reads the forcing
   /// state.hU / state.hW left by the nonlinear stage and updates
-  /// c_U / c_W (+ their histories). Serial (one mode), runs on the
-  /// calling thread with shared-lane scratch.
+  /// c_U / c_W (+ their histories), then every scalar's mean profile
+  /// from its hT. Serial (one mode), runs on the calling thread with
+  /// shared-lane scratch.
   void run(int i);
 
-  /// Drop the cached factored mean operators (call when dt changes).
+  /// Drop the cached factored mean operators and the flow-rate response
+  /// profiles (call when dt changes).
   void invalidate();
+
+  /// The forcing F applied at the most recent substep: cfg.forcing under
+  /// pressure-gradient driving, the solved-for value under constant flow
+  /// rate. Only meaningful on the mean-owning rank.
+  [[nodiscard]] double last_forcing() const { return last_forcing_; }
+
+  /// The resolved flow-rate target (captured or configured); 0 until the
+  /// first advanced substep when target_bulk <= 0 was configured.
+  [[nodiscard]] double flow_target() const {
+    return target_set_ ? target_ : 0.0;
+  }
+
+  /// Restore the flow-rate forcing state from a checkpoint. A target of
+  /// exactly 0 means "not captured yet".
+  void restore_forcing(double target, double last);
 
  private:
   stage_context& ctx_;
@@ -31,6 +55,19 @@ class mean_flow_stage {
   // depends on cb = beta_i dt nu); valid while dt is fixed.
   std::optional<banded::compact_banded> helm_[3];
   double helm_c_[3] = {0.0, 0.0, 0.0};
+  // Per-scalar factored mean operators per substep (cb_s = beta_i dt
+  // kappa_s), laid out scalar-major: sc_helm_[i][s].
+  std::vector<std::optional<banded::compact_banded>> sc_helm_[3];
+  std::vector<double> sc_helm_c_[3];
+  // Constant-flow-rate state: per-substep forcing-response profile S
+  // (solves M S = (gamma_i + zeta_i) dt on the interior, 0 on the walls)
+  // and its bulk, keyed on cb like helm_c_.
+  std::vector<double> resp_[3];
+  double resp_bulk_[3] = {0.0, 0.0, 0.0};
+  double resp_c_[3] = {0.0, 0.0, 0.0};
+  double target_ = 0.0;
+  bool target_set_ = false;
+  double last_forcing_ = 0.0;
   phase_timer::id ph_run_;
 };
 

@@ -48,6 +48,20 @@ void nonlinear_stage::compute_velocities() {
       cplx* us = st.line(st.u_s, m);
       cplx* vs = st.line(st.v_s, m);
       cplx* ws = st.line(st.w_s, m);
+      // Scalars at the collocation points (the mean profile rides the
+      // mean mode's line, exactly like U / W below).
+      for (auto& sc : st.scalars) {
+        cplx* ths = st.line(sc.th_s, m);
+        if (mt.skip[m]) {
+          std::fill_n(ths, n, cplx{0, 0});
+          if (mt.has_mean && m == mt.mean_idx) {
+            ops.to_points(sc.c_T.data(), pts);
+            for (std::size_t i = 0; i < n; ++i) ths[i] = pts[i];
+          }
+        } else {
+          ops.to_points(st.line(sc.c_th, m), ths);
+        }
+      }
       if (mt.skip[m]) {
         std::fill_n(us, n, cplx{0, 0});
         std::fill_n(vs, n, cplx{0, 0});
@@ -77,9 +91,19 @@ void nonlinear_stage::compute_velocities() {
 void nonlinear_stage::velocities_to_physical() {
   phase_timer::section sec(ctx_.timers, ph_to_phys_);
   auto& st = ctx_.state;
-  const cplx* specs[3] = {st.u_s.data(), st.v_s.data(), st.w_s.data()};
-  double* phys[3] = {st.u_p.data(), st.v_p.data(), st.w_p.data()};
-  ctx_.pf.to_physical_batch(specs, phys, 3);
+  // Fixed-size pointer tables (kMaxScalars-bounded) keep this hot path
+  // allocation-free; the scalars ride the same aggregated exchange as the
+  // velocity components.
+  const std::size_t nsc = st.scalars.size();
+  const cplx* specs[3 + kMaxScalars] = {st.u_s.data(), st.v_s.data(),
+                                        st.w_s.data()};
+  double* phys[3 + kMaxScalars] = {st.u_p.data(), st.v_p.data(),
+                                   st.w_p.data()};
+  for (std::size_t s = 0; s < nsc; ++s) {
+    specs[3 + s] = st.scalars[s].th_s.data();
+    phys[3 + s] = st.scalars[s].th_p.data();
+  }
+  ctx_.pf.to_physical_batch(specs, phys, 3 + nsc);
 }
 
 void nonlinear_stage::compute_products() {
@@ -110,6 +134,15 @@ void nonlinear_stage::compute_products() {
                             std::abs(w) / dz);
     }
     cfl_maxes_[static_cast<std::size_t>(tid)] = mx;
+    // Scalar advective fluxes u theta / v theta / w theta, after the
+    // velocity loop so the CFL kernel above is untouched.
+    for (auto& sc : st.scalars)
+      for (std::size_t i = b; i < e; ++i) {
+        const double th = sc.th_p[i];
+        sc.gu[i] = st.u_p[i] * th;
+        sc.gv[i] = st.v_p[i] * th;
+        sc.gw[i] = st.w_p[i] * th;
+      }
   });
   st.cfl_local = 0.0;
   for (std::size_t t = 0; t < nthreads; ++t)
@@ -119,11 +152,23 @@ void nonlinear_stage::compute_products() {
 void nonlinear_stage::products_to_spectral() {
   phase_timer::section sec(ctx_.timers, ph_to_spec_);
   auto& st = ctx_.state;
-  const double* prods[5] = {st.f1.data(), st.f2.data(), st.f3.data(),
-                            st.f4.data(), st.f5.data()};
-  cplx* specs[5] = {st.q1.data(), st.q2.data(), st.q3.data(), st.q4.data(),
-                    st.q5.data()};
-  ctx_.pf.to_spectral_batch(prods, specs, 5);
+  const std::size_t nsc = st.scalars.size();
+  const double* prods[5 + 3 * kMaxScalars] = {st.f1.data(), st.f2.data(),
+                                              st.f3.data(), st.f4.data(),
+                                              st.f5.data()};
+  cplx* specs[5 + 3 * kMaxScalars] = {st.q1.data(), st.q2.data(),
+                                      st.q3.data(), st.q4.data(),
+                                      st.q5.data()};
+  for (std::size_t s = 0; s < nsc; ++s) {
+    auto& sc = st.scalars[s];
+    prods[5 + 3 * s + 0] = sc.gu.data();
+    prods[5 + 3 * s + 1] = sc.gv.data();
+    prods[5 + 3 * s + 2] = sc.gw.data();
+    specs[5 + 3 * s + 0] = sc.qu.data();
+    specs[5 + 3 * s + 1] = sc.qv.data();
+    specs[5 + 3 * s + 2] = sc.qw.data();
+  }
+  ctx_.pf.to_spectral_batch(prods, specs, 5 + 3 * nsc);
 }
 
 void nonlinear_stage::assemble() {
@@ -139,6 +184,8 @@ void nonlinear_stage::assemble() {
   aligned_buffer<cplx>& hg = st.v_s;
   std::fill_n(st.hU, n, 0.0);
   std::fill_n(st.hW, n, 0.0);
+  for (auto& sc : st.scalars) std::fill(sc.hT.begin(), sc.hT.end(), 0.0);
+  const std::size_t nsc = st.scalars.size();
   std::atomic<int> tid_counter{0};
   ctx_.pool.run(mt.nmodes, [&](std::size_t mb, std::size_t me) {
     const auto tid = static_cast<std::size_t>(tid_counter.fetch_add(1));
@@ -156,9 +203,39 @@ void nonlinear_stage::assemble() {
     cplx* d5 = lane.alloc<cplx>(n);
     cplx* d2b = lane.alloc<cplx>(n);
     cplx* d4b = lane.alloc<cplx>(n);
+    // Two extra lines for the scalar flux derivative, reused across the
+    // scalars of a mode (they are assembled sequentially).
+    cplx* csc = nsc > 0 ? lane.alloc<cplx>(n) : nullptr;
+    cplx* dsc = nsc > 0 ? lane.alloc<cplx>(n) : nullptr;
     for (std::size_t m = mb; m < me; ++m) {
       cplx* hvm = st.line(hv, m);
       cplx* hgm = st.line(hg, m);
+      // Scalar right-hand sides h_theta = -(i kx (u th)^ + d(v th)^/dy +
+      // i kz (w th)^), assembled into th_s (free once the products are
+      // formed, mirroring h_v / h_g into u_s / v_s); the mean mode feeds
+      // <H_theta> = -d<v theta>/dy into hT.
+      for (auto& sc : st.scalars) {
+        cplx* hthm = st.line(sc.th_s, m);
+        if (mt.skip[m]) {
+          std::fill_n(hthm, n, cplx{0, 0});
+          if (mt.has_mean && m == mt.mean_idx) {
+            std::copy_n(st.line(sc.qv, m), n, csc);
+            ops.to_coefficients(csc);
+            ops.deriv1_points(csc, dsc);
+            for (std::size_t i = 0; i < n; ++i) sc.hT[i] = -dsc[i].real();
+          }
+          continue;
+        }
+        std::copy_n(st.line(sc.qv, m), n, csc);
+        ops.to_coefficients(csc);
+        ops.deriv1_points(csc, dsc);
+        const cplx ikxs{0.0, mt.kx[m]};
+        const cplx ikzs{0.0, mt.kz[m]};
+        const cplx* pu = st.line(sc.qu, m);
+        const cplx* pw = st.line(sc.qw, m);
+        for (std::size_t i = 0; i < n; ++i)
+          hthm[i] = -(ikxs * pu[i] + dsc[i] + ikzs * pw[i]);
+      }
       if (mt.skip[m]) {
         std::fill_n(hvm, n, cplx{0, 0});
         std::fill_n(hgm, n, cplx{0, 0});

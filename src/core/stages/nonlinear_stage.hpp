@@ -4,7 +4,10 @@
 // collocation points, one batched spectral -> physical transform for all
 // three components, pointwise quadratic products + the convective CFL
 // estimate, one batched physical -> spectral transform for all five
-// products, and the KMM right-hand sides h_v / h_g.
+// products, and the KMM right-hand sides h_v / h_g. Configured passive
+// scalars ride the same two batched transforms (3 + S fields down,
+// 5 + 3S fields up) and assemble their advective right-hand sides
+// h_theta alongside.
 #pragma once
 
 #include "core/stages/stage_context.hpp"

@@ -87,7 +87,7 @@ mode_tables make_mode_tables(const channel_config& c,
 }
 
 field_state::field_state(const mode_tables& modes, std::size_t phys_elems,
-                         field_workspace& ws)
+                         field_workspace& ws, std::size_t nscalars)
     : n(modes.n) {
   const std::size_t sz = modes.nmodes * n;
   c_v.reset(sz);
@@ -115,6 +115,22 @@ field_state::field_state(const mode_tables& modes, std::size_t phys_elems,
   c_W.assign(n, 0.0);
   hU_prev.assign(n, 0.0);
   hW_prev.assign(n, 0.0);
+  scalars.resize(nscalars);
+  for (scalar_state& sc : scalars) {
+    sc.c_th.reset(sz);
+    sc.hth_prev.reset(sz);
+    sc.th_s.reset(sz);
+    sc.qu.reset(sz);
+    sc.qv.reset(sz);
+    sc.qw.reset(sz);
+    sc.th_p.reset(phys_elems);
+    sc.gu.reset(phys_elems);
+    sc.gv.reset(phys_elems);
+    sc.gw.reset(phys_elems);
+    sc.c_T.assign(n, 0.0);
+    sc.hT_prev.assign(n, 0.0);
+    sc.hT.assign(n, 0.0);
+  }
   hU = ws.shared().alloc<double>(n);
   hW = ws.shared().alloc<double>(n);
   std::fill_n(hU, n, 0.0);
@@ -138,6 +154,13 @@ void field_state::zero() {
   std::fill(c_W.begin(), c_W.end(), 0.0);
   std::fill(hU_prev.begin(), hU_prev.end(), 0.0);
   std::fill(hW_prev.begin(), hW_prev.end(), 0.0);
+  for (scalar_state& sc : scalars) {
+    sc.c_th.fill(cplx{0, 0});
+    sc.hth_prev.fill(cplx{0, 0});
+    std::fill(sc.c_T.begin(), sc.c_T.end(), 0.0);
+    std::fill(sc.hT_prev.begin(), sc.hT_prev.end(), 0.0);
+    std::fill(sc.hT.begin(), sc.hT.end(), 0.0);
+  }
 }
 
 field_workspace::sizes dns_workspace_sizes(const channel_config& c,
@@ -158,14 +181,17 @@ field_workspace::sizes dns_workspace_sizes(const channel_config& c,
                  + 16 * n * sizeof(double)
                  + 8 * nbins * sizeof(double)
                  + 40 * kAlignment;
-  // Thread lanes. Permanent: the implicit stage's 3n-complex solve panel.
-  // Deepest transient scope: the nonlinear assembly's 12 complex lines
-  // (c1..c5, d1, d2a, d3, d4a, d5, d2b, d4b); the velocity sub-stage needs
-  // 2 complex + 1 real line, well under that.
-  s.thread_bytes = 3 * n * sizeof(cplx)
-                 + 12 * n * sizeof(cplx)
+  // Thread lanes. Permanent: the implicit stage's (3 + S)n-complex solve
+  // panel (omega/phi rows, operator scratch, one RHS row per passive
+  // scalar). Deepest transient scope: the nonlinear assembly's 12 complex
+  // lines (c1..c5, d1, d2a, d3, d4a, d5, d2b, d4b) plus 2 more when
+  // scalars are configured; the velocity sub-stage needs 2 complex + 1
+  // real line, well under that.
+  const std::size_t nsc = c.scenario.scalars.size();
+  s.thread_bytes = (3 + nsc) * n * sizeof(cplx)
+                 + (12 + (nsc > 0 ? 2 : 0)) * n * sizeof(cplx)
                  + n * sizeof(double)
-                 + 20 * kAlignment;
+                 + (20 + 2 * nsc) * kAlignment;
   s.transform_bytes = pencil::transform_workspace_bytes(d, dns_kernel_config(c));
   return s;
 }

@@ -100,8 +100,10 @@ struct mode_tables {
 /// permanent checkouts on the workspace's shared lane.
 struct field_state {
   /// Allocates every field; hU/hW come out of ws.shared() (permanent).
+  /// nscalars adds one scalar_state per configured passive scalar (the
+  /// default keeps the velocity-only layout and footprint).
   field_state(const mode_tables& modes, std::size_t phys_elems,
-              field_workspace& ws);
+              field_workspace& ws, std::size_t nscalars = 0);
 
   /// Re-check hU/hW out of the (freshly reacquired) shared lane after a
   /// workspace release/reacquire cycle. hU/hW are contents-dead at step
@@ -127,6 +129,24 @@ struct field_state {
   // Mean nonlinear forcing of the current substep (length n each).
   double* hU = nullptr;
   double* hW = nullptr;
+
+  /// One passive scalar's evolved state and work fields. The scalar rides
+  /// the same pipeline as the velocities: th_s carries theta-hat at the
+  /// collocation points into the batched physical transform and is
+  /// overwritten with the nonlinear right-hand side h_theta by the
+  /// assembly (mirroring how h_v / h_g reuse u_s / v_s).
+  struct scalar_state {
+    aligned_buffer<cplx> c_th;      // evolved fluctuation coefficients
+    aligned_buffer<cplx> hth_prev;  // nonlinear history
+    aligned_buffer<cplx> th_s;      // theta at points; h_theta after assemble
+    aligned_buffer<cplx> qu, qv, qw;    // spectral products u/v/w * theta
+    aligned_buffer<double> th_p;        // physical scalar
+    aligned_buffer<double> gu, gv, gw;  // physical products
+    // Mean profile coefficients, nonlinear history, and the current
+    // substep's mean forcing (plain vectors: tiny, serial, suspend-safe).
+    std::vector<double> c_T, hT_prev, hT;
+  };
+  std::vector<scalar_state> scalars;
 
   double cfl_local = 0.0, cfl_global = 0.0;
 

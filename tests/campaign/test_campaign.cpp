@@ -196,14 +196,14 @@ TEST(Campaign, FailedJobIsIsolatedFromItsNeighbours) {
   campaign::campaign_server server(cfg);
 
   campaign::job_spec bad = tiny_job("bad", 4);
-  bad.config.degree = 99;  // basis construction rejects ny - degree < 1
+  bad.config.degree = 99;  // channel_config::validate rejects ny < 2p + 1
   const auto bad_id = server.enqueue(std::move(bad));
   const auto good_id = server.enqueue(tiny_job("good", 4));
 
   const campaign::campaign_report rep = server.run();
   const auto& b = status_of(rep, bad_id);
   EXPECT_EQ(b.state, campaign::job_state::failed);
-  EXPECT_NE(b.error.find("interval"), std::string::npos) << b.error;
+  EXPECT_NE(b.error.find("degree"), std::string::npos) << b.error;
   EXPECT_EQ(b.steps_done, 0);
   const auto& g = status_of(rep, good_id);
   EXPECT_EQ(g.state, campaign::job_state::done) << g.error;

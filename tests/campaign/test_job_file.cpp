@@ -119,8 +119,98 @@ TEST(JobFile, BooleansAndNumbersParseStrictly) {
 
   expect_error("collect_series = maybe\n", "expected a boolean");
   expect_error("workers = 2.5\n", "expected an integer");
-  expect_error("steps = 10x\n[j]\n", "malformed number");
+  expect_error("steps = 10x\n[j]\n", "expected an integer");
   expect_error("dt = \n[j]\nsteps = 1\n", "malformed number");
+}
+
+TEST(JobFile, LargeIntegersSurviveExactly) {
+  // Regression: seeds used to go through the double parser, and a double
+  // cannot represent every 64-bit integer — 2^53 + 1 came back as 2^53.
+  // Integer keys now parse as integers end to end.
+  const job_file jf = parse_job_text(
+      "[j]\n"
+      "steps = 1\n"
+      "seed = 9007199254740993\n");  // 2^53 + 1
+  ASSERT_EQ(jf.jobs.size(), 1u);
+  EXPECT_EQ(jf.jobs[0].seed, 9007199254740993ull);
+
+  // Integer spellings that are numbers but not integers are rejected, as
+  // is anything that overflows long.
+  expect_error("[j]\nsteps = 1\nseed = 1e3\n", "expected an integer");
+  expect_error("[j]\nsteps = 3.5\n", "expected an integer");
+  expect_error("[j]\nsteps = 1\nseed = 99999999999999999999\n",
+               "integer out of range");
+}
+
+TEST(JobFile, ScenarioKeysParseAndInherit) {
+  const job_file jf = parse_job_text(
+      "wall_u_lo = -1   ; Couette defaults every job inherits\n"
+      "wall_u_hi = 1\n"
+      "scalar = 0.71 0 1\n"
+      "\n"
+      "[couette]\n"
+      "steps = 10\n"
+      "\n"
+      "[pumped]\n"
+      "steps = 10\n"
+      "forcing_mode = flow_rate\n"
+      "target_bulk = 15.5\n"
+      "wall_w_lo = -0.5\n"
+      "wall_w_hi = 0.5\n"
+      "scalar = 7\n");
+
+  ASSERT_EQ(jf.jobs.size(), 2u);
+  const auto& c = jf.jobs[0].config.scenario;
+  EXPECT_DOUBLE_EQ(c.wall_u_lo, -1.0);
+  EXPECT_DOUBLE_EQ(c.wall_u_hi, 1.0);
+  EXPECT_EQ(c.forcing, pcf::core::forcing_mode::pressure_gradient);
+  ASSERT_EQ(c.scalars.size(), 1u);
+  EXPECT_DOUBLE_EQ(c.scalars[0].prandtl, 0.71);
+  EXPECT_DOUBLE_EQ(c.scalars[0].wall_lo, 0.0);
+  EXPECT_DOUBLE_EQ(c.scalars[0].wall_hi, 1.0);
+
+  // The second job inherits the default scalar and appends its own; the
+  // `scalar` key is repeatable, not last-wins.
+  const auto& p = jf.jobs[1].config.scenario;
+  EXPECT_EQ(p.forcing, pcf::core::forcing_mode::flow_rate);
+  EXPECT_DOUBLE_EQ(p.target_bulk, 15.5);
+  EXPECT_DOUBLE_EQ(p.wall_w_lo, -0.5);
+  EXPECT_DOUBLE_EQ(p.wall_w_hi, 0.5);
+  ASSERT_EQ(p.scalars.size(), 2u);
+  EXPECT_DOUBLE_EQ(p.scalars[0].prandtl, 0.71);
+  EXPECT_DOUBLE_EQ(p.scalars[1].prandtl, 7.0);
+  EXPECT_DOUBLE_EQ(p.scalars[1].wall_lo, 0.0) << "walls default to 0";
+}
+
+TEST(JobFile, ScenarioKeyErrorsNameTheirLine) {
+  expect_error("[j]\nsteps = 1\nforcing_mode = turbo\n",
+               "spec:3: key 'forcing_mode': expected 'pressure_gradient' or "
+               "'flow_rate', got 'turbo'");
+  expect_error("[j]\nsteps = 1\nscalar = 0.71 0\n",
+               "spec:3: key 'scalar': expected '<prandtl> [<wall_lo> "
+               "<wall_hi>]'");
+  expect_error("[j]\nsteps = 1\nscalar = abc\n", "key 'scalar.prandtl'");
+  expect_error("[j]\nsteps = 1\nwall_u_lo = fast\n",
+               "spec:3: key 'wall_u_lo': malformed number 'fast'");
+}
+
+TEST(JobFile, ImpossibleConfigsAreRejectedNamingTheJob) {
+  // The loader runs channel_config::validate() per job, so a config the
+  // simulation would reject fails at parse time with the job's name and
+  // the offending key — not deep inside the 37th job's constructor.
+  expect_error("[skewed]\nsteps = 5\nnx = 30\n",
+               "spec: job 'skewed': channel_config: nx");
+  expect_error("[flat]\nsteps = 5\nny = 9\n",
+               "spec: job 'flat': channel_config: ny");
+  expect_error("[cold]\nsteps = 5\nre_tau = -180\n",
+               "spec: job 'cold': channel_config: re_tau");
+  expect_error(
+      "[crowded]\nsteps = 5\n"
+      "scalar = 1\nscalar = 1\nscalar = 1\nscalar = 1\nscalar = 1\n"
+      "scalar = 1\nscalar = 1\nscalar = 1\nscalar = 1\n",
+      "spec: job 'crowded': channel_config: scalars");
+  expect_error("[icy]\nsteps = 5\nscalar = -0.7\n",
+               "spec: job 'icy': channel_config: scalar[0].prandtl");
 }
 
 TEST(JobFile, StructuralErrorsNameTheirLine) {
